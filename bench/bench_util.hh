@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction bench binaries.
+ */
+
+#ifndef CLLM_BENCH_BENCH_UTIL_HH
+#define CLLM_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hh"
+#include "util/table.hh"
+
+namespace cllm::bench {
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &artefact, const std::string &what,
+       const std::string &paper_band)
+{
+    std::cout << "=== " << artefact << ": " << what << " ===\n";
+    if (!paper_band.empty())
+        std::cout << "paper reports: " << paper_band << "\n";
+    std::cout << "\n";
+}
+
+/** Throughput run parameters used across the CPU figures. */
+inline llm::RunParams
+throughputParams(const hw::CpuSpec &cpu, unsigned sockets = 1)
+{
+    llm::RunParams p;
+    p.batch = 6;
+    p.beam = 4;
+    p.inLen = 1024;
+    p.outLen = 128;
+    p.sockets = sockets;
+    p.cores = sockets * cpu.coresPerSocket;
+    return p;
+}
+
+/** Latency run parameters (batch 1, beam 1). */
+inline llm::RunParams
+latencyParams(const hw::CpuSpec &cpu, unsigned sockets = 1)
+{
+    llm::RunParams p = throughputParams(cpu, sockets);
+    p.batch = 1;
+    p.beam = 1;
+    return p;
+}
+
+} // namespace cllm::bench
+
+#endif // CLLM_BENCH_BENCH_UTIL_HH

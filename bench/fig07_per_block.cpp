@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 7: duration and TDX overhead of each decoder-block operator
+ * for Llama2-7B (128 in/out tokens, batch 4) on one EMR2 socket. The
+ * paper: decoder blocks take 99.9% of inference time; the biggest raw
+ * costs are self-attention and the linear-SiLU projections; the norms
+ * have the largest *relative* overheads but only ~3% of block time.
+ */
+
+#include "bench_util.hh"
+
+using namespace cllm;
+using namespace cllm::bench;
+
+int
+main()
+{
+    banner("Figure 7",
+           "per-operator decode breakdown, Llama2-7B batch 4 (EMR2)",
+           "self-attention and linear SiLU dominate raw time; norms "
+           "have the largest relative overheads at ~3% of block time");
+
+    core::Experiment exp;
+    const hw::CpuSpec cpu = hw::emr2();
+    const llm::ModelConfig model = llm::llama2_7b();
+
+    llm::RunParams p;
+    p.batch = 4;
+    p.inLen = 128;
+    p.outLen = 128;
+    p.sockets = 1;
+    p.cores = cpu.coresPerSocket;
+
+    const auto bare = exp.runCpu(cpu, core::Backend::Bare, model, p);
+    const auto tdx = exp.runCpu(cpu, core::Backend::Tdx, model, p);
+
+    double total = 0.0;
+    for (const auto &op : tdx.timing.blockBreakdown)
+        total += op.seconds;
+
+    Table t({"operator", "duration [us]", "share", "TDX overhead"});
+    for (std::size_t i = 0; i < tdx.timing.blockBreakdown.size(); ++i) {
+        const auto &ot = tdx.timing.blockBreakdown[i];
+        const auto &ob = bare.timing.blockBreakdown[i];
+        t.addRow({ot.name, fmt(1e6 * ot.seconds),
+                  fmtPct(100.0 * ot.seconds / total),
+                  fmtPct(100.0 * (ot.seconds / ob.seconds - 1.0))});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 11: H100 GPU throughput as a function of batch size and
+ * input length, raw versus confidential. The paper: cGPU overheads
+ * oscillate between 7.5% and 4.4% and shrink as batch and input grow
+ * (fixed launch/bounce-buffer costs amortize; HBM is not encrypted).
+ */
+
+#include "bench_util.hh"
+
+using namespace cllm;
+using namespace cllm::bench;
+
+int
+main()
+{
+    banner("Figure 11", "H100 batch & input scaling, raw vs cGPU",
+           "overheads oscillate between 7.5% and 4.4%, shrinking with "
+           "batch and input size");
+
+    core::Experiment exp;
+    const hw::GpuSpec gpu = hw::h100Nvl();
+    const llm::ModelConfig model = llm::llama2_7b();
+
+    std::cout << "--- batch sweep (input 128) ---\n";
+    Table tb({"batch", "GPU [tok/s]", "cGPU [tok/s]", "overhead"});
+    for (unsigned batch : {1u, 4u, 16u, 64u, 128u}) {
+        llm::GpuRunParams p;
+        p.batch = batch;
+        p.inLen = 128;
+        p.outLen = 128;
+        const auto raw = exp.runGpu(gpu, model, p);
+        p.confidential = true;
+        const auto cc = exp.runGpu(gpu, model, p);
+        tb.addRow({std::to_string(batch), fmt(raw.timing.decodeTput),
+                   fmt(cc.timing.decodeTput),
+                   fmtPct(core::Experiment::compare(cc, raw)
+                              .tputOverheadPct)});
+    }
+    tb.print(std::cout);
+
+    std::cout << "\n--- input sweep (batch 4) ---\n";
+    Table ti({"input", "GPU [tok/s]", "cGPU [tok/s]", "overhead"});
+    for (unsigned in_len : {128u, 512u, 2048u, 8192u}) {
+        llm::GpuRunParams p;
+        p.batch = 4;
+        p.inLen = in_len;
+        p.outLen = 128;
+        const auto raw = exp.runGpu(gpu, model, p);
+        p.confidential = true;
+        const auto cc = exp.runGpu(gpu, model, p);
+        ti.addRow({std::to_string(in_len), fmt(raw.timing.decodeTput),
+                   fmt(cc.timing.decodeTput),
+                   fmtPct(core::Experiment::compare(cc, raw)
+                              .tputOverheadPct)});
+    }
+    ti.print(std::cout);
+    return 0;
+}

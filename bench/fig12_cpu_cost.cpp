@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Figure 12: vCPU scaling and cost of generating 1M tokens on EMR2
+ * (bf16, 128 in/out, single socket) across batch sizes, against the
+ * cGPU cost line. GCP-spot-style separable pricing with a fixed
+ * 128 GB of memory, as in the paper. The paper: throughput plateaus
+ * at ~32 cores; memory dominates small instances; CPU TEEs are up to
+ * ~100% cheaper at batch 1, with parity around batch 128.
+ */
+
+#include "bench_util.hh"
+
+using namespace cllm;
+using namespace cllm::bench;
+
+int
+main()
+{
+    banner("Figure 12", "vCPU scaling + $/1M tokens vs cGPU (EMR2)",
+           "plateau ~32 cores; CPU TEEs up to 100% cheaper at batch "
+           "1; parity ~batch 128");
+
+    core::Experiment exp;
+    const hw::CpuSpec cpu = hw::emr2();
+    const llm::ModelConfig model = llm::llama2_7b();
+    const cost::CpuPricing cpu_price = cost::gcpSpotUsEast1();
+    const cost::CpuPricing spr_price = cost::gcpSpotSprUsEast1();
+    const cost::GpuPricing gpu_price = cost::cgpuH100();
+    const double mem_gb = 128.0;
+
+    for (unsigned batch : {1u, 16u, 64u, 128u}) {
+        // The cGPU reference line for this batch.
+        llm::GpuRunParams g;
+        g.batch = batch;
+        g.inLen = 128;
+        g.outLen = 128;
+        g.confidential = true;
+        const auto gr = exp.runGpu(hw::h100Nvl(), model, g);
+        const double gpu_usd =
+            core::Experiment::gpuCostPerMTokens(gr, gpu_price);
+
+        std::cout << "--- batch " << batch << " (cGPU line: $"
+                  << fmt(gpu_usd, 3) << "/1M tok at "
+                  << fmt(gr.timing.e2eTput) << " tok/s) ---\n";
+        Table t({"vCPUs", "TDX tput [tok/s]", "TDX ovh",
+                 "$/hr", "TDX $/1M tok", "vs cGPU", "bound"});
+        for (unsigned cores : {8u, 16u, 24u, 32u, 48u, 60u}) {
+            llm::RunParams p;
+            p.batch = batch;
+            p.inLen = 128;
+            p.outLen = 128;
+            p.sockets = 1;
+            p.cores = cores;
+            const auto bare =
+                exp.runCpu(cpu, core::Backend::Bare, model, p);
+            const auto tdx =
+                exp.runCpu(cpu, core::Backend::Tdx, model, p);
+            const double usd = core::Experiment::cpuCostPerMTokens(
+                tdx, cpu_price, cores, mem_gb);
+            t.addRow({std::to_string(cores),
+                      fmt(tdx.timing.e2eTput),
+                      fmtPct(core::Experiment::compare(tdx, bare)
+                                 .tputOverheadPct),
+                      fmt(cost::cpuInstanceHr(cpu_price, cores, mem_gb),
+                          3),
+                      fmt(usd, 3),
+                      fmtPct(100.0 * (usd / gpu_usd - 1.0)),
+                      tdx.timing.memoryBound ? "memory" : "compute"});
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+
+    // The cheaper Sapphire Rapids alternative (Section V-D).
+    std::cout << "SPR alternative at batch 16, 32 vCPUs: ";
+    {
+        const hw::CpuSpec spr = hw::spr();
+        llm::RunParams p;
+        p.batch = 16;
+        p.inLen = 128;
+        p.outLen = 128;
+        p.sockets = 1;
+        p.cores = 32;
+        const auto r = exp.runCpu(spr, core::Backend::Tdx, model, p);
+        std::cout << "$"
+                  << fmt(core::Experiment::cpuCostPerMTokens(
+                             r, spr_price, 32, mem_gb),
+                         3)
+                  << "/1M tok at " << fmt(r.timing.e2eTput)
+                  << " tok/s\n";
+    }
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 13: input-size scaling of the CPU-vs-cGPU cost comparison at
+ * batch 4 (bf16, 128 out tokens, single socket, throughput including
+ * the first-token latency). The paper: CPU TEEs are considerably more
+ * sensitive to input size than cGPUs; the cost advantage collapses as
+ * inputs grow because attention compute scales quadratically.
+ */
+
+#include "bench_util.hh"
+
+using namespace cllm;
+using namespace cllm::bench;
+
+int
+main()
+{
+    banner("Figure 13", "input scaling + cost, batch 4 (EMR2 vs cGPU)",
+           "CPU advantage fades with input size; GPUs win once "
+           "compute demand is sufficient");
+
+    core::Experiment exp;
+    const hw::CpuSpec cpu = hw::emr2();
+    const llm::ModelConfig model = llm::llama2_7b();
+    const cost::CpuPricing cpu_price = cost::gcpSpotUsEast1();
+    const cost::GpuPricing gpu_price = cost::cgpuH100();
+    const double mem_gb = 128.0;
+    const unsigned cores = 32;
+
+    Table t({"input", "TDX tput [tok/s]", "TDX $/1M",
+             "cGPU tput [tok/s]", "cGPU $/1M", "CPU advantage"});
+    for (unsigned in_len : {128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+        llm::RunParams p;
+        p.batch = 4;
+        p.inLen = in_len;
+        p.outLen = 128;
+        p.sockets = 1;
+        p.cores = cores;
+        const auto tdx = exp.runCpu(cpu, core::Backend::Tdx, model, p);
+        const double cpu_usd = core::Experiment::cpuCostPerMTokens(
+            tdx, cpu_price, cores, mem_gb);
+
+        llm::GpuRunParams g;
+        g.batch = 4;
+        g.inLen = in_len;
+        g.outLen = 128;
+        g.confidential = true;
+        const auto gr = exp.runGpu(hw::h100Nvl(), model, g);
+        const double gpu_usd =
+            core::Experiment::gpuCostPerMTokens(gr, gpu_price);
+
+        t.addRow({std::to_string(in_len), fmt(tdx.timing.e2eTput),
+                  fmt(cpu_usd, 3), fmt(gr.timing.e2eTput),
+                  fmt(gpu_usd, 3),
+                  fmtPct(100.0 * (gpu_usd / cpu_usd - 1.0))});
+    }
+    t.print(std::cout);
+    std::cout << "\n(positive advantage: the CPU TEE is cheaper per "
+                 "token)\n";
+    return 0;
+}

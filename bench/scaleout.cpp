@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Section V-D4 scale-out study: Llama2-70B across multiple H100s (raw
+ * vs confidential vs confidential+IPsec) against a two-socket TDX CPU
+ * deployment. The paper: cGPU instances lack RDMA/GPUdirect, so all
+ * inter-GPU traffic crosses the host at ~3 GB/s versus ~40 GB/s,
+ * eroding the GPU advantage for models that do not fit one GPU.
+ */
+
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "llm/perf_cluster.hh"
+#include "util/table.hh"
+
+using namespace cllm;
+
+int
+main()
+{
+    std::cout << "=== Section V-D4: scaling models beyond one device "
+                 "===\n";
+    std::cout << "paper reports: confidential scale-out capped at "
+                 "~3 GB/s (vs 40), IPsec adds up to 90% on links\n\n";
+
+    const llm::ModelConfig model = llm::llama2_70b();
+    llm::GpuClusterPerfModel cluster;
+
+    Table t({"deployment", "fits?", "latency [ms/tok]", "tput [tok/s]",
+             "vs raw 4-GPU"});
+
+    llm::ClusterRunParams p;
+    p.batch = 4;
+    p.inLen = 512;
+    p.outLen = 128;
+
+    p.gpus = 4;
+    p.confidential = false;
+    const auto raw4 = cluster.run(hw::h100Nvl(), model, p);
+    t.addRow({"4x H100 (raw, RDMA)", "yes",
+              fmt(1e3 * raw4.meanTokenLatency), fmt(raw4.decodeTput),
+              "0.0%"});
+
+    p.confidential = true;
+    const auto cc4 = cluster.run(hw::h100Nvl(), model, p);
+    t.addRow({"4x cGPU (host-routed)", "yes",
+              fmt(1e3 * cc4.meanTokenLatency), fmt(cc4.decodeTput),
+              fmtPct(100.0 * (raw4.decodeTput / cc4.decodeTput - 1.0))});
+
+    p.ipsec = true;
+    const auto cc4ip = cluster.run(hw::h100Nvl(), model, p);
+    t.addRow({"4x cGPU + IPsec", "yes",
+              fmt(1e3 * cc4ip.meanTokenLatency), fmt(cc4ip.decodeTput),
+              fmtPct(100.0 *
+                     (raw4.decodeTput / cc4ip.decodeTput - 1.0))});
+
+    p.ipsec = false;
+    p.gpus = 1;
+    t.addRow({"1x H100", cluster.fits(hw::h100Nvl(), model, p)
+                             ? "yes"
+                             : "NO (weights 138 GB > 94 GB)",
+              "-", "-", "-"});
+
+    // The CPU alternative: two-socket TDX (Insight 11).
+    core::Experiment exp;
+    const hw::CpuSpec cpu = hw::emr1();
+    llm::RunParams cp;
+    cp.batch = 4;
+    cp.inLen = 512;
+    cp.outLen = 128;
+    cp.sockets = 2;
+    cp.cores = cpu.totalCores();
+    const auto tdx = exp.runCpu(cpu, core::Backend::Tdx, model, cp);
+    t.addRow({"2-socket CPU TDX", "yes",
+              fmt(1e3 * tdx.timing.meanTokenLatency),
+              fmt(tdx.timing.decodeTput),
+              fmtPct(100.0 *
+                     (raw4.decodeTput / tdx.timing.decodeTput - 1.0))});
+
+    t.print(std::cout);
+
+    std::cout << "\nlink bandwidth: raw "
+              << fmt(cluster.linkConfig().rawBwBytes / 1e9, 0)
+              << " GB/s, confidential "
+              << fmt(cluster.linkConfig().hostRoutedBwBytes / 1e9, 0)
+              << " GB/s (no RDMA/GPUdirect on cGPU instances)\n";
+    return 0;
+}

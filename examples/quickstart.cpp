@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Quickstart: what does a TEE cost me?
+ *
+ * Runs Llama2-7B inference timing on an Emerald Rapids machine under
+ * every execution environment the paper evaluates (bare metal, VM,
+ * Gramine-SGX, TDX) plus raw and confidential H100 GPUs, and prints
+ * throughput, next-token latency, and overheads versus the
+ * appropriate baseline — a one-screen version of the paper's
+ * Figure 1.
+ */
+
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "util/table.hh"
+
+using namespace cllm;
+
+int
+main()
+{
+    core::Experiment exp;
+    const hw::CpuSpec cpu = hw::emr1();
+    const llm::ModelConfig model = llm::llama2_7b();
+
+    // Throughput configuration: batch 6, beam 4 (paper Fig. 4).
+    llm::RunParams tput;
+    tput.batch = 6;
+    tput.beam = 4;
+    tput.inLen = 1024;
+    tput.outLen = 128;
+    tput.sockets = 1;
+    tput.cores = cpu.coresPerSocket;
+
+    // Latency configuration: batch 1, beam 1.
+    llm::RunParams lat = tput;
+    lat.batch = 1;
+    lat.beam = 1;
+
+    const auto backends = {core::Backend::Bare, core::Backend::Vm,
+                           core::Backend::Sgx, core::Backend::Tdx};
+
+    const auto base_t = exp.runCpu(cpu, core::Backend::Bare, model, tput);
+    const auto base_l = exp.runCpu(cpu, core::Backend::Bare, model, lat);
+
+    std::cout << "Llama2-7B bf16 on " << cpu.name << " (single socket)\n\n";
+    Table table({"backend", "tput [tok/s]", "tput overhead",
+                 "latency [ms/tok]", "latency overhead"});
+    for (core::Backend b : backends) {
+        const auto rt = exp.runCpu(cpu, b, model, tput);
+        const auto rl = exp.runCpu(cpu, b, model, lat);
+        const auto ct = core::Experiment::compare(rt, base_t);
+        const auto cl = core::Experiment::compare(rl, base_l);
+        table.addRow({rt.backend, fmt(rt.timing.decodeTput),
+                      fmtPct(ct.tputOverheadPct),
+                      fmt(1e3 * rl.timing.meanTokenLatency),
+                      fmtPct(cl.latencyOverheadPct)});
+    }
+    table.print(std::cout);
+
+    // GPU side (paper Fig. 11 conditions).
+    const hw::GpuSpec gpu = hw::h100Nvl();
+    llm::GpuRunParams g;
+    g.batch = 16;
+    g.inLen = 512;
+    g.outLen = 128;
+    const auto graw = exp.runGpu(gpu, model, g);
+    g.confidential = true;
+    const auto gcc = exp.runGpu(gpu, model, g);
+    const auto gc = core::Experiment::compare(gcc, graw);
+
+    std::cout << "\n"
+              << gpu.name << " batch 16, input 512:\n"
+              << "  raw GPU: " << fmt(graw.timing.decodeTput)
+              << " tok/s, cGPU: " << fmt(gcc.timing.decodeTput)
+              << " tok/s (overhead " << fmtPct(gc.tputOverheadPct)
+              << ")\n";
+    return 0;
+}

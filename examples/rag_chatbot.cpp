@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Confidential RAG chatbot (Section VI): builds a document corpus in
+ * an ElasticLite index, retrieves context for a question with all
+ * three methods (BM25, reranked BM25, dense SBERT), generates an
+ * answer with the functional TinyLlama runtime over the retrieved
+ * context, and prices the retrieval under TDX versus bare metal.
+ */
+
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "llm/runtime.hh"
+#include "llm/tokenizer.hh"
+#include "rag/rag_pipeline.hh"
+#include "util/table.hh"
+
+using namespace cllm;
+
+int
+main()
+{
+    // A small synthetic knowledge base.
+    rag::BeirConfig cfg;
+    cfg.numDocs = 500;
+    cfg.numQueries = 20;
+    cfg.seed = 2026;
+    const rag::BeirDataset dataset = rag::generateBeir(cfg);
+    rag::RagPipeline pipeline(dataset);
+
+    std::cout << "indexed " << pipeline.store().size() << " documents ("
+              << pipeline.store().indexBytes() / 1024 << " KiB index)\n\n";
+
+    // Ask one of the benchmark questions with each method.
+    const std::string question = dataset.queries.front().text;
+    std::cout << "question: \"" << question << "\"\n";
+    for (auto method : {rag::RagMethod::Bm25, rag::RagMethod::RerankedBm25,
+                        rag::RagMethod::Sbert}) {
+        const auto hits = pipeline.retrieve(method, question, 3);
+        std::cout << "  " << rag::ragMethodName(method) << " top hit: ";
+        if (hits.empty()) {
+            std::cout << "(none)\n";
+            continue;
+        }
+        std::cout << "doc " << hits.front().id << " \""
+                  << pipeline.store().doc(hits.front().id).title
+                  << "\"\n";
+    }
+
+    // Generate an answer from the retrieved context with the
+    // functional runtime (laptop-scale weights, byte tokenizer).
+    llm::ModelConfig tiny;
+    tiny.name = "tiny-llama";
+    tiny.layers = 2;
+    tiny.hidden = 64;
+    tiny.heads = 4;
+    tiny.kvHeads = 2;
+    tiny.ffn = 128;
+    tiny.vocab = llm::ByteTokenizer::kVocabSize;
+    llm::TinyLlama model(tiny, hw::Dtype::Bf16, 7);
+    llm::ByteTokenizer tok;
+
+    const auto best =
+        pipeline.retrieve(rag::RagMethod::RerankedBm25, question, 1);
+    const std::string context =
+        best.empty() ? "" : pipeline.store().doc(best.front().id).body;
+    const std::string prompt =
+        "context: " + context.substr(0, 96) + "\nq: " + question + "\na:";
+    const auto answer_tokens =
+        model.generateGreedy(tok.encode(prompt), 24);
+    std::cout << "\ngenerated (random weights, demo): \""
+              << tok.decode(answer_tokens) << "\"\n\n";
+
+    // Price the full benchmark per method under TDX vs bare metal.
+    const hw::CpuSpec cpu = hw::emr2();
+    const auto bare = tee::makeBareMetal();
+    const auto tdx = tee::makeTdx();
+    Table t({"method", "nDCG@10", "bare [ms/q]", "TDX [ms/q]",
+             "overhead"});
+    for (auto method : {rag::RagMethod::Bm25, rag::RagMethod::RerankedBm25,
+                        rag::RagMethod::Sbert}) {
+        const auto eval = pipeline.evaluate(method);
+        const auto tb = rag::priceRagRun(cpu, *bare, eval,
+                                         pipeline.store().indexBytes(),
+                                         8);
+        const auto tt = rag::priceRagRun(cpu, *tdx, eval,
+                                         pipeline.store().indexBytes(),
+                                         8);
+        t.addRow({rag::ragMethodName(method), fmt(eval.ndcg10, 3),
+                  fmt(1e3 * tb.meanQuerySeconds, 3),
+                  fmt(1e3 * tt.meanQuerySeconds, 3),
+                  fmtPct(100.0 * (tt.meanQuerySeconds /
+                                      tb.meanQuerySeconds -
+                                  1.0))});
+    }
+    t.print(std::cout);
+    return 0;
+}

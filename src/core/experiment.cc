@@ -1,0 +1,110 @@
+#include "core/experiment.hh"
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace cllm::core {
+
+const char *
+backendName(Backend b)
+{
+    switch (b) {
+      case Backend::Bare:
+        return "bare";
+      case Backend::Vm:
+        return "VM";
+      case Backend::VmTh:
+        return "VM TH";
+      case Backend::VmNb:
+        return "VM NB";
+      case Backend::Sgx:
+        return "SGX";
+      case Backend::Tdx:
+        return "TDX";
+    }
+    return "?";
+}
+
+std::unique_ptr<tee::TeeBackend>
+makeBackend(Backend b)
+{
+    switch (b) {
+      case Backend::Bare:
+        return tee::makeBareMetal();
+      case Backend::Vm:
+        return tee::makeVm();
+      case Backend::VmTh: {
+        tee::VmConfig cfg;
+        cfg.hugepages1G = false;
+        return tee::makeVm(cfg);
+      }
+      case Backend::VmNb: {
+        tee::VmConfig cfg;
+        cfg.numaBound = false;
+        return tee::makeVm(cfg);
+      }
+      case Backend::Sgx:
+        return tee::makeSgx();
+      case Backend::Tdx:
+        return tee::makeTdx();
+    }
+    cllm_panic("unknown Backend");
+}
+
+Experiment::Experiment() = default;
+
+ExperimentResult
+Experiment::runCpu(const hw::CpuSpec &cpu, Backend backend,
+                   const llm::ModelConfig &model,
+                   const llm::RunParams &params) const
+{
+    const auto be = makeBackend(backend);
+    ExperimentResult r;
+    r.backend = be->name();
+    r.timing = cpuModel_.run(cpu, *be, model, params);
+    return r;
+}
+
+ExperimentResult
+Experiment::runGpu(const hw::GpuSpec &gpu, const llm::ModelConfig &model,
+                   const llm::GpuRunParams &params) const
+{
+    ExperimentResult r;
+    r.backend = params.confidential ? "cGPU" : "GPU";
+    r.timing = gpuModel_.run(gpu, model, params);
+    return r;
+}
+
+OverheadReport
+Experiment::compare(const ExperimentResult &result,
+                    const ExperimentResult &baseline)
+{
+    OverheadReport rep;
+    rep.name = result.backend;
+    rep.baseline = baseline.backend;
+    rep.tputOverheadPct = overheadPct(baseline.timing.decodeTput,
+                                      result.timing.decodeTput);
+    rep.latencyOverheadPct = overheadPct(result.timing.meanTokenLatency,
+                                         baseline.timing.meanTokenLatency);
+    rep.e2eOverheadPct =
+        overheadPct(baseline.timing.e2eTput, result.timing.e2eTput);
+    return rep;
+}
+
+double
+Experiment::cpuCostPerMTokens(const ExperimentResult &r,
+                              const cost::CpuPricing &pricing,
+                              unsigned vcpus, double mem_gb)
+{
+    const double hr = cost::cpuInstanceHr(pricing, vcpus, mem_gb);
+    return cost::costPerMTokens(r.timing.e2eTput, hr);
+}
+
+double
+Experiment::gpuCostPerMTokens(const ExperimentResult &r,
+                              const cost::GpuPricing &pricing)
+{
+    return cost::costPerMTokens(r.timing.e2eTput, pricing.instanceHr);
+}
+
+} // namespace cllm::core

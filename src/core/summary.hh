@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Table I generator: the paper's summary matrix comparing SGX, TDX,
+ * and cGPU across security, performance, and cost dimensions, built
+ * from the backends' SecurityProfile and canned overhead runs.
+ */
+
+#ifndef CLLM_CORE_SUMMARY_HH
+#define CLLM_CORE_SUMMARY_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace cllm::core {
+
+/** One row of the summary matrix. */
+struct SummaryRow
+{
+    std::string dimension;
+    std::string sgx;
+    std::string tdx;
+    std::string cgpu;
+};
+
+/**
+ * Build the Table I rows; `measured` controls whether to run the
+ * timing model for the overhead row (slower) or to cite the ranges.
+ */
+std::vector<SummaryRow> buildSummaryMatrix(bool measured = true);
+
+/** Render the matrix to a stream as an aligned table. */
+void printSummaryMatrix(std::ostream &os,
+                        const std::vector<SummaryRow> &rows);
+
+} // namespace cllm::core
+
+#endif // CLLM_CORE_SUMMARY_HH

@@ -1,0 +1,49 @@
+#include "cost/pricing.hh"
+
+#include "util/logging.hh"
+
+namespace cllm::cost {
+
+CpuPricing
+gcpSpotUsEast1()
+{
+    return {"GCP spot us-east1 (EMR)", 0.0088, 0.00118};
+}
+
+CpuPricing
+gcpSpotSprUsEast1()
+{
+    // "renting an almost 2x cheaper Sapphire Rapid" (Section V-D).
+    return {"GCP spot us-east1 (SPR)", 0.0047, 0.00118};
+}
+
+GpuPricing
+cgpuH100()
+{
+    return {"cGPU H100 (NCCads_H100_v5)", 10.50};
+}
+
+GpuPricing
+gpuH100()
+{
+    return {"GPU H100 (NCads_H100_v5)", 9.60};
+}
+
+double
+cpuInstanceHr(const CpuPricing &p, unsigned vcpus, double mem_gb)
+{
+    if (vcpus == 0 || mem_gb <= 0.0)
+        cllm_fatal("cpuInstanceHr: empty instance");
+    return p.vcpuHr * vcpus + p.memGbHr * mem_gb;
+}
+
+double
+costPerMTokens(double tokens_per_s, double instance_hr)
+{
+    if (tokens_per_s <= 0.0)
+        cllm_fatal("costPerMTokens: non-positive throughput");
+    const double seconds = 1e6 / tokens_per_s;
+    return instance_hr * seconds / 3600.0;
+}
+
+} // namespace cllm::cost

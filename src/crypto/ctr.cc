@@ -1,0 +1,35 @@
+#include "crypto/ctr.hh"
+
+namespace cllm::crypto {
+
+AesCtr::AesCtr(const AesKey &key) : aes_(key) {}
+
+void
+AesCtr::transform(std::uint64_t nonce, std::uint64_t counter,
+                  std::uint8_t *data, std::size_t len) const
+{
+    std::size_t off = 0;
+    std::uint64_t block_idx = counter;
+    while (off < len) {
+        AesBlock ks;
+        for (int i = 0; i < 8; ++i) {
+            ks[i] = static_cast<std::uint8_t>(nonce >> (56 - 8 * i));
+            ks[8 + i] = static_cast<std::uint8_t>(block_idx >> (56 - 8 * i));
+        }
+        aes_.encryptBlock(ks);
+        const std::size_t take = std::min<std::size_t>(16, len - off);
+        for (std::size_t i = 0; i < take; ++i)
+            data[off + i] ^= ks[i];
+        off += take;
+        ++block_idx;
+    }
+}
+
+void
+AesCtr::transform(std::uint64_t nonce, std::uint64_t counter,
+                  std::vector<std::uint8_t> &data) const
+{
+    transform(nonce, counter, data.data(), data.size());
+}
+
+} // namespace cllm::crypto

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * AES-128 counter-mode stream cipher. Encryption and decryption are the
+ * same keystream XOR; the counter block is built from a 64-bit nonce
+ * (e.g. a physical cache-line address in the MEE model, or a file
+ * offset in the FS shield) and a 64-bit block counter.
+ */
+
+#ifndef CLLM_CRYPTO_CTR_HH
+#define CLLM_CRYPTO_CTR_HH
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "crypto/aes.hh"
+
+namespace cllm::crypto {
+
+/**
+ * AES-CTR transformer bound to one key.
+ */
+class AesCtr
+{
+  public:
+    /** Bind to a key; the schedule is computed once. */
+    explicit AesCtr(const AesKey &key);
+
+    /**
+     * XOR `len` bytes with the keystream for (nonce, start_block).
+     * Encrypt and decrypt are identical. Data is processed in place.
+     *
+     * @param nonce caller-chosen 64-bit tweak; must be unique per key
+     *              per logical location (address / file offset)
+     * @param counter starting 64-bit block counter (a "version" in the
+     *                MEE model; bump it on every write)
+     */
+    void transform(std::uint64_t nonce, std::uint64_t counter,
+                   std::uint8_t *data, std::size_t len) const;
+
+    /** Convenience overload for vectors. */
+    void transform(std::uint64_t nonce, std::uint64_t counter,
+                   std::vector<std::uint8_t> &data) const;
+
+  private:
+    Aes128 aes_;
+};
+
+} // namespace cllm::crypto
+
+#endif // CLLM_CRYPTO_CTR_HH

@@ -1,0 +1,27 @@
+#include "hw/gpu.hh"
+
+namespace cllm::hw {
+
+double
+GpuSpec::peakOps(Dtype dtype) const
+{
+    switch (dtype) {
+      case Dtype::Fp32:
+        return fp32Flops;
+      case Dtype::Bf16:
+        return bf16Flops;
+      case Dtype::Int8:
+        return int8Ops;
+    }
+    return fp32Flops;
+}
+
+GpuSpec
+h100Nvl()
+{
+    GpuSpec g;
+    g.name = "H100 NVL 94GB";
+    return g;
+}
+
+} // namespace cllm::hw

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * GPU hardware description for the timing model: NVIDIA H100 NVL as
+ * used in the paper's Section V (94 GB HBM3, PCIe Gen5 host link,
+ * confidential-compute bounce buffer).
+ */
+
+#ifndef CLLM_HW_GPU_HH
+#define CLLM_HW_GPU_HH
+
+#include <string>
+
+#include "hw/cpu.hh"
+
+namespace cllm::hw {
+
+/** One GPU accelerator. */
+struct GpuSpec
+{
+    std::string name;
+    double bf16Flops = 990e12 * 0.5; //!< dense TFLOPs x efficiency
+    double int8Ops = 1980e12 * 0.5;
+    double fp32Flops = 67e12 * 0.6;
+    double hbmBwBytes = 3.35e12;     //!< HBM3 effective bandwidth
+    double hbmBytes = 94e9;
+    double pcieBwBytes = 55e9;       //!< Gen5 x16 effective
+    double kernelLaunchUs = 4.0;     //!< non-CC launch overhead
+
+    // Confidential-compute parameters (Section V-A).
+    double ccLaunchExtraUs = 12.0;   //!< encrypted command buffers
+    double ccBounceBwBytes = 4e9;    //!< encrypted PCIe bounce buffer
+    bool hbmEncrypted = false;       //!< H100: HBM is NOT encrypted
+
+    /** Peak ops for a dtype. */
+    double peakOps(Dtype dtype) const;
+};
+
+/** H100 NVL 94 GB (approx. $30,000). */
+GpuSpec h100Nvl();
+
+} // namespace cllm::hw
+
+#endif // CLLM_HW_GPU_HH

@@ -1,0 +1,118 @@
+#include "llm/collective.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cllm::llm {
+
+namespace {
+
+/** Bounds [begin, end) of chunk c when len splits into n chunks. */
+std::pair<std::size_t, std::size_t>
+chunkBounds(std::size_t len, unsigned n, unsigned c)
+{
+    const std::size_t base = len / n;
+    const std::size_t extra = len % n;
+    const std::size_t begin =
+        c * base + std::min<std::size_t>(c, extra);
+    const std::size_t size = base + (c < extra ? 1 : 0);
+    return {begin, begin + size};
+}
+
+} // namespace
+
+double
+ringAllReduceFactor(unsigned ranks)
+{
+    if (ranks == 0)
+        cllm_panic("ringAllReduceFactor: zero ranks");
+    return 2.0 * (ranks - 1) / static_cast<double>(ranks);
+}
+
+CollectiveStats
+ringAllReduce(std::vector<std::vector<float>> &ranks)
+{
+    CollectiveStats stats;
+    const unsigned n = static_cast<unsigned>(ranks.size());
+    if (n == 0)
+        cllm_fatal("ringAllReduce: no ranks");
+    const std::size_t len = ranks[0].size();
+    for (const auto &r : ranks) {
+        if (r.size() != len)
+            cllm_fatal("ringAllReduce: ragged buffers");
+    }
+    if (n == 1 || len == 0)
+        return stats;
+
+    // Phase 1: reduce-scatter. In step s, rank r sends its running
+    // chunk (r - s) mod n to rank (r + 1) mod n, which accumulates.
+    // Within a step, each (rank, chunk) cell is written at most once
+    // and never read after being written, so sequential processing
+    // matches the simultaneous exchange.
+    std::uint64_t sent_per_rank = 0;
+    for (unsigned s = 0; s + 1 < n; ++s) {
+        std::size_t max_chunk = 0;
+        for (unsigned r = 0; r < n; ++r) {
+            const unsigned dst = (r + 1) % n;
+            const unsigned chunk = (r + n - s % n) % n;
+            const auto [b, e] = chunkBounds(len, n, chunk);
+            for (std::size_t i = b; i < e; ++i)
+                ranks[dst][i] += ranks[r][i];
+            max_chunk = std::max(max_chunk, e - b);
+        }
+        sent_per_rank += max_chunk * sizeof(float);
+        ++stats.steps;
+    }
+
+    // Phase 2: all-gather. After reduce-scatter, rank r holds the
+    // complete sum of chunk (r + 1) mod n; circulate the finished
+    // chunks around the ring.
+    for (unsigned s = 0; s + 1 < n; ++s) {
+        std::size_t max_chunk = 0;
+        for (unsigned r = 0; r < n; ++r) {
+            const unsigned dst = (r + 1) % n;
+            const unsigned chunk = (r + 1 + n - s % n) % n;
+            const auto [b, e] = chunkBounds(len, n, chunk);
+            for (std::size_t i = b; i < e; ++i)
+                ranks[dst][i] = ranks[r][i];
+            max_chunk = std::max(max_chunk, e - b);
+        }
+        sent_per_rank += max_chunk * sizeof(float);
+        ++stats.steps;
+    }
+    stats.bytesSentPerRank = sent_per_rank;
+    return stats;
+}
+
+CollectiveStats
+ringAllGather(std::vector<std::vector<float>> &ranks)
+{
+    CollectiveStats stats;
+    const unsigned n = static_cast<unsigned>(ranks.size());
+    if (n == 0)
+        cllm_fatal("ringAllGather: no ranks");
+    if (n == 1)
+        return stats;
+
+    // Concatenate in rank order; each rank forwards every piece it
+    // has not originated, so per-rank traffic is the sum of the other
+    // ranks' contributions (circulated over n-1 steps).
+    std::vector<float> all;
+    std::uint64_t other_bytes = 0;
+    for (unsigned r = 0; r < n; ++r) {
+        all.insert(all.end(), ranks[r].begin(), ranks[r].end());
+        other_bytes += ranks[r].size() * sizeof(float);
+    }
+    // Every rank sends its own buffer n-1 times in a naive ring, but
+    // the pipelined ring forwards each chunk once per hop: per-rank
+    // sent bytes = total payload minus its own contribution.
+    for (unsigned r = 0; r < n; ++r)
+        ranks[r] = all;
+    stats.steps = n - 1;
+    stats.bytesSentPerRank =
+        other_bytes - other_bytes / n; // approximately uniform shares
+    return stats;
+}
+
+} // namespace cllm::llm

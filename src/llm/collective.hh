@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Functional collective operations over simulated ranks. The cluster
+ * timing model (perf_cluster) prices tensor-parallel all-reduces with
+ * the textbook ring factor 2*(n-1)/n; this module implements the
+ * actual algorithm (reduce-scatter + all-gather over chunked
+ * buffers), both to have a correct reference and to let the tests
+ * check that the priced traffic equals what the algorithm really
+ * moves.
+ */
+
+#ifndef CLLM_LLM_COLLECTIVE_HH
+#define CLLM_LLM_COLLECTIVE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace cllm::llm {
+
+/** Traffic accounting for one collective. */
+struct CollectiveStats
+{
+    std::uint64_t bytesSentPerRank = 0; //!< on-wire bytes each rank sent
+    unsigned steps = 0;                 //!< communication rounds
+};
+
+/**
+ * In-place ring all-reduce (sum) across `ranks[i]` buffers, which
+ * must all have the same length. After the call every rank holds the
+ * elementwise sum.
+ */
+CollectiveStats
+ringAllReduce(std::vector<std::vector<float>> &ranks);
+
+/**
+ * In-place all-gather: rank i contributes its buffer; afterwards
+ * every rank holds the concatenation (in rank order).
+ */
+CollectiveStats
+ringAllGather(std::vector<std::vector<float>> &ranks);
+
+/** The ring all-reduce per-rank traffic factor: 2*(n-1)/n. */
+double ringAllReduceFactor(unsigned ranks);
+
+} // namespace cllm::llm
+
+#endif // CLLM_LLM_COLLECTIVE_HH

@@ -1,0 +1,63 @@
+#include "llm/framework.hh"
+
+namespace cllm::llm {
+
+double
+FrameworkProfile::effectiveComputeEff(hw::Dtype dtype) const
+{
+    return dtype == hw::Dtype::Int8 ? int8ComputeEff : computeEff;
+}
+
+FrameworkProfile
+ipex()
+{
+    FrameworkProfile f;
+    f.name = "IPEX";
+    return f;
+}
+
+FrameworkProfile
+hfTransformers()
+{
+    FrameworkProfile f;
+    f.name = "HF";
+    f.supportsAmx = false;
+    f.computeEff = 0.22;
+    f.int8ComputeEff = 0.08;
+    f.prefillEff = 0.16;
+    f.memEff = 0.48;
+    f.actTrafficFactor = 1.8; // eager-mode temporaries
+    f.numaAware = false;
+    return f;
+}
+
+FrameworkProfile
+vllmCpu()
+{
+    FrameworkProfile f;
+    f.name = "vLLM";
+    f.supportsAmx = false;
+    f.computeEff = 0.32;
+    f.int8ComputeEff = 0.12;
+    f.prefillEff = 0.22;
+    f.memEff = 0.70;
+    f.actTrafficFactor = 1.2;
+    return f;
+}
+
+FrameworkProfile
+llamaCpp()
+{
+    FrameworkProfile f;
+    f.name = "Llama.cpp";
+    f.supportsAmx = false;
+    f.computeEff = 0.30;
+    f.int8ComputeEff = 0.25;
+    f.prefillEff = 0.10;      // no AMX: prefill pays the most
+    f.memEff = 0.70;
+    f.weightBytesPerParam = 0.56; // mixed Q4_K-style quantization
+    f.numaAware = false;
+    return f;
+}
+
+} // namespace cllm::llm

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Inference-framework efficiency profiles for the paper's Figure 3
+ * microbenchmark: Hugging Face transformers, vLLM (CPU), IPEX, and
+ * llama.cpp. Each profile captures how much of the machine's peak
+ * compute and bandwidth the framework's kernels achieve, whether it
+ * uses AMX, and its weight storage format.
+ */
+
+#ifndef CLLM_LLM_FRAMEWORK_HH
+#define CLLM_LLM_FRAMEWORK_HH
+
+#include <string>
+
+#include "hw/cpu.hh"
+
+namespace cllm::llm {
+
+/** Efficiency profile of one inference stack. */
+struct FrameworkProfile
+{
+    std::string name = "IPEX";
+    bool supportsAmx = true;
+    /** Fraction of peak matmul throughput achieved in decode. */
+    double computeEff = 0.45;
+    /** Per-dtype adjustment on computeEff. */
+    double int8ComputeEff = 0.15;  //!< quant kernels are less tuned
+    /** Fraction of peak achieved in prefill (large GEMMs, but python
+     *  orchestration and attention materialization cost). */
+    double prefillEff = 0.12;
+    /** Fraction of stream bandwidth achieved. */
+    double memEff = 0.85;
+    /** Multiplier on intermediate-activation traffic. */
+    double actTrafficFactor = 1.0;
+    /** Weight bytes per parameter override; 0 = use dtype size. */
+    double weightBytesPerParam = 0.0;
+    /** Whether the stack pins threads and uses oneCCL-style NUMA
+     *  sharding across sockets. */
+    bool numaAware = true;
+
+    /** Effective compute efficiency for a dtype. */
+    double effectiveComputeEff(hw::Dtype dtype) const;
+};
+
+/** Intel Extension for PyTorch: AMX + oneCCL, the paper's choice. */
+FrameworkProfile ipex();
+/** Hugging Face transformers (eager PyTorch). */
+FrameworkProfile hfTransformers();
+/** vLLM CPU backend. */
+FrameworkProfile vllmCpu();
+/** llama.cpp with mixed-precision (Q4-ish) weights. */
+FrameworkProfile llamaCpp();
+
+} // namespace cllm::llm
+
+#endif // CLLM_LLM_FRAMEWORK_HH

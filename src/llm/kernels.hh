@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Functional compute kernels of the inference runtime: blocked GEMM,
+ * RMSNorm, softmax, rotary position embeddings, SiLU, bfloat16
+ * emulation, and weight-only int8 quantization. These are the real
+ * numerics behind the op graph the timing model prices; the unit
+ * tests validate them against naive references and the quantization
+ * error bounds.
+ */
+
+#ifndef CLLM_LLM_KERNELS_HH
+#define CLLM_LLM_KERNELS_HH
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "llm/tensor.hh"
+
+namespace cllm::llm {
+
+/**
+ * C = A (m x k) * B (k x n), cache-blocked. C is overwritten.
+ */
+void gemm(const Tensor &a, const Tensor &b, Tensor &c);
+
+/**
+ * y = W (rows x cols) * x (cols), the decode-path workhorse.
+ * y must have `rows` elements.
+ */
+void matvec(const Tensor &w, const float *x, float *y);
+
+/**
+ * C = A (m x k) * B^T where B is (n x k) — the batched-decode path:
+ * activations row-major times a weight matrix stored [out x in].
+ */
+void gemmTransB(const Tensor &a, const Tensor &b, Tensor &c);
+
+/** RMSNorm: y_i = x_i / rms(x) * w_i. */
+void rmsnorm(const float *x, const float *weight, float *y,
+             std::size_t n, float eps = 1e-5f);
+
+/** In-place numerically-stable softmax over n elements. */
+void softmaxInPlace(float *x, std::size_t n);
+
+/**
+ * Apply rotary position embeddings to one head vector of even size
+ * `head_dim` at position `pos` (Llama convention, theta = 10000).
+ */
+void applyRope(float *vec, std::size_t head_dim, std::size_t pos,
+               float theta = 10000.0f);
+
+/** SiLU activation x * sigmoid(x), elementwise. */
+void siluInPlace(float *x, std::size_t n);
+
+/** Round a float to bfloat16 precision (round-to-nearest-even). */
+float toBf16(float x);
+
+/** Round every element of a tensor to bfloat16 precision. */
+void quantizeBf16(Tensor &t);
+
+/**
+ * Weight-only int8 quantization with per-row scales (symmetric).
+ */
+struct QuantizedTensor
+{
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::vector<std::int8_t> data;  //!< row-major quantized weights
+    std::vector<float> scales;      //!< one scale per row
+
+    /** Quantize from float. */
+    static QuantizedTensor quantize(const Tensor &w);
+
+    /** Dequantize back to float (for error analysis). */
+    Tensor dequantize() const;
+};
+
+/** y = Wq * x with on-the-fly dequantization (int32 accumulate). */
+void matvecQuantized(const QuantizedTensor &w, const float *x, float *y);
+
+} // namespace cllm::llm
+
+#endif // CLLM_LLM_KERNELS_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Per-operator FLOP/byte profiles of a decoder block, powering both
+ * the roofline timing and the paper's Figure 7 per-block breakdown.
+ * Counts follow the standard dense-transformer accounting (2 FLOPs
+ * per multiply-accumulate); bytes separate weight traffic (shared
+ * across a batch) from per-sequence activation and KV-cache traffic.
+ */
+
+#ifndef CLLM_LLM_OPS_HH
+#define CLLM_LLM_OPS_HH
+
+#include <string>
+#include <vector>
+
+#include "hw/cpu.hh"
+#include "llm/model_config.hh"
+
+namespace cllm::llm {
+
+/** Operator kinds inside one decoder block (plus model-level ops). */
+enum class OpKind
+{
+    InputNorm,
+    QkvProj,
+    Rope,
+    Attention,
+    OutProj,
+    PostNorm,
+    Router,     //!< MoE gating projection
+    GateUpProj, //!< the paper's "linear SiLU multiplication" input
+    SiluMul,
+    DownProj,
+    Embed,
+    FinalNorm,
+    LmHead,
+};
+
+/** Printable operator name. */
+const char *opName(OpKind k);
+
+/** FLOPs and traffic of one operator for ONE new token. */
+struct OpProfile
+{
+    OpKind kind{};
+    double flopsPerSeq = 0.0;   //!< per sequence in the batch
+    double weightBytes = 0.0;   //!< read once per step, batch-shared
+    double actBytesPerSeq = 0.0;//!< activations read+written
+    double kvBytesPerSeq = 0.0; //!< KV cache read+appended
+};
+
+/**
+ * Operator profiles for ONE decoder block during decode at context
+ * position `pos` (0-based length of the attended prefix). For MoE
+ * models, `nseq` (concurrent sequences) determines how many distinct
+ * experts the step streams from memory.
+ */
+std::vector<OpProfile> blockDecodeOps(const ModelConfig &m,
+                                      hw::Dtype dtype, double pos,
+                                      double nseq = 1.0);
+
+/** Model-level ops outside the blocks (embed, final norm, LM head). */
+std::vector<OpProfile> topLevelDecodeOps(const ModelConfig &m,
+                                         hw::Dtype dtype);
+
+/** Aggregate totals for one decode step of the whole model. */
+struct StepTotals
+{
+    double flopsPerSeq = 0.0;
+    double weightBytes = 0.0;
+    double actBytesPerSeq = 0.0;
+    double kvBytesPerSeq = 0.0;
+    unsigned opCount = 0;       //!< kernel launches per step
+};
+
+/** Sum block ops over all layers plus top-level ops. */
+StepTotals stepTotals(const ModelConfig &m, hw::Dtype dtype, double pos,
+                      double nseq = 1.0);
+
+} // namespace cllm::llm
+
+#endif // CLLM_LLM_OPS_HH

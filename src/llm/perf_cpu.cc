@@ -1,0 +1,323 @@
+#include "llm/perf_cpu.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mem/numa.hh"
+#include "mem/tlb.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace cllm::llm {
+
+CpuPerfModel::CpuPerfModel(CpuPerfConfig cfg) : cfg_(cfg) {}
+
+namespace {
+
+/** Roofline with partial overlap of the shorter leg. */
+double
+rooflineTime(double t_comp, double t_mem, double beta)
+{
+    return std::max(t_comp, t_mem) + beta * std::min(t_comp, t_mem);
+}
+
+/** Weight bytes per parameter for a run. */
+double
+weightBytesPerParam(const RunParams &p)
+{
+    if (p.framework.weightBytesPerParam > 0.0)
+        return p.framework.weightBytesPerParam;
+    return hw::dtypeBytes(p.dtype);
+}
+
+} // namespace
+
+double
+CpuPerfModel::effectiveBandwidth(const hw::CpuSpec &cpu,
+                                 const tee::ExecTax &tax,
+                                 const RunParams &params,
+                                 double working_set_bytes,
+                                 double context_depth) const
+{
+    // NUMA placement: what the environment actually does with the
+    // binding request, amplified by framework NUMA awareness.
+    mem::NumaConfig ncfg = cpu.numa;
+    ncfg.upiEncrypted = tax.upiEncrypted;
+    mem::NumaModel numa(ncfg);
+    mem::NumaPlacement placement = tax.placement;
+    if (!params.framework.numaAware &&
+        placement == mem::NumaPlacement::Local) {
+        placement = mem::NumaPlacement::Unbound;
+    }
+    const mem::NumaEffective eff = numa.effective(placement,
+                                                  params.sockets);
+
+    // Bandwidth ramps with active cores per socket (concave).
+    const unsigned cores = params.cores
+                               ? params.cores
+                               : params.sockets * cpu.coresPerSocket;
+    const double cores_per_socket =
+        static_cast<double>(cores) / params.sockets;
+    const double ramp =
+        1.0 - std::exp(-cores_per_socket / cfg_.bwSaturationCores);
+
+    double bw = eff.bandwidthBytes * ramp * params.framework.memEff;
+
+    // Translation (TLB/EPT) tax. The scattered-access share of the
+    // traffic grows with the KV cache's share of the working set:
+    // weight streaming is sequential, KV gathers are block-random.
+    mem::TlbModel tlb(cpu.tlb);
+    mem::AccessPattern pattern;
+    pattern.workingSetBytes =
+        static_cast<std::uint64_t>(working_set_bytes);
+    pattern.randomFraction = 0.008 + 0.030 * context_depth;
+    bw *= tlb.bandwidthFactor(bw, tax.effectivePage, tax.xlate, pattern);
+
+    // Memory-encryption tax (TME-MK / MEE).
+    bw *= tax.encBwFactor;
+
+    // Generic virtualization memory-path tax for any nested regime.
+    if (tax.xlate != mem::TranslationMode::Native)
+        bw *= 1.0 - cfg_.vmMemTax;
+
+    return bw;
+}
+
+DeploymentRates
+CpuPerfModel::rates(const hw::CpuSpec &cpu, const tee::TeeBackend &backend,
+                    const ModelConfig &model,
+                    const RunParams &params) const
+{
+    const bool amx = params.amx && params.framework.supportsAmx;
+    const double nseq = params.sequences();
+    const double final_ctx = params.inLen + params.outLen;
+
+    DeploymentRates r;
+    r.weightBytesPerParam = weightBytesPerParam(params);
+    r.actFactor = params.framework.actTrafficFactor *
+                  (amx ? 1.0 : cfg_.noAmxActFactor);
+
+    const double weight_bytes =
+        static_cast<double>(model.numParams()) * r.weightBytesPerParam;
+    const double kv_total =
+        nseq * model.kvBytesPerToken(params.dtype) * final_ctx;
+
+    tee::TeeRequest req;
+    req.sockets = params.sockets;
+    req.workingSetBytes =
+        static_cast<std::uint64_t>(weight_bytes + kv_total);
+    req.sncEnabled = params.sncEnabled;
+    r.tax = backend.tax(cpu, req);
+
+    const double context_depth = std::min(1.0, final_ctx / 4096.0);
+    r.bw = effectiveBandwidth(cpu, r.tax, params,
+                              weight_bytes + kv_total, context_depth);
+
+    const unsigned cores = params.cores
+                               ? params.cores
+                               : params.sockets * cpu.coresPerSocket;
+    const double peak = cpu.peakOps(params.dtype, amx, cores);
+    r.decodeRate = peak *
+                   params.framework.effectiveComputeEff(params.dtype) *
+                   r.tax.computeFactor;
+    r.prefillRate =
+        peak * params.framework.prefillEff * r.tax.computeFactor;
+    return r;
+}
+
+double
+CpuPerfModel::decodeStepSeconds(const DeploymentRates &r,
+                                const ModelConfig &model,
+                                const RunParams &params, double nseq,
+                                double pos) const
+{
+    const StepTotals tot =
+            stepTotals(model, params.dtype, pos, nseq);
+    const double flops = nseq * tot.flopsPerSeq;
+    const double weight_traffic =
+        tot.weightBytes *
+        (r.weightBytesPerParam / hw::dtypeBytes(params.dtype));
+    const double bytes =
+        weight_traffic +
+        nseq * (tot.actBytesPerSeq * r.actFactor + tot.kvBytesPerSeq);
+    const double t_comp = flops / r.decodeRate;
+    const double t_mem = bytes / r.bw + bytes * r.tax.extraSecPerByte;
+    const double op_factor =
+        params.dtype == hw::Dtype::Int8 ? 1.25 : 1.0;
+    return rooflineTime(t_comp, t_mem, cfg_.overlapBeta) +
+           tot.opCount * op_factor * r.tax.perOpFixedSec +
+           r.tax.perTokenFixedSec;
+}
+
+double
+CpuPerfModel::prefillSeconds(const DeploymentRates &r,
+                             const ModelConfig &model,
+                             const RunParams &params,
+                             unsigned in_len) const
+{
+    const double s = in_len;
+    const double flops =
+        2.0 * static_cast<double>(model.matmulParams()) * s +
+        2.0 * model.layers * model.hidden * s * s;
+    const double weight_bytes =
+        static_cast<double>(model.numParams()) * r.weightBytesPerParam;
+    const double kv_write = model.kvBytesPerToken(params.dtype) * s;
+    const StepTotals tot = stepTotals(model, params.dtype, s / 2.0);
+    const double bytes = weight_bytes +
+                         tot.actBytesPerSeq * s * r.actFactor * 0.25 +
+                         kv_write;
+    const double t_comp = flops / r.prefillRate;
+    const double t_mem = bytes / r.bw + bytes * r.tax.extraSecPerByte;
+    return rooflineTime(t_comp, t_mem, cfg_.overlapBeta) +
+           tot.opCount * r.tax.perOpFixedSec + r.tax.perTokenFixedSec;
+}
+
+
+TimingResult
+CpuPerfModel::run(const hw::CpuSpec &cpu, const tee::TeeBackend &backend,
+                  const ModelConfig &model, const RunParams &params) const
+{
+    if (params.sockets == 0 || params.sockets > cpu.sockets)
+        cllm_fatal("run: invalid socket count ", params.sockets);
+    if (params.batch == 0 || params.beam == 0 || params.outLen == 0)
+        cllm_fatal("run: batch, beam, and outLen must be positive");
+
+    const unsigned cores = params.cores
+                               ? params.cores
+                               : params.sockets * cpu.coresPerSocket;
+    if (cores > cpu.totalCores())
+        cllm_fatal("run: ", cores, " cores exceed machine capacity");
+
+    const bool amx = params.amx && params.framework.supportsAmx;
+    const double nseq = params.sequences();
+    const double wbpp = weightBytesPerParam(params);
+
+    // Working set: weights + full KV at final length + activations.
+    const double weight_bytes =
+        static_cast<double>(model.numParams()) * wbpp;
+    const double final_ctx = params.inLen + params.outLen;
+    const double kv_total = nseq * model.kvBytesPerToken(params.dtype) *
+                            final_ctx;
+    const double act_factor = params.framework.actTrafficFactor *
+                              (amx ? 1.0 : cfg_.noAmxActFactor);
+
+    tee::TeeRequest req;
+    req.sockets = params.sockets;
+    req.workingSetBytes =
+        static_cast<std::uint64_t>(weight_bytes + kv_total);
+    req.sncEnabled = params.sncEnabled;
+    const tee::ExecTax tax = backend.tax(cpu, req);
+
+    // Scattered-access share of traffic grows with how deep each
+    // sequence's KV context is (page-granular gathers over long
+    // contexts), not with how many sequences there are: batching
+    // APPENDS contiguous KV, longer contexts SCATTER reads.
+    const double context_depth = std::min(1.0, final_ctx / 4096.0);
+    const double bw = effectiveBandwidth(
+        cpu, tax, params, weight_bytes + kv_total, context_depth);
+
+    // Weight-only int8 inserts explicit dequantization kernels on the
+    // hot path, inflating the per-step operator count.
+    const double op_factor =
+        params.dtype == hw::Dtype::Int8 ? 1.25 : 1.0;
+
+    const double peak = cpu.peakOps(params.dtype, amx, cores);
+    const double decode_rate =
+        peak * params.framework.effectiveComputeEff(params.dtype) *
+        tax.computeFactor;
+    const double prefill_rate =
+        peak * params.framework.prefillEff * tax.computeFactor;
+
+    TimingResult result;
+    result.workingSetBytes = weight_bytes + kv_total;
+
+    // ---- Prefill ----------------------------------------------------
+    {
+        const double s = params.inLen;
+        // Matmul FLOPs for all prompt tokens plus quadratic attention.
+        const double flops =
+            params.batch *
+            (2.0 * static_cast<double>(model.matmulParams()) * s +
+             2.0 * model.layers * model.hidden * s * s);
+        const double kv_write =
+            params.batch * model.kvBytesPerToken(params.dtype) * s;
+        const StepTotals tot = stepTotals(model, params.dtype, s / 2.0);
+        const double bytes = weight_bytes +
+                             params.batch * tot.actBytesPerSeq * s *
+                                 act_factor * 0.25 +
+                             kv_write;
+        const double t_comp = flops / prefill_rate;
+        const double t_mem = bytes / bw + bytes * tax.extraSecPerByte;
+        result.prefillSeconds =
+            rooflineTime(t_comp, t_mem, cfg_.overlapBeta) +
+            tot.opCount * tax.perOpFixedSec +
+            params.batch * tax.perTokenFixedSec;
+    }
+
+    // ---- Decode loop -------------------------------------------------
+    Rng rng(params.seed);
+    double decode_total = 0.0;
+    double last_tc = 0.0, last_tm = 0.0;
+    for (unsigned step = 0; step < params.outLen; ++step) {
+        const double pos = params.inLen + step;
+        const StepTotals tot =
+            stepTotals(model, params.dtype, pos, nseq);
+        const double flops = nseq * tot.flopsPerSeq;
+        // Weights are batch-shared; KV and activations are per-seq.
+        const double weight_traffic =
+            tot.weightBytes * (wbpp / hw::dtypeBytes(params.dtype));
+        const double bytes = weight_traffic +
+                             nseq * (tot.actBytesPerSeq * act_factor +
+                                     tot.kvBytesPerSeq);
+        const double t_comp = flops / decode_rate;
+        const double t_mem = bytes / bw + bytes * tax.extraSecPerByte;
+        double t = rooflineTime(t_comp, t_mem, cfg_.overlapBeta) +
+                   tot.opCount * op_factor * tax.perOpFixedSec +
+                   tax.perTokenFixedSec;
+        last_tc = t_comp;
+        last_tm = t_mem;
+
+        // Per-token jitter and encryption-stall outliers.
+        t *= rng.lognormal(1.0, tax.noiseSigma);
+        if (tax.outlierProb > 0.0 && rng.chance(tax.outlierProb))
+            t *= tax.outlierScale;
+
+        result.tokenLatencies.push_back(t);
+        decode_total += t;
+    }
+    result.memoryBound = last_tm > last_tc;
+
+    const SampleSummary lat = summarize(result.tokenLatencies, 3.0);
+    result.meanTokenLatency = lat.mean;
+    result.decodeTput = params.batch / lat.mean;
+    result.totalSeconds = result.prefillSeconds + decode_total;
+    result.e2eTput =
+        params.batch * params.outLen / result.totalSeconds;
+
+    // ---- Per-op attribution for one block (Figure 7) -----------------
+    {
+        const double pos = params.inLen + params.outLen / 2.0;
+        for (const auto &op :
+             blockDecodeOps(model, params.dtype, pos, nseq)) {
+            const double flops = nseq * op.flopsPerSeq;
+            const double bytes =
+                op.weightBytes * (wbpp / hw::dtypeBytes(params.dtype)) +
+                nseq * (op.actBytesPerSeq * act_factor +
+                        op.kvBytesPerSeq);
+            const double t_comp = flops / decode_rate;
+            const double t_mem = bytes / bw + bytes * tax.extraSecPerByte;
+            OpTiming ot;
+            ot.name = opName(op.kind);
+            ot.seconds = rooflineTime(t_comp, t_mem, cfg_.overlapBeta) +
+                         tax.perOpFixedSec;
+            ot.flops = flops;
+            ot.bytes = bytes;
+            result.blockBreakdown.push_back(std::move(ot));
+        }
+    }
+
+    return result;
+}
+
+} // namespace cllm::llm

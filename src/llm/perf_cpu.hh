@@ -1,0 +1,164 @@
+/**
+ * @file
+ * CPU inference timing model: a roofline with partial compute/memory
+ * overlap, fed by the op graph (ops.hh), the hardware description
+ * (hw/cpu.hh), and the execution-environment taxes (tee/backend.hh).
+ *
+ * The model reproduces the paper's CPU methodology: it generates
+ * per-token latency samples (with TEE-encryption jitter and outliers,
+ * Section III-D), reports user-perceived throughput and next-token
+ * latency, and can attribute decode time to individual decoder-block
+ * operators (Figure 7).
+ */
+
+#ifndef CLLM_LLM_PERF_CPU_HH
+#define CLLM_LLM_PERF_CPU_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/cpu.hh"
+#include "llm/framework.hh"
+#include "llm/model_config.hh"
+#include "llm/ops.hh"
+#include "tee/backend.hh"
+
+namespace cllm::llm {
+
+/** One inference run's operational parameters. */
+struct RunParams
+{
+    hw::Dtype dtype = hw::Dtype::Bf16;
+    unsigned batch = 1;
+    unsigned beam = 1;
+    unsigned inLen = 1024;
+    unsigned outLen = 128;
+    bool amx = true;
+    unsigned sockets = 1;      //!< sockets used
+    unsigned cores = 0;        //!< total cores; 0 = all in `sockets`
+    bool sncEnabled = false;
+    FrameworkProfile framework{};
+    std::uint64_t seed = 42;
+
+    /** Sequences materialized in the KV cache (batch x beam). */
+    unsigned sequences() const { return batch * beam; }
+};
+
+/** Timing attribution for one operator (Figure 7). */
+struct OpTiming
+{
+    std::string name;
+    double seconds = 0.0;  //!< per decode step, whole batch
+    double flops = 0.0;
+    double bytes = 0.0;
+};
+
+/** Result of a simulated inference run. */
+struct TimingResult
+{
+    double prefillSeconds = 0.0;
+    /** Per-decode-step wall times (noisy samples, one per token). */
+    std::vector<double> tokenLatencies;
+    /** Mean decode-step seconds (after Z>3 outlier filtering). */
+    double meanTokenLatency = 0.0;
+    /** User tokens per second in steady-state decode (batch/step). */
+    double decodeTput = 0.0;
+    /** End-to-end tokens/s including prefill ("first token"). */
+    double e2eTput = 0.0;
+    double totalSeconds = 0.0;
+    /** Decode-time attribution for one decoder block. */
+    std::vector<OpTiming> blockBreakdown;
+    double workingSetBytes = 0.0;
+    /** True when the decode loop was memory-bound at the last step. */
+    bool memoryBound = true;
+};
+
+/** Global knobs of the CPU timing model. */
+struct CpuPerfConfig
+{
+    /** Fraction of the shorter roofline leg not hidden by overlap. */
+    double overlapBeta = 0.15;
+    /** Per-socket core count delivering ~63% of stream bandwidth. */
+    double bwSaturationCores = 14.0;
+    /** Baseline VM memory-path tax (EPT maintenance, virtio). */
+    double vmMemTax = 0.018;
+    /** Activation-traffic multiplier when AMX is disabled. */
+    double noAmxActFactor = 1.6;
+};
+
+/**
+ * Precomputed per-deployment rates, for callers that price individual
+ * prefill/decode steps instead of whole runs (e.g. the serving
+ * simulator in src/serve).
+ */
+struct DeploymentRates
+{
+    double bw = 0.0;            //!< effective DRAM bytes/s
+    double decodeRate = 0.0;    //!< effective decode FLOP/s
+    double prefillRate = 0.0;   //!< effective prefill FLOP/s
+    double actFactor = 1.0;     //!< activation-traffic multiplier
+    double weightBytesPerParam = 2.0;
+    tee::ExecTax tax{};         //!< environment taxes
+};
+
+/**
+ * The CPU timing model.
+ */
+class CpuPerfModel
+{
+  public:
+    explicit CpuPerfModel(CpuPerfConfig cfg = {});
+
+    /**
+     * Simulate a run of `model` on `cpu` inside `backend`.
+     *
+     * @param cpu machine description
+     * @param backend execution environment (bare/VM/SGX/TDX)
+     * @param model transformer architecture
+     * @param params operational parameters
+     */
+    TimingResult run(const hw::CpuSpec &cpu,
+                     const tee::TeeBackend &backend,
+                     const ModelConfig &model,
+                     const RunParams &params) const;
+
+    /**
+     * Precompute the effective rates for a deployment; `params`
+     * supplies dtype/AMX/cores/sockets/framework and the *maximum*
+     * expected context (inLen + outLen) and batch for working-set
+     * sizing.
+     */
+    DeploymentRates rates(const hw::CpuSpec &cpu,
+                          const tee::TeeBackend &backend,
+                          const ModelConfig &model,
+                          const RunParams &params) const;
+
+    /** Seconds for one decode step of `nseq` sequences at `pos`. */
+    double decodeStepSeconds(const DeploymentRates &r,
+                             const ModelConfig &model,
+                             const RunParams &params, double nseq,
+                             double pos) const;
+
+    /** Seconds to prefill one request of `in_len` prompt tokens. */
+    double prefillSeconds(const DeploymentRates &r,
+                          const ModelConfig &model,
+                          const RunParams &params,
+                          unsigned in_len) const;
+
+    const CpuPerfConfig &config() const { return cfg_; }
+
+  private:
+    /** Effective achievable DRAM bandwidth for this run. */
+    double effectiveBandwidth(const hw::CpuSpec &cpu,
+                              const tee::ExecTax &tax,
+                              const RunParams &params,
+                              double working_set_bytes,
+                              double context_depth) const;
+
+    CpuPerfConfig cfg_;
+};
+
+} // namespace cllm::llm
+
+#endif // CLLM_LLM_PERF_CPU_HH

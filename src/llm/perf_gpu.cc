@@ -1,0 +1,106 @@
+#include "llm/perf_gpu.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace cllm::llm {
+
+GpuPerfModel::GpuPerfModel(GpuPerfConfig cfg) : cfg_(cfg) {}
+
+TimingResult
+GpuPerfModel::run(const hw::GpuSpec &gpu, const ModelConfig &model,
+                  const GpuRunParams &params) const
+{
+    if (params.batch == 0 || params.outLen == 0)
+        cllm_fatal("GPU run: batch and outLen must be positive");
+
+    const double weight_bytes = model.weightBytes(params.dtype);
+    const double final_ctx = params.inLen + params.outLen;
+    const double kv_total = params.batch *
+                            model.kvBytesPerToken(params.dtype) *
+                            final_ctx;
+    if (weight_bytes + kv_total > gpu.hbmBytes) {
+        cllm_fatal("model + KV cache (",
+                   (weight_bytes + kv_total) / 1e9,
+                   " GB) exceed GPU memory of ", gpu.hbmBytes / 1e9,
+                   " GB");
+    }
+
+    const tee::GpuTax tax =
+        params.confidential ? tee::cgpuTax(gpu) : tee::GpuTax{};
+    const double launch_s =
+        gpu.kernelLaunchUs * 1e-6 + tax.launchExtraSec;
+    const double host_bw = params.confidential && tax.hostLinkBwBytes > 0
+                               ? tax.hostLinkBwBytes
+                               : gpu.pcieBwBytes;
+
+    const double rate = gpu.peakOps(params.dtype) * cfg_.computeEff;
+    const double bw = gpu.hbmBwBytes * cfg_.memEff * tax.hbmBwFactor;
+
+    TimingResult result;
+    result.workingSetBytes = weight_bytes + kv_total;
+
+    // ---- Prefill -----------------------------------------------------
+    {
+        const double s = params.inLen;
+        const double flops =
+            params.batch *
+            (2.0 * static_cast<double>(model.matmulParams()) * s +
+             2.0 * model.layers * model.hidden * s * s);
+        const double bytes =
+            weight_bytes +
+            params.batch * model.kvBytesPerToken(params.dtype) * s;
+        const double t_comp = flops / rate;
+        const double t_mem = bytes / bw;
+        // Prompt upload crosses the (possibly encrypted) host link.
+        const double host_bytes = params.batch * s * 4.0;
+        result.prefillSeconds =
+            std::max(t_comp, t_mem) +
+            cfg_.overlapBeta * std::min(t_comp, t_mem) +
+            cfg_.launchesPerStep * launch_s + host_bytes / host_bw;
+    }
+
+    // ---- Decode ------------------------------------------------------
+    Rng rng(params.seed);
+    double decode_total = 0.0;
+    double last_tc = 0.0, last_tm = 0.0;
+    for (unsigned step = 0; step < params.outLen; ++step) {
+        const double pos = params.inLen + step;
+        const double flops =
+            params.batch *
+            (2.0 * static_cast<double>(model.matmulParams()) +
+             4.0 * model.layers * model.hidden * pos);
+        const double bytes =
+            weight_bytes + params.batch *
+                               model.kvBytesPerToken(params.dtype) *
+                               (pos + 1.0);
+        const double t_comp = flops / rate;
+        const double t_mem = bytes / bw;
+        const double host_bytes =
+            params.batch * cfg_.hostBytesPerToken;
+        double t = std::max(t_comp, t_mem) +
+                   cfg_.overlapBeta * std::min(t_comp, t_mem) +
+                   cfg_.launchesPerStep * launch_s +
+                   host_bytes / host_bw;
+        last_tc = t_comp;
+        last_tm = t_mem;
+
+        t *= rng.lognormal(1.0, tax.noiseSigma);
+        result.tokenLatencies.push_back(t);
+        decode_total += t;
+    }
+    result.memoryBound = last_tm > last_tc;
+
+    const SampleSummary lat = summarize(result.tokenLatencies, 3.0);
+    result.meanTokenLatency = lat.mean;
+    result.decodeTput = params.batch / lat.mean;
+    result.totalSeconds = result.prefillSeconds + decode_total;
+    result.e2eTput = params.batch * params.outLen / result.totalSeconds;
+    return result;
+}
+
+} // namespace cllm::llm

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * GPU inference timing model for the paper's Section V: H100 (raw)
+ * versus confidential H100 (cGPU). The cGPU costs are the encrypted
+ * PCIe bounce buffer and extra kernel-launch latency; HBM itself is
+ * not encrypted on H100s, so unlike CPU TEEs there is no bandwidth
+ * tax on the critical decode path (Insight 10).
+ */
+
+#ifndef CLLM_LLM_PERF_GPU_HH
+#define CLLM_LLM_PERF_GPU_HH
+
+#include <cstdint>
+
+#include "hw/gpu.hh"
+#include "llm/model_config.hh"
+#include "llm/perf_cpu.hh"
+#include "tee/backend.hh"
+
+namespace cllm::llm {
+
+/** Operational parameters of a GPU run (vLLM-style serving). */
+struct GpuRunParams
+{
+    hw::Dtype dtype = hw::Dtype::Bf16;
+    unsigned batch = 1;
+    unsigned inLen = 128;
+    unsigned outLen = 128;
+    bool confidential = false;
+    std::uint64_t seed = 42;
+};
+
+/** Knobs of the GPU timing model. */
+struct GpuPerfConfig
+{
+    double overlapBeta = 0.10;
+    /** Kernel launches per decode step (CUDA-graph amortized). */
+    double launchesPerStep = 32.0;
+    /** Fraction of peak tensor throughput vLLM achieves. */
+    double computeEff = 0.55;
+    /** Fraction of HBM stream bandwidth achieved in decode. */
+    double memEff = 0.80;
+    /** Host<->device payload per token per sequence (ids/logits). */
+    double hostBytesPerToken = 64.0;
+};
+
+/**
+ * GPU timing model.
+ */
+class GpuPerfModel
+{
+  public:
+    explicit GpuPerfModel(GpuPerfConfig cfg = {});
+
+    /** Simulate a run; model memory must fit (checked). */
+    TimingResult run(const hw::GpuSpec &gpu, const ModelConfig &model,
+                     const GpuRunParams &params) const;
+
+    const GpuPerfConfig &config() const { return cfg_; }
+
+  private:
+    GpuPerfConfig cfg_;
+};
+
+} // namespace cllm::llm
+
+#endif // CLLM_LLM_PERF_GPU_HH

@@ -1,0 +1,29 @@
+#include "llm/tokenizer.hh"
+
+namespace cllm::llm {
+
+std::vector<TokenId>
+ByteTokenizer::encode(const std::string &text, bool add_bos) const
+{
+    std::vector<TokenId> out;
+    out.reserve(text.size() + 1);
+    if (add_bos)
+        out.push_back(kBos);
+    for (unsigned char c : text)
+        out.push_back(static_cast<TokenId>(c));
+    return out;
+}
+
+std::string
+ByteTokenizer::decode(const std::vector<TokenId> &tokens) const
+{
+    std::string out;
+    out.reserve(tokens.size());
+    for (TokenId t : tokens) {
+        if (t < 256)
+            out.push_back(static_cast<char>(t));
+    }
+    return out;
+}
+
+} // namespace cllm::llm

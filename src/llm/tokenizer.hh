@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Byte-level tokenizer for the functional runtime: every byte is a
+ * token, plus BOS/EOS specials. This keeps the vocabulary tiny (258)
+ * so laptop-scale models remain runnable while exercising the same
+ * embed -> decode -> sample pipeline as a production tokenizer.
+ */
+
+#ifndef CLLM_LLM_TOKENIZER_HH
+#define CLLM_LLM_TOKENIZER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cllm::llm {
+
+/** Token id type. */
+using TokenId = std::uint32_t;
+
+/**
+ * Byte-level tokenizer.
+ */
+class ByteTokenizer
+{
+  public:
+    static constexpr TokenId kBos = 256;
+    static constexpr TokenId kEos = 257;
+    static constexpr std::size_t kVocabSize = 258;
+
+    /** Encode text to tokens, optionally adding BOS. */
+    std::vector<TokenId> encode(const std::string &text,
+                                bool add_bos = true) const;
+
+    /** Decode tokens back to text; specials are skipped. */
+    std::string decode(const std::vector<TokenId> &tokens) const;
+
+    /** Vocabulary size including specials. */
+    std::size_t vocabSize() const { return kVocabSize; }
+};
+
+} // namespace cllm::llm
+
+#endif // CLLM_LLM_TOKENIZER_HH

@@ -1,0 +1,75 @@
+#include "mem/cache_sim.hh"
+
+#include "util/logging.hh"
+
+namespace cllm::mem {
+
+CacheSim::CacheSim(CacheConfig cfg) : cfg_(cfg)
+{
+    if (cfg_.lineBytes == 0 || (cfg_.lineBytes & (cfg_.lineBytes - 1)))
+        cllm_fatal("CacheSim: line size must be a power of two");
+    if (cfg_.ways == 0)
+        cllm_fatal("CacheSim: zero ways");
+    const std::uint64_t lines = cfg_.sizeBytes / cfg_.lineBytes;
+    if (lines == 0 || lines % cfg_.ways != 0)
+        cllm_fatal("CacheSim: size must hold a whole number of sets");
+    sets_ = lines / cfg_.ways;
+    lines_.resize(lines);
+}
+
+bool
+CacheSim::access(std::uint64_t addr)
+{
+    ++clock_;
+    const std::uint64_t line_addr = addr / cfg_.lineBytes;
+    const std::uint64_t set = line_addr % sets_;
+    const std::uint64_t tag = line_addr / sets_;
+    Line *base = lines_.data() + set * cfg_.ways;
+
+    Line *invalid = nullptr;
+    Line *lru = base;
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == tag) {
+            l.lastUse = clock_;
+            ++hits_;
+            return true;
+        }
+        if (!l.valid && !invalid)
+            invalid = &l;
+        if (l.lastUse < lru->lastUse)
+            lru = &l;
+    }
+    Line *victim = invalid ? invalid : lru;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = clock_;
+    ++misses_;
+    return false;
+}
+
+void
+CacheSim::accessRange(std::uint64_t addr, std::uint64_t bytes)
+{
+    const std::uint64_t first = addr / cfg_.lineBytes;
+    const std::uint64_t last = (addr + bytes - 1) / cfg_.lineBytes;
+    for (std::uint64_t l = first; l <= last; ++l)
+        access(l * cfg_.lineBytes);
+}
+
+double
+CacheSim::missRatio() const
+{
+    const std::uint64_t total = hits_ + misses_;
+    return total ? static_cast<double>(misses_) / total : 0.0;
+}
+
+void
+CacheSim::reset()
+{
+    for (auto &l : lines_)
+        l = Line{};
+    clock_ = hits_ = misses_ = 0;
+}
+
+} // namespace cllm::mem

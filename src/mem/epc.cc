@@ -1,0 +1,76 @@
+#include "mem/epc.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cllm::mem {
+
+EpcCache::EpcCache(std::uint64_t capacity_pages) : capacity_(capacity_pages)
+{
+    if (capacity_ == 0)
+        cllm_fatal("EpcCache with zero capacity");
+}
+
+bool
+EpcCache::access(std::uint64_t page_no)
+{
+    auto it = map_.find(page_no);
+    if (it != map_.end()) {
+        ++hits_;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return true;
+    }
+    ++misses_;
+    if (lru_.size() >= capacity_) {
+        const std::uint64_t victim = lru_.back();
+        lru_.pop_back();
+        map_.erase(victim);
+        ++evictions_;
+    }
+    lru_.push_front(page_no);
+    map_[page_no] = lru_.begin();
+    return false;
+}
+
+double
+EpcCache::missRatio() const
+{
+    const std::uint64_t total = hits_ + misses_;
+    return total ? static_cast<double>(misses_) / total : 0.0;
+}
+
+void
+EpcCache::reset()
+{
+    lru_.clear();
+    map_.clear();
+    hits_ = misses_ = evictions_ = 0;
+}
+
+double
+EpcCostModel::scanMissRatio(std::uint64_t working_set_bytes,
+                            std::uint64_t epc_bytes) const
+{
+    if (epc_bytes == 0)
+        cllm_fatal("EpcCostModel: zero EPC size");
+    if (working_set_bytes <= epc_bytes)
+        return 0.0;
+    // Cyclic scan through WS > EPC under LRU misses on (WS - EPC) of
+    // each pass plus the churn of reloading; model the classic sharp
+    // cliff with a smooth shoulder.
+    const double ws = static_cast<double>(working_set_bytes);
+    const double epc = static_cast<double>(epc_bytes);
+    return std::min(1.0, (ws - epc) / ws + 0.1);
+}
+
+double
+EpcCostModel::extraSecondsPerByte(std::uint64_t working_set_bytes,
+                                  std::uint64_t epc_bytes) const
+{
+    const double miss = scanMissRatio(working_set_bytes, epc_bytes);
+    constexpr double page = 4096.0;
+    return miss * (pageFaultUs * 1e-6) / page;
+}
+
+} // namespace cllm::mem

@@ -1,0 +1,98 @@
+#include "mem/numa.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cllm::mem {
+
+NumaModel::NumaModel(NumaConfig cfg) : cfg_(cfg)
+{
+    if (cfg_.nodes == 0)
+        cllm_fatal("NumaModel: zero nodes");
+}
+
+double
+NumaModel::remoteFraction(NumaPlacement placement) const
+{
+    const double n = static_cast<double>(cfg_.nodes);
+    switch (placement) {
+      case NumaPlacement::Local:
+        // Bound correctly; only activation hand-off crosses sockets.
+        return 0.03;
+      case NumaPlacement::Striped:
+        // Bindings ignored but first-touch keeps most pages local
+        // (the TDX KVM driver case, Insight 6).
+        return 0.25 * (n - 1.0) / n + 0.125;
+      case NumaPlacement::Interleaved:
+        // Pages round-robin: (n-1)/n of accesses land remote.
+        return (n - 1.0) / n;
+      case NumaPlacement::SingleNode:
+        // All pages on one node; threads on the other n-1 nodes are
+        // fully remote.
+        return (n - 1.0) / n;
+      case NumaPlacement::Unbound:
+        // First-touch scattered by the allocator plus migration churn.
+        return (n - 1.0) / n;
+    }
+    cllm_panic("unknown NumaPlacement");
+}
+
+NumaEffective
+NumaModel::effective(NumaPlacement placement,
+                     unsigned active_nodes) const
+{
+    NumaEffective out;
+    const unsigned nodes = std::min(active_nodes, cfg_.nodes);
+    if (nodes <= 1) {
+        out.remoteFraction = 0.0;
+        out.bandwidthBytes = cfg_.localBwBytes;
+        out.latencyNs = cfg_.localLatencyNs;
+        return out;
+    }
+
+    const double n = static_cast<double>(nodes);
+    const double upi_eff =
+        cfg_.upiBwBytes * (cfg_.upiEncrypted ? 1.0 - cfg_.upiCryptoTax
+                                             : 1.0);
+    const double r = remoteFraction(placement);
+    out.remoteFraction = r;
+
+    const double bound = n * cfg_.localBwBytes;
+    switch (placement) {
+      case NumaPlacement::Local:
+        out.bandwidthBytes = bound * (1.0 - 0.5 * r);
+        break;
+      case NumaPlacement::Striped:
+        // Local share proceeds at full speed; the remote share is
+        // funnelled through the links.
+        out.bandwidthBytes =
+            std::min(bound, (1.0 - r) * bound + n * upi_eff);
+        break;
+      case NumaPlacement::Interleaved:
+        // Each node streams (1-r) locally and r over the links.
+        out.bandwidthBytes =
+            std::min(bound, n * ((1.0 - r) * cfg_.localBwBytes + upi_eff));
+        break;
+      case NumaPlacement::SingleNode:
+        // One node's DRAM serves everyone; remote nodes are capped by
+        // the link.
+        out.bandwidthBytes =
+            std::min(cfg_.localBwBytes,
+                     cfg_.localBwBytes / n + (n - 1.0) * upi_eff / n);
+        break;
+      case NumaPlacement::Unbound:
+        // Interleaved-like traffic plus allocator/migration contention.
+        out.bandwidthBytes =
+            0.80 * std::min(bound, n * ((1.0 - r) * cfg_.localBwBytes +
+                                        upi_eff));
+        break;
+    }
+
+    const double remote_lat =
+        cfg_.remoteLatencyNs + (cfg_.upiEncrypted ? 18.0 : 0.0);
+    out.latencyNs = (1.0 - r) * cfg_.localLatencyNs + r * remote_lat;
+    return out;
+}
+
+} // namespace cllm::mem

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * NUMA topology and placement-policy model.
+ *
+ * Insight 6 of the paper: the TDX KVM driver ignores NUMA bindings and
+ * SGX presents all memory as one unified node, so multi-socket TEE
+ * deployments pay heavy remote-access penalties, amplified by the
+ * encrypted socket interconnect (UPI link crypto). This model computes
+ * the effective bandwidth/latency for a given placement policy and the
+ * remote-traffic fraction it implies.
+ */
+
+#ifndef CLLM_MEM_NUMA_HH
+#define CLLM_MEM_NUMA_HH
+
+#include <cstdint>
+
+namespace cllm::mem {
+
+/** How the runtime's memory ends up placed relative to its threads. */
+enum class NumaPlacement
+{
+    Local,        //!< bound correctly; allocations follow threads
+    Striped,      //!< mostly first-touch local, bindings ignored (TDX)
+    Interleaved,  //!< pages spread round-robin over nodes
+    SingleNode,   //!< everything on one node (SGX unified view)
+    Unbound,      //!< first-touch gone wrong; worst-case mix
+};
+
+/** Physical topology parameters of a multi-socket machine. */
+struct NumaConfig
+{
+    unsigned nodes = 2;             //!< sockets (or sub-NUMA domains)
+    double localBwBytes = 300e9;    //!< per-node DRAM bandwidth
+    double upiBwBytes = 62e9;       //!< per-direction socket link
+    double localLatencyNs = 90.0;
+    double remoteLatencyNs = 145.0;
+    double upiCryptoTax = 0.08;     //!< multi-socket link encryption
+    bool upiEncrypted = false;      //!< TEE-mode link crypto enabled
+};
+
+/** Effective memory-system figures for a placement. */
+struct NumaEffective
+{
+    double remoteFraction = 0.0;   //!< share of traffic crossing links
+    double bandwidthBytes = 0.0;   //!< aggregate achievable bandwidth
+    double latencyNs = 0.0;        //!< average access latency
+};
+
+/**
+ * Computes effective bandwidth/latency for thread+memory placements.
+ */
+class NumaModel
+{
+  public:
+    explicit NumaModel(NumaConfig cfg = {});
+
+    /** Remote-traffic fraction implied by a placement policy. */
+    double remoteFraction(NumaPlacement placement) const;
+
+    /**
+     * Effective figures when compute uses `active_nodes` sockets.
+     * With one active node everything is local regardless of policy.
+     */
+    NumaEffective effective(NumaPlacement placement,
+                            unsigned active_nodes) const;
+
+    const NumaConfig &config() const { return cfg_; }
+
+  private:
+    NumaConfig cfg_;
+};
+
+} // namespace cllm::mem
+
+#endif // CLLM_MEM_NUMA_HH

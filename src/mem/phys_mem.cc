@@ -1,0 +1,35 @@
+#include "mem/phys_mem.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace cllm::mem {
+
+PhysMem::PhysMem(std::size_t lines) : data_(lines * kLineBytes, 0)
+{
+    if (lines == 0)
+        cllm_panic("PhysMem with zero lines");
+}
+
+CacheLine
+PhysMem::readLine(std::size_t line_idx) const
+{
+    if (line_idx >= lines())
+        cllm_panic("PhysMem read out of range: line ", line_idx);
+    CacheLine out;
+    std::memcpy(out.data(), data_.data() + line_idx * kLineBytes,
+                kLineBytes);
+    return out;
+}
+
+void
+PhysMem::writeLine(std::size_t line_idx, const CacheLine &line)
+{
+    if (line_idx >= lines())
+        cllm_panic("PhysMem write out of range: line ", line_idx);
+    std::memcpy(data_.data() + line_idx * kLineBytes, line.data(),
+                kLineBytes);
+}
+
+} // namespace cllm::mem

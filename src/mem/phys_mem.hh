@@ -1,0 +1,58 @@
+/**
+ * @file
+ * A flat simulated physical memory, addressed in cache lines. This is
+ * the substrate beneath the functional memory-encryption engine
+ * (MeeTree): the MEE stores ciphertext here while counters and MACs
+ * live in its tree. Deliberately small and dumb; performance modelling
+ * happens in the analytic layers, not here.
+ */
+
+#ifndef CLLM_MEM_PHYS_MEM_HH
+#define CLLM_MEM_PHYS_MEM_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace cllm::mem {
+
+/** Size of one cache line in bytes (fixed, as on all modern x86). */
+constexpr std::size_t kLineBytes = 64;
+
+/** One cache line of data. */
+using CacheLine = std::array<std::uint8_t, kLineBytes>;
+
+/**
+ * Byte-addressable simulated DRAM with line-granular accessors.
+ */
+class PhysMem
+{
+  public:
+    /** Allocate `lines` cache lines, zero-initialized. */
+    explicit PhysMem(std::size_t lines);
+
+    /** Number of cache lines. */
+    std::size_t lines() const { return data_.size() / kLineBytes; }
+
+    /** Total size in bytes. */
+    std::size_t sizeBytes() const { return data_.size(); }
+
+    /** Read one line by line index. */
+    CacheLine readLine(std::size_t line_idx) const;
+
+    /** Write one line by line index. */
+    void writeLine(std::size_t line_idx, const CacheLine &line);
+
+    /**
+     * Raw mutable access for tamper-injection in tests (models a
+     * physical attacker with a DIMM interposer).
+     */
+    std::uint8_t *raw() { return data_.data(); }
+
+  private:
+    std::vector<std::uint8_t> data_;
+};
+
+} // namespace cllm::mem
+
+#endif // CLLM_MEM_PHYS_MEM_HH

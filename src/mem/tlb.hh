@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Analytic TLB / address-translation cost model.
+ *
+ * The paper's Insights 6-7 trace a visible slice of TDX overhead to
+ * address translation: nested (guest -> host) EPT walks, and TDX
+ * silently downgrading 1 GiB hugepages to 2 MiB transparent hugepages,
+ * raising TLB pressure. This model turns (page size, walk nesting,
+ * working set, access pattern) into a bandwidth-degradation factor the
+ * roofline timing consumes.
+ */
+
+#ifndef CLLM_MEM_TLB_HH
+#define CLLM_MEM_TLB_HH
+
+#include <cstdint>
+
+namespace cllm::mem {
+
+/** Page sizes supported by the model. */
+enum class PageSize : std::uint64_t
+{
+    Page4K = 4ULL * 1024,
+    Page2M = 2ULL * 1024 * 1024,
+    Page1G = 1024ULL * 1024 * 1024,
+};
+
+/** Bytes of a PageSize. */
+constexpr std::uint64_t
+pageBytes(PageSize p)
+{
+    return static_cast<std::uint64_t>(p);
+}
+
+/** Address-translation regimes. */
+enum class TranslationMode
+{
+    Native,   //!< single-level page walk (bare metal, SGX data path)
+    Nested,   //!< guest + host EPT walk (plain VM)
+    NestedTdx,//!< nested walk plus TDX SEPT/PAMT checks
+};
+
+/** Configuration of the translation hardware and regime. */
+struct TlbConfig
+{
+    std::uint64_t stlbEntries = 2048;  //!< unified second-level TLB
+    double walkNs = 30.0;              //!< native walk latency (PWC hit)
+    double nestedFactor = 3.5;         //!< EPT walk blow-up
+    double tdxExtraFactor = 1.25;      //!< SEPT/PAMT checks on top
+    /** Fraction of a streaming walk's latency that is NOT hidden by
+     *  prefetch/out-of-order overlap. */
+    double streamVisibility = 0.05;
+    /** Fraction visible on scattered accesses (harder to hide). */
+    double randomVisibility = 0.26;
+    /** Granularity of one scattered access burst (KV block, page). */
+    double randomBlockBytes = 4096.0;
+};
+
+/** Characterization of a workload's memory accesses. */
+struct AccessPattern
+{
+    std::uint64_t workingSetBytes = 0; //!< touched per pass
+    double randomFraction = 0.02;      //!< line-granular scattered share
+};
+
+/**
+ * Analytic translation cost: extra seconds per byte of DRAM traffic.
+ */
+class TlbModel
+{
+  public:
+    explicit TlbModel(TlbConfig cfg = {});
+
+    /** TLB reach in bytes for a page size. */
+    std::uint64_t reach(PageSize page) const;
+
+    /** Effective walk latency (ns) for a translation mode. */
+    double walkLatencyNs(TranslationMode mode) const;
+
+    /**
+     * Fraction of random accesses missing the TLB: 0 when the working
+     * set fits in reach, approaching 1 as it dwarfs it.
+     */
+    double missProbability(PageSize page,
+                           const AccessPattern &pattern) const;
+
+    /**
+     * Extra translation seconds per byte of traffic. Streaming traffic
+     * pays one walk per page; the random fraction pays per cache line
+     * weighted by the miss probability.
+     */
+    double extraSecondsPerByte(PageSize page, TranslationMode mode,
+                               const AccessPattern &pattern) const;
+
+    /**
+     * Bandwidth multiplier (<= 1): raw_bw -> effective bandwidth once
+     * translation stalls are charged.
+     */
+    double bandwidthFactor(double raw_bytes_per_s, PageSize page,
+                           TranslationMode mode,
+                           const AccessPattern &pattern) const;
+
+    const TlbConfig &config() const { return cfg_; }
+
+  private:
+    TlbConfig cfg_;
+};
+
+} // namespace cllm::mem
+
+#endif // CLLM_MEM_TLB_HH

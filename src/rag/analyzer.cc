@@ -1,0 +1,104 @@
+#include "rag/analyzer.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+namespace cllm::rag {
+
+namespace {
+
+const std::unordered_set<std::string> &
+stopwords()
+{
+    static const std::unordered_set<std::string> kSet = {
+        "a",    "an",   "and",  "are",  "as",   "at",   "be",   "but",
+        "by",   "for",  "if",   "in",   "into", "is",   "it",   "no",
+        "not",  "of",   "on",   "or",   "such", "that", "the",  "their",
+        "then", "there", "these", "they", "this", "to",  "was",  "will",
+        "with",
+    };
+    return kSet;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+} // namespace
+
+Analyzer::Analyzer(AnalyzerConfig cfg) : cfg_(cfg) {}
+
+bool
+Analyzer::isStopword(const std::string &token)
+{
+    return stopwords().count(token) != 0;
+}
+
+std::string
+Analyzer::stem(const std::string &token)
+{
+    std::string t = token;
+    // Order matters: longest suffixes first.
+    if (endsWith(t, "ational"))
+        t = t.substr(0, t.size() - 7) + "ate";
+    else if (endsWith(t, "ization"))
+        t = t.substr(0, t.size() - 7) + "ize";
+    else if (endsWith(t, "fulness"))
+        t = t.substr(0, t.size() - 4);
+    else if (endsWith(t, "ness"))
+        t = t.substr(0, t.size() - 4);
+    else if (endsWith(t, "ment"))
+        t = t.substr(0, t.size() - 4);
+    else if (endsWith(t, "tion"))
+        t = t.substr(0, t.size() - 3) + "e";
+    else if (endsWith(t, "ing") && t.size() > 5)
+        t = t.substr(0, t.size() - 3);
+    else if (endsWith(t, "edly") && t.size() > 6)
+        t = t.substr(0, t.size() - 4);
+    else if (endsWith(t, "ed") && t.size() > 4)
+        t = t.substr(0, t.size() - 2);
+    else if (endsWith(t, "ies") && t.size() > 4)
+        t = t.substr(0, t.size() - 3) + "y";
+    else if (endsWith(t, "sses"))
+        t = t.substr(0, t.size() - 2);
+    else if (endsWith(t, "s") && !endsWith(t, "ss") && t.size() > 3)
+        t = t.substr(0, t.size() - 1);
+    return t;
+}
+
+std::vector<std::string>
+Analyzer::analyze(const std::string &text) const
+{
+    std::vector<std::string> out;
+    std::string cur;
+    auto flush = [&]() {
+        if (cur.size() < cfg_.minTokenLen) {
+            cur.clear();
+            return;
+        }
+        if (cfg_.removeStopwords && isStopword(cur)) {
+            cur.clear();
+            return;
+        }
+        out.push_back(cfg_.stem ? stem(cur) : cur);
+        cur.clear();
+    };
+    for (char raw : text) {
+        const unsigned char c = static_cast<unsigned char>(raw);
+        if (std::isalnum(c)) {
+            cur.push_back(cfg_.lowercase
+                              ? static_cast<char>(std::tolower(c))
+                              : raw);
+        } else {
+            flush();
+        }
+    }
+    flush();
+    return out;
+}
+
+} // namespace cllm::rag

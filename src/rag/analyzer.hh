@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Text analysis for the ElasticLite search engine: lowercasing,
+ * alphanumeric tokenization, stopword removal, and a light suffix
+ * stemmer (an S-stemmer plus common English suffixes), mirroring the
+ * default Elasticsearch "english" analyzer closely enough for BM25
+ * behaviour studies.
+ */
+
+#ifndef CLLM_RAG_ANALYZER_HH
+#define CLLM_RAG_ANALYZER_HH
+
+#include <string>
+#include <vector>
+
+namespace cllm::rag {
+
+/** Analyzer configuration. */
+struct AnalyzerConfig
+{
+    bool lowercase = true;
+    bool removeStopwords = true;
+    bool stem = true;
+    std::size_t minTokenLen = 2;
+};
+
+/**
+ * Tokenizer + normalizer.
+ */
+class Analyzer
+{
+  public:
+    explicit Analyzer(AnalyzerConfig cfg = {});
+
+    /** Split, normalize, filter, and stem a text. */
+    std::vector<std::string> analyze(const std::string &text) const;
+
+    /** Whether a (lowercased) token is a stopword. */
+    static bool isStopword(const std::string &token);
+
+    /** Apply the light stemmer to one lowercase token. */
+    static std::string stem(const std::string &token);
+
+  private:
+    AnalyzerConfig cfg_;
+};
+
+} // namespace cllm::rag
+
+#endif // CLLM_RAG_ANALYZER_HH

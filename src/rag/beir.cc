@@ -1,0 +1,156 @@
+#include "rag/beir.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace cllm::rag {
+
+namespace {
+
+/** Deterministic word string for a vocabulary index. */
+std::string
+word(std::uint64_t idx)
+{
+    // Readable pseudo-words: consonant-vowel syllables from the index.
+    static const char *cons = "bcdfgklmnprstvz";
+    static const char *vows = "aeiou";
+    std::string w;
+    std::uint64_t v = idx + 7;
+    for (int i = 0; i < 3 || v > 0; ++i) {
+        w += cons[v % 15];
+        v /= 15;
+        w += vows[v % 5];
+        v /= 5;
+        if (i >= 4)
+            break;
+    }
+    return w;
+}
+
+} // namespace
+
+BeirDataset
+generateBeir(const BeirConfig &cfg)
+{
+    if (cfg.numTopics == 0 || cfg.vocabSize < 100)
+        cllm_fatal("generateBeir: degenerate configuration");
+
+    Rng rng(cfg.seed);
+    BeirDataset ds;
+
+    // Topic pools: disjoint-ish slices of mid-frequency vocabulary.
+    const std::size_t pool = 25;
+    std::vector<std::vector<std::uint64_t>> topics(cfg.numTopics);
+    for (std::size_t t = 0; t < cfg.numTopics; ++t) {
+        for (std::size_t i = 0; i < pool; ++i) {
+            topics[t].push_back(100 + (t * pool + i) %
+                                          (cfg.vocabSize - 100));
+        }
+    }
+
+    std::vector<std::size_t> doc_topic(cfg.numDocs);
+    for (std::size_t d = 0; d < cfg.numDocs; ++d) {
+        const std::size_t topic = rng.uniformInt(0, cfg.numTopics - 1);
+        doc_topic[d] = topic;
+        std::string title = "doc " + std::to_string(d) + " " +
+                            word(topics[topic][0]) + " " +
+                            word(topics[topic][1]);
+        std::string body;
+        for (std::size_t w = 0; w < cfg.docLen; ++w) {
+            std::uint64_t idx;
+            if (rng.chance(cfg.topicalFraction)) {
+                idx = topics[topic][rng.uniformInt(0, pool - 1)];
+            } else {
+                idx = rng.zipf(cfg.vocabSize, cfg.zipfExponent);
+            }
+            if (!body.empty())
+                body += ' ';
+            body += word(idx);
+        }
+        ds.corpus.push_back({static_cast<DocId>(d), std::move(title),
+                             std::move(body)});
+    }
+
+    for (std::size_t q = 0; q < cfg.numQueries; ++q) {
+        const DocId src = static_cast<DocId>(
+            rng.uniformInt(0, cfg.numDocs - 1));
+        const std::size_t topic = doc_topic[src];
+        BeirQuery query;
+        for (std::size_t w = 0; w < cfg.queryLen; ++w) {
+            std::uint64_t idx;
+            if (rng.chance(0.8)) {
+                idx = topics[topic][rng.uniformInt(0, pool - 1)];
+            } else {
+                idx = rng.zipf(cfg.vocabSize, cfg.zipfExponent);
+            }
+            if (!query.text.empty())
+                query.text += ' ';
+            query.text += word(idx);
+        }
+        // Graded qrels: the source doc is highly relevant; other
+        // same-topic docs are partially relevant.
+        query.qrels[src] = 2;
+        for (std::size_t d = 0; d < cfg.numDocs; ++d) {
+            if (d != src && doc_topic[d] == topic)
+                query.qrels[static_cast<DocId>(d)] = 1;
+        }
+        ds.queries.push_back(std::move(query));
+    }
+    return ds;
+}
+
+double
+ndcgAtK(const std::vector<SearchHit> &ranked, const Qrels &qrels,
+        std::size_t k)
+{
+    const std::size_t n = std::min(k, ranked.size());
+    double dcg = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        auto it = qrels.find(ranked[i].id);
+        if (it == qrels.end())
+            continue;
+        const double gain = std::pow(2.0, it->second) - 1.0;
+        dcg += gain / std::log2(static_cast<double>(i) + 2.0);
+    }
+    // Ideal DCG from sorted grades.
+    std::vector<int> grades;
+    grades.reserve(qrels.size());
+    for (const auto &[id, g] : qrels)
+        grades.push_back(g);
+    std::sort(grades.rbegin(), grades.rend());
+    double idcg = 0.0;
+    for (std::size_t i = 0; i < std::min(k, grades.size()); ++i) {
+        idcg += (std::pow(2.0, grades[i]) - 1.0) /
+                std::log2(static_cast<double>(i) + 2.0);
+    }
+    return idcg > 0.0 ? dcg / idcg : 0.0;
+}
+
+double
+recallAtK(const std::vector<SearchHit> &ranked, const Qrels &qrels,
+          std::size_t k)
+{
+    if (qrels.empty())
+        return 0.0;
+    std::size_t found = 0;
+    const std::size_t n = std::min(k, ranked.size());
+    for (std::size_t i = 0; i < n; ++i)
+        found += qrels.count(ranked[i].id) ? 1 : 0;
+    return static_cast<double>(found) /
+           static_cast<double>(qrels.size());
+}
+
+double
+reciprocalRank(const std::vector<SearchHit> &ranked, const Qrels &qrels)
+{
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+        if (qrels.count(ranked[i].id))
+            return 1.0 / static_cast<double>(i + 1);
+    }
+    return 0.0;
+}
+
+} // namespace cllm::rag

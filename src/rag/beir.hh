@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Synthetic BEIR-style retrieval benchmark (the paper evaluates RAG
+ * on BEIR, Section VI). A topic-mixture generator produces a corpus,
+ * queries derived from relevant documents, and graded relevance
+ * judgements (qrels); standard IR metrics (nDCG@k, recall@k, MRR)
+ * evaluate ranked result lists against them.
+ */
+
+#ifndef CLLM_RAG_BEIR_HH
+#define CLLM_RAG_BEIR_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rag/elastic_lite.hh"
+
+namespace cllm::rag {
+
+/** Graded relevance judgements for one query: doc -> grade (1, 2). */
+using Qrels = std::map<DocId, int>;
+
+/** One benchmark query. */
+struct BeirQuery
+{
+    std::string text;
+    Qrels qrels;
+};
+
+/** A generated benchmark. */
+struct BeirDataset
+{
+    std::vector<Document> corpus;
+    std::vector<BeirQuery> queries;
+};
+
+/** Generator parameters. */
+struct BeirConfig
+{
+    std::size_t numDocs = 2000;
+    std::size_t numQueries = 50;
+    std::size_t numTopics = 40;
+    std::size_t vocabSize = 5000;
+    std::size_t docLen = 80;         //!< words per document
+    std::size_t queryLen = 6;
+    double topicalFraction = 0.55;   //!< words drawn from topic pool
+    double zipfExponent = 1.1;
+    std::uint64_t seed = 99;
+};
+
+/** Generate a synthetic dataset. */
+BeirDataset generateBeir(const BeirConfig &cfg = {});
+
+/** Normalized discounted cumulative gain at cutoff k. */
+double ndcgAtK(const std::vector<SearchHit> &ranked, const Qrels &qrels,
+               std::size_t k);
+
+/** Fraction of relevant documents present in the top k. */
+double recallAtK(const std::vector<SearchHit> &ranked, const Qrels &qrels,
+                 std::size_t k);
+
+/** Reciprocal rank of the first relevant result. */
+double reciprocalRank(const std::vector<SearchHit> &ranked,
+                      const Qrels &qrels);
+
+} // namespace cllm::rag
+
+#endif // CLLM_RAG_BEIR_HH

@@ -1,0 +1,154 @@
+#include "rag/dense.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace cllm::rag {
+
+namespace {
+
+/** FNV-1a hash of a string. */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+MiniSbert::MiniSbert(unsigned dim, unsigned feature_dim,
+                     std::uint64_t seed)
+    : dim_(dim), featureDim_(feature_dim)
+{
+    if (dim_ == 0 || featureDim_ == 0)
+        cllm_fatal("MiniSbert: zero dimensions");
+    Rng rng(seed);
+    projection_.resize(static_cast<std::size_t>(featureDim_) * dim_);
+    const double scale = 1.0 / std::sqrt(static_cast<double>(dim_));
+    for (auto &w : projection_)
+        w = static_cast<float>(rng.gaussian(0.0, scale));
+}
+
+std::uint64_t
+MiniSbert::flopsPerEmbed() const
+{
+    // Sparse feature x projection: ~avg 40 active features x dim MACs,
+    // plus tanh and normalization.
+    return 2ULL * 40 * dim_ + 10ULL * dim_;
+}
+
+std::vector<float>
+MiniSbert::embed(const std::string &text, DenseStats *stats) const
+{
+    const auto terms = analyzer_.analyze(text);
+
+    // Accumulate hashed unigram + bigram features (signed hashing).
+    std::vector<float> out(dim_, 0.0f);
+    std::uint64_t flops = 0;
+    auto add_feature = [&](const std::string &feat, float weight) {
+        const std::uint64_t h = fnv1a(feat);
+        const unsigned row = static_cast<unsigned>(h % featureDim_);
+        const float sign = (h >> 63) ? -1.0f : 1.0f;
+        const float *proj =
+            projection_.data() + static_cast<std::size_t>(row) * dim_;
+        for (unsigned i = 0; i < dim_; ++i)
+            out[i] += sign * weight * proj[i];
+        flops += 2ULL * dim_;
+    };
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+        add_feature(terms[i], 1.0f);
+        if (i + 1 < terms.size())
+            add_feature(terms[i] + "_" + terms[i + 1], 0.5f);
+    }
+
+    // Nonlinearity + L2 normalization.
+    double norm_sq = 0.0;
+    for (auto &v : out) {
+        v = std::tanh(v);
+        norm_sq += static_cast<double>(v) * v;
+    }
+    const float inv =
+        norm_sq > 0.0 ? static_cast<float>(1.0 / std::sqrt(norm_sq))
+                      : 0.0f;
+    for (auto &v : out)
+        v *= inv;
+    flops += 12ULL * dim_;
+
+    if (stats) {
+        stats->embedFlops += flops;
+        stats->bytesTouched += terms.size() * 8 + dim_ * 4;
+    }
+    return out;
+}
+
+double
+cosine(const std::vector<float> &a, const std::vector<float> &b)
+{
+    if (a.size() != b.size())
+        cllm_panic("cosine: dimension mismatch");
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        dot += static_cast<double>(a[i]) * b[i];
+        na += static_cast<double>(a[i]) * a[i];
+        nb += static_cast<double>(b[i]) * b[i];
+    }
+    if (na == 0.0 || nb == 0.0)
+        return 0.0;
+    return dot / std::sqrt(na * nb);
+}
+
+DenseIndex::DenseIndex(unsigned dim) : dim_(dim)
+{
+    if (dim_ == 0)
+        cllm_fatal("DenseIndex: zero dimension");
+}
+
+void
+DenseIndex::add(DocId id, const std::vector<float> &vec)
+{
+    if (vec.size() != dim_)
+        cllm_fatal("DenseIndex::add: wrong dimension ", vec.size());
+    ids_.push_back(id);
+    vecs_.insert(vecs_.end(), vec.begin(), vec.end());
+}
+
+std::vector<SearchHit>
+DenseIndex::search(const std::vector<float> &query, std::size_t k,
+                   DenseStats *stats) const
+{
+    if (query.size() != dim_)
+        cllm_fatal("DenseIndex::search: wrong dimension");
+    std::vector<SearchHit> hits;
+    hits.reserve(ids_.size());
+    for (std::size_t i = 0; i < ids_.size(); ++i) {
+        const float *v = vecs_.data() + i * dim_;
+        double dot = 0.0;
+        for (unsigned j = 0; j < dim_; ++j)
+            dot += static_cast<double>(query[j]) * v[j];
+        hits.push_back({ids_[i], dot});
+    }
+    if (stats) {
+        stats->vectorsCompared += ids_.size();
+        stats->bytesTouched += ids_.size() * dim_ * 4;
+        stats->embedFlops += 2ULL * ids_.size() * dim_;
+    }
+    const std::size_t keep = std::min(k, hits.size());
+    std::partial_sort(hits.begin(), hits.begin() + keep, hits.end(),
+                      [](const SearchHit &a, const SearchHit &b) {
+                          if (a.score != b.score)
+                              return a.score > b.score;
+                          return a.id < b.id;
+                      });
+    hits.resize(keep);
+    return hits;
+}
+
+} // namespace cllm::rag

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Dense retrieval: a deterministic sentence embedder (MiniSbert,
+ * standing in for Sentence-BERT) and a brute-force cosine-similarity
+ * index. MiniSbert hashes unigrams and bigrams into a sparse feature
+ * space and projects them through a fixed random matrix with tanh
+ * nonlinearity — a real (if small) encoder whose embeddings preserve
+ * lexical similarity, which is what the retrieval-quality tests need.
+ */
+
+#ifndef CLLM_RAG_DENSE_HH
+#define CLLM_RAG_DENSE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rag/analyzer.hh"
+#include "rag/elastic_lite.hh"
+
+namespace cllm::rag {
+
+/** Work counters for dense retrieval. */
+struct DenseStats
+{
+    std::uint64_t embedFlops = 0;
+    std::uint64_t vectorsCompared = 0;
+    std::uint64_t bytesTouched = 0;
+};
+
+/**
+ * Deterministic sentence embedder.
+ */
+class MiniSbert
+{
+  public:
+    /**
+     * @param dim embedding dimension
+     * @param feature_dim hashed sparse feature space size
+     * @param seed projection-matrix seed
+     */
+    explicit MiniSbert(unsigned dim = 128, unsigned feature_dim = 2048,
+                       std::uint64_t seed = 7);
+
+    /** Embed a text into a unit-norm vector. */
+    std::vector<float> embed(const std::string &text,
+                             DenseStats *stats = nullptr) const;
+
+    unsigned dim() const { return dim_; }
+
+    /** FLOPs per embedding (for the timing model). */
+    std::uint64_t flopsPerEmbed() const;
+
+  private:
+    unsigned dim_;
+    unsigned featureDim_;
+    std::vector<float> projection_; // [featureDim x dim]
+    Analyzer analyzer_;
+};
+
+/** Cosine similarity of two unit vectors. */
+double cosine(const std::vector<float> &a, const std::vector<float> &b);
+
+/**
+ * Brute-force dense index over unit-norm vectors.
+ */
+class DenseIndex
+{
+  public:
+    explicit DenseIndex(unsigned dim);
+
+    /** Add a vector for a document. */
+    void add(DocId id, const std::vector<float> &vec);
+
+    /** Top-k by cosine similarity. */
+    std::vector<SearchHit> search(const std::vector<float> &query,
+                                  std::size_t k,
+                                  DenseStats *stats = nullptr) const;
+
+    std::size_t size() const { return ids_.size(); }
+
+  private:
+    unsigned dim_;
+    std::vector<DocId> ids_;
+    std::vector<float> vecs_; // packed row-major
+};
+
+} // namespace cllm::rag
+
+#endif // CLLM_RAG_DENSE_HH

@@ -1,0 +1,146 @@
+#include "rag/elastic_lite.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.hh"
+
+namespace cllm::rag {
+
+ElasticLite::ElasticLite(AnalyzerConfig analyzer, Bm25Params bm25)
+    : analyzer_(analyzer), bm25_(bm25)
+{
+}
+
+DocId
+ElasticLite::index(const std::string &title, const std::string &body)
+{
+    const DocId id = static_cast<DocId>(docs_.size());
+    docs_.push_back({id, title, body});
+
+    const auto terms = analyzer_.analyze(title + " " + body);
+    docLens_.push_back(static_cast<std::uint32_t>(terms.size()));
+    totalLen_ += static_cast<double>(terms.size());
+
+    std::unordered_map<std::string, std::uint32_t> freqs;
+    for (const auto &t : terms)
+        ++freqs[t];
+    for (const auto &[term, freq] : freqs)
+        postings_[term].push_back({id, freq});
+    return id;
+}
+
+DocId
+ElasticLite::bulkIndex(const std::vector<Document> &docs)
+{
+    if (docs.empty())
+        cllm_fatal("bulkIndex: empty batch");
+    const DocId first = static_cast<DocId>(docs_.size());
+    for (const auto &d : docs)
+        index(d.title, d.body);
+    return first;
+}
+
+const Document &
+ElasticLite::doc(DocId id) const
+{
+    if (id >= docs_.size())
+        cllm_fatal("doc id ", id, " out of range");
+    return docs_[id];
+}
+
+std::vector<SearchHit>
+ElasticLite::search(const std::string &query, std::size_t k,
+                    SearchStats *stats) const
+{
+    const auto terms = analyzer_.analyze(query);
+    std::unordered_map<DocId, double> scores;
+    const double n_docs = static_cast<double>(docs_.size());
+    const double avg_len = docs_.empty() ? 1.0 : totalLen_ / n_docs;
+
+    SearchStats local;
+    for (const auto &term : terms) {
+        ++local.termsLookedUp;
+        auto it = postings_.find(term);
+        if (it == postings_.end())
+            continue;
+        const auto &plist = it->second;
+        const double df = static_cast<double>(plist.size());
+        // Okapi BM25 idf with the Elasticsearch +1 smoothing.
+        const double idf =
+            std::log(1.0 + (n_docs - df + 0.5) / (df + 0.5));
+        for (const auto &p : plist) {
+            ++local.postingsVisited;
+            local.bytesTouched += sizeof(Posting);
+            const double tf = static_cast<double>(p.freq);
+            const double len_norm =
+                1.0 - bm25_.b +
+                bm25_.b * docLens_[p.doc] / avg_len;
+            scores[p.doc] +=
+                idf * tf * (bm25_.k1 + 1.0) /
+                (tf + bm25_.k1 * len_norm);
+        }
+    }
+    local.docsScored = scores.size();
+    local.bytesTouched += scores.size() * (sizeof(DocId) + sizeof(double));
+
+    std::vector<SearchHit> hits;
+    hits.reserve(scores.size());
+    for (const auto &[id, score] : scores)
+        hits.push_back({id, score});
+    const std::size_t keep = std::min(k, hits.size());
+    std::partial_sort(hits.begin(), hits.begin() + keep, hits.end(),
+                      [](const SearchHit &a, const SearchHit &b) {
+                          if (a.score != b.score)
+                              return a.score > b.score;
+                          return a.id < b.id;
+                      });
+    hits.resize(keep);
+    if (stats)
+        *stats = local;
+    return hits;
+}
+
+double
+ElasticLite::scoreDoc(const std::vector<std::string> &query_terms,
+                      DocId id) const
+{
+    if (id >= docs_.size())
+        cllm_fatal("scoreDoc: doc id out of range");
+    const double n_docs = static_cast<double>(docs_.size());
+    const double avg_len = docs_.empty() ? 1.0 : totalLen_ / n_docs;
+    double score = 0.0;
+    for (const auto &term : query_terms) {
+        auto it = postings_.find(term);
+        if (it == postings_.end())
+            continue;
+        const auto &plist = it->second;
+        const double df = static_cast<double>(plist.size());
+        const double idf =
+            std::log(1.0 + (n_docs - df + 0.5) / (df + 0.5));
+        for (const auto &p : plist) {
+            if (p.doc != id)
+                continue;
+            const double tf = static_cast<double>(p.freq);
+            const double len_norm =
+                1.0 - bm25_.b + bm25_.b * docLens_[id] / avg_len;
+            score += idf * tf * (bm25_.k1 + 1.0) /
+                     (tf + bm25_.k1 * len_norm);
+        }
+    }
+    return score;
+}
+
+std::uint64_t
+ElasticLite::indexBytes() const
+{
+    std::uint64_t bytes = 0;
+    for (const auto &[term, plist] : postings_)
+        bytes += term.size() + plist.size() * sizeof(Posting);
+    for (const auto &d : docs_)
+        bytes += d.title.size() + d.body.size() + sizeof(Document);
+    return bytes;
+}
+
+} // namespace cllm::rag

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * ElasticLite: a small in-memory search engine standing in for the
+ * Elasticsearch instance the paper runs inside TDX (Section VI).
+ * Documents are analyzed into an inverted index; queries are ranked
+ * with Okapi BM25. Search returns both results and work counters
+ * (postings visited, bytes touched) that the RAG timing model prices
+ * under a TEE backend.
+ */
+
+#ifndef CLLM_RAG_ELASTIC_LITE_HH
+#define CLLM_RAG_ELASTIC_LITE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rag/analyzer.hh"
+
+namespace cllm::rag {
+
+/** Document identifier. */
+using DocId = std::uint32_t;
+
+/** One stored document. */
+struct Document
+{
+    DocId id = 0;
+    std::string title;
+    std::string body;
+};
+
+/** One search hit. */
+struct SearchHit
+{
+    DocId id = 0;
+    double score = 0.0;
+};
+
+/** Work counters of one search, for the timing model. */
+struct SearchStats
+{
+    std::uint64_t postingsVisited = 0;
+    std::uint64_t docsScored = 0;
+    std::uint64_t bytesTouched = 0;
+    std::uint64_t termsLookedUp = 0;
+};
+
+/** BM25 parameters (Elasticsearch defaults). */
+struct Bm25Params
+{
+    double k1 = 1.2;
+    double b = 0.75;
+};
+
+/**
+ * In-memory inverted index with BM25 ranking.
+ */
+class ElasticLite
+{
+  public:
+    explicit ElasticLite(AnalyzerConfig analyzer = {},
+                         Bm25Params bm25 = {});
+
+    /** Index one document; returns its id. */
+    DocId index(const std::string &title, const std::string &body);
+
+    /** Bulk-index; returns the first id of the contiguous range. */
+    DocId bulkIndex(const std::vector<Document> &docs);
+
+    /** Number of indexed documents. */
+    std::size_t size() const { return docs_.size(); }
+
+    /** Fetch a stored document. */
+    const Document &doc(DocId id) const;
+
+    /** BM25 top-k search. */
+    std::vector<SearchHit> search(const std::string &query,
+                                  std::size_t k,
+                                  SearchStats *stats = nullptr) const;
+
+    /** BM25 score of one document for an analyzed query (testing). */
+    double scoreDoc(const std::vector<std::string> &query_terms,
+                    DocId id) const;
+
+    /** Approximate index memory footprint in bytes. */
+    std::uint64_t indexBytes() const;
+
+    const Analyzer &analyzer() const { return analyzer_; }
+
+  private:
+    struct Posting
+    {
+        DocId doc;
+        std::uint32_t freq;
+    };
+
+    Analyzer analyzer_;
+    Bm25Params bm25_;
+    std::vector<Document> docs_;
+    std::vector<std::uint32_t> docLens_;
+    double totalLen_ = 0.0;
+    std::unordered_map<std::string, std::vector<Posting>> postings_;
+};
+
+} // namespace cllm::rag
+
+#endif // CLLM_RAG_ELASTIC_LITE_HH

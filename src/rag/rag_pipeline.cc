@@ -1,0 +1,160 @@
+#include "rag/rag_pipeline.hh"
+
+#include <chrono>
+
+#include "mem/tlb.hh"
+#include "util/logging.hh"
+
+namespace cllm::rag {
+
+const char *
+ragMethodName(RagMethod m)
+{
+    switch (m) {
+      case RagMethod::Bm25:
+        return "BM25";
+      case RagMethod::RerankedBm25:
+        return "Reranked BM25";
+      case RagMethod::Sbert:
+        return "SBERT";
+    }
+    return "?";
+}
+
+RagPipeline::RagPipeline(const BeirDataset &dataset)
+    : dataset_(&dataset), embedder_(128, 2048, 7),
+      dense_(embedder_.dim()), reranker_(16, 11)
+{
+    store_.bulkIndex(dataset.corpus);
+    for (const auto &doc : dataset.corpus)
+        dense_.add(doc.id, embedder_.embed(doc.title + " " + doc.body));
+}
+
+std::vector<SearchHit>
+RagPipeline::retrieve(RagMethod method, const std::string &query,
+                      std::size_t k, SearchStats *sstats,
+                      DenseStats *dstats, RerankStats *rstats) const
+{
+    switch (method) {
+      case RagMethod::Bm25:
+        return store_.search(query, k, sstats);
+      case RagMethod::RerankedBm25: {
+        // Retrieve a wider candidate set, then rerank the head.
+        auto hits = store_.search(query, std::max<std::size_t>(k, 50),
+                                  sstats);
+        auto reranked = reranker_.rerank(query, store_, hits, rstats);
+        if (reranked.size() > k)
+            reranked.resize(k);
+        return reranked;
+      }
+      case RagMethod::Sbert:
+        return dense_.search(embedder_.embed(query, dstats), k, dstats);
+    }
+    cllm_panic("unknown RagMethod");
+}
+
+RagEvalResult
+RagPipeline::evaluate(RagMethod method, std::size_t k) const
+{
+    RagEvalResult r;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto &q : dataset_->queries) {
+        SearchStats ss;
+        DenseStats ds;
+        RerankStats rs;
+        const auto hits = retrieve(method, q.text, k, &ss, &ds, &rs);
+        r.ndcg10 += ndcgAtK(hits, q.qrels, 10);
+        r.recall100 += recallAtK(hits, q.qrels, 100);
+        r.mrr += reciprocalRank(hits, q.qrels);
+        r.totalBytes += ss.bytesTouched + ds.bytesTouched;
+        r.totalFlops += ds.embedFlops + rs.flops +
+                        ss.postingsVisited * 12; // BM25 math per posting
+        r.pairsScored += rs.pairsScored;
+        if (method == RagMethod::Sbert)
+            ++r.queriesEmbedded;
+        ++r.queries;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall =
+        std::chrono::duration<double>(t1 - t0).count();
+    if (r.queries) {
+        r.ndcg10 /= r.queries;
+        r.recall100 /= r.queries;
+        r.mrr /= r.queries;
+        r.queriesPerSecondFunctional =
+            wall > 0.0 ? r.queries / wall : 0.0;
+    }
+    return r;
+}
+
+RagTiming
+priceRagRun(const hw::CpuSpec &cpu, const tee::TeeBackend &backend,
+            const RagEvalResult &eval, std::uint64_t index_bytes,
+            unsigned cores, const RagPerfConfig &cfg)
+{
+    if (eval.queries == 0)
+        cllm_fatal("priceRagRun: no queries evaluated");
+
+    tee::TeeRequest req;
+    req.sockets = 1;
+    req.workingSetBytes = index_bytes;
+    req.syscallsPerToken = cfg.syscallsPerQuery;
+    const tee::ExecTax tax = backend.tax(cpu, req);
+
+    // Scalar compute rate (RAG does not use AMX).
+    const double rate = cfg.scalarOpsPerCycle * cpu.freqGhz * 1e9 *
+                        cores * tax.computeFactor;
+
+    // Memory: counted traffic plus a fraction of the index streamed
+    // per query (cache-miss refills over the resident index).
+    const double per_query_bytes =
+        static_cast<double>(eval.totalBytes) / eval.queries +
+        cfg.indexStreamFraction * static_cast<double>(index_bytes) /
+            eval.queries;
+
+    mem::NumaConfig ncfg = cpu.numa;
+    ncfg.upiEncrypted = tax.upiEncrypted;
+    mem::NumaModel numa(ncfg);
+    double bw = numa.effective(tax.placement, 1).bandwidthBytes;
+    // Single-threaded-ish query path: a few cores' worth of bandwidth.
+    bw *= 0.35;
+
+    mem::TlbModel tlb(cpu.tlb);
+    mem::AccessPattern pattern;
+    pattern.workingSetBytes = index_bytes;
+    pattern.randomFraction = 0.06; // postings chasing is scattered
+    bw *= tlb.bandwidthFactor(bw, tax.effectivePage, tax.xlate, pattern);
+    bw *= tax.encBwFactor;
+
+    // Production-model equivalents for the neural components.
+    const double pairs_per_q =
+        static_cast<double>(eval.pairsScored) / eval.queries;
+    const double embeds_per_q =
+        static_cast<double>(eval.queriesEmbedded) / eval.queries;
+    const double model_flops = pairs_per_q * cfg.rerankPairFlops +
+                               embeds_per_q * cfg.sbertEmbedFlops;
+    const double model_bytes = model_flops * cfg.modelBytesPerFlop;
+
+    const double per_query_flops =
+        static_cast<double>(eval.totalFlops) / eval.queries +
+        model_flops;
+    const double all_bytes = per_query_bytes + model_bytes;
+
+    const double t_mem =
+        all_bytes / bw + all_bytes * tax.extraSecPerByte;
+    const double t_comp = per_query_flops / rate;
+    const double ops_per_q = cfg.opsPerQuery +
+                             pairs_per_q * cfg.opsPerPair +
+                             embeds_per_q * cfg.opsPerEmbed;
+    const double fixed =
+        cfg.perQueryFixedUs * 1e-6 +
+        cfg.syscallsPerQuery / 4.0 * tax.perTokenFixedSec +
+        ops_per_q * tax.perOpFixedSec;
+
+    RagTiming t;
+    t.meanQuerySeconds = t_mem + t_comp + fixed;
+    t.totalSeconds = t.meanQuerySeconds * eval.queries;
+    return t;
+}
+
+} // namespace cllm::rag

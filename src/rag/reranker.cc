@@ -1,0 +1,119 @@
+#include "rag/reranker.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/rng.hh"
+
+namespace cllm::rag {
+
+CrossEncoder::CrossEncoder(unsigned hidden, std::uint64_t seed)
+    : hidden_(hidden), embedder_(64, 1024, seed + 1)
+{
+    // Fixed "trained" weights: the relevance features carry strong
+    // positive weight (what a trained cross-encoder learns), with a
+    // small seeded random residue adding texture without being able
+    // to outvote genuine overlap.
+    Rng rng(seed);
+    w1_.resize(static_cast<std::size_t>(hidden_) * kFeatures);
+    b1_.resize(hidden_);
+    w2_.resize(hidden_);
+    for (auto &w : w1_)
+        w = static_cast<float>(rng.gaussian(0.0, 0.06));
+    for (auto &b : b1_)
+        b = static_cast<float>(rng.gaussian(0.0, 0.02));
+    for (auto &w : w2_)
+        w = static_cast<float>(rng.gaussian(0.0, 0.06));
+    for (unsigned f = 0; f < kFeatures; ++f)
+        w1_[f] = 0.6f;
+    b1_[0] = 0.0f;
+    w2_[0] = 3.0f;
+}
+
+std::vector<double>
+CrossEncoder::features(const std::string &query, const Document &doc) const
+{
+    const auto q_terms = analyzer_.analyze(query);
+    const auto d_terms = analyzer_.analyze(doc.title + " " + doc.body);
+    std::unordered_set<std::string> d_set(d_terms.begin(), d_terms.end());
+
+    double overlap = 0.0;
+    for (const auto &t : q_terms)
+        overlap += d_set.count(t) ? 1.0 : 0.0;
+    const double q_cov =
+        q_terms.empty() ? 0.0 : overlap / static_cast<double>(
+                                              q_terms.size());
+
+    // Ordered bigram overlap.
+    double bigram = 0.0;
+    std::unordered_set<std::string> d_bigrams;
+    for (std::size_t i = 0; i + 1 < d_terms.size(); ++i)
+        d_bigrams.insert(d_terms[i] + "_" + d_terms[i + 1]);
+    for (std::size_t i = 0; i + 1 < q_terms.size(); ++i)
+        bigram += d_bigrams.count(q_terms[i] + "_" + q_terms[i + 1]);
+
+    const double cos = cosine(embedder_.embed(query),
+                              embedder_.embed(doc.title + " " + doc.body));
+    const double len_penalty =
+        std::log(1.0 + static_cast<double>(d_terms.size())) / 10.0;
+    const double title_hit = [&] {
+        const auto t_terms = analyzer_.analyze(doc.title);
+        std::unordered_set<std::string> t_set(t_terms.begin(),
+                                              t_terms.end());
+        double n = 0.0;
+        for (const auto &t : q_terms)
+            n += t_set.count(t) ? 1.0 : 0.0;
+        return q_terms.empty() ? 0.0
+                               : n / static_cast<double>(q_terms.size());
+    }();
+
+    return {q_cov, bigram / 4.0, cos, title_hit, -len_penalty, 1.0};
+}
+
+double
+CrossEncoder::score(const std::string &query, const Document &doc,
+                    RerankStats *stats) const
+{
+    const auto feat = features(query, doc);
+    double out = 0.0;
+    for (unsigned h = 0; h < hidden_; ++h) {
+        double acc = b1_[h];
+        for (unsigned f = 0; f < kFeatures; ++f)
+            acc += w1_[h * kFeatures + f] * feat[f];
+        out += w2_[h] * std::tanh(acc);
+    }
+    if (stats) {
+        ++stats->pairsScored;
+        stats->flops += flopsPerPair();
+    }
+    return out;
+}
+
+std::uint64_t
+CrossEncoder::flopsPerPair() const
+{
+    // Feature extraction (embeddings dominate) + MLP.
+    return 2ULL * embedder_.flopsPerEmbed() +
+           2ULL * hidden_ * kFeatures + 4ULL * hidden_;
+}
+
+std::vector<SearchHit>
+CrossEncoder::rerank(const std::string &query, const ElasticLite &store,
+                     const std::vector<SearchHit> &hits,
+                     RerankStats *stats) const
+{
+    std::vector<SearchHit> out;
+    out.reserve(hits.size());
+    for (const auto &h : hits)
+        out.push_back({h.id, score(query, store.doc(h.id), stats)});
+    std::sort(out.begin(), out.end(),
+              [](const SearchHit &a, const SearchHit &b) {
+                  if (a.score != b.score)
+                      return a.score > b.score;
+                  return a.id < b.id;
+              });
+    return out;
+}
+
+} // namespace cllm::rag

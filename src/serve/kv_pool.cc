@@ -1,0 +1,163 @@
+#include "serve/kv_pool.hh"
+
+#include "util/logging.hh"
+
+namespace cllm::serve {
+
+KvBlockPool::KvBlockPool(KvPoolConfig cfg) : cfg_(cfg)
+{
+    if (cfg_.totalBlocks == 0 || cfg_.blockTokens == 0)
+        cllm_fatal("KvBlockPool: degenerate configuration");
+    refCounts_.assign(cfg_.totalBlocks, 0);
+    freeList_.reserve(cfg_.totalBlocks);
+    for (std::uint32_t b = 0; b < cfg_.totalBlocks; ++b)
+        freeList_.push_back(static_cast<std::uint32_t>(
+            cfg_.totalBlocks - 1 - b));
+}
+
+std::uint32_t
+KvBlockPool::allocBlock()
+{
+    if (freeList_.empty())
+        return kNoBlock;
+    const std::uint32_t b = freeList_.back();
+    freeList_.pop_back();
+    refCounts_[b] = 1;
+    return b;
+}
+
+void
+KvBlockPool::unref(std::uint32_t block)
+{
+    if (refCounts_[block] == 0)
+        cllm_panic("KvBlockPool: unref of free block ", block);
+    if (--refCounts_[block] == 0)
+        freeList_.push_back(block);
+}
+
+bool
+KvBlockPool::addSequence(SeqId id, unsigned prompt_tokens)
+{
+    if (seqs_.count(id))
+        cllm_fatal("KvBlockPool: duplicate sequence ", id);
+    const unsigned need =
+        (prompt_tokens + cfg_.blockTokens - 1) / cfg_.blockTokens;
+    if (need > freeList_.size())
+        return false;
+    Seq s;
+    s.tokens = prompt_tokens;
+    s.blocks.reserve(need);
+    for (unsigned i = 0; i < need; ++i)
+        s.blocks.push_back(allocBlock());
+    seqs_.emplace(id, std::move(s));
+    return true;
+}
+
+bool
+KvBlockPool::appendToken(SeqId id)
+{
+    auto it = seqs_.find(id);
+    if (it == seqs_.end())
+        cllm_fatal("KvBlockPool: unknown sequence ", id);
+    Seq &s = it->second;
+
+    const bool needs_block = s.tokens % cfg_.blockTokens == 0;
+    // Appending into a shared block requires copy-on-write.
+    if (!needs_block && !s.blocks.empty() &&
+        refCounts_[s.blocks.back()] > 1) {
+        const std::uint32_t fresh = allocBlock();
+        if (fresh == kNoBlock)
+            return false;
+        unref(s.blocks.back());
+        s.blocks.back() = fresh;
+    }
+    if (needs_block) {
+        const std::uint32_t fresh = allocBlock();
+        if (fresh == kNoBlock)
+            return false;
+        s.blocks.push_back(fresh);
+    }
+    ++s.tokens;
+    return true;
+}
+
+bool
+KvBlockPool::fork(SeqId parent, SeqId child)
+{
+    auto it = seqs_.find(parent);
+    if (it == seqs_.end())
+        cllm_fatal("KvBlockPool: fork from unknown sequence ", parent);
+    if (seqs_.count(child))
+        cllm_fatal("KvBlockPool: fork onto existing sequence ", child);
+
+    const Seq &p = it->second;
+    Seq c;
+    c.tokens = p.tokens;
+    c.blocks = p.blocks;
+
+    // Share all blocks; the trailing partial block is copied so the
+    // two beams can diverge immediately.
+    const bool has_partial =
+        !p.blocks.empty() && p.tokens % cfg_.blockTokens != 0;
+    if (has_partial) {
+        const std::uint32_t fresh = allocBlock();
+        if (fresh == kNoBlock)
+            return false;
+        c.blocks.back() = fresh;
+        for (std::size_t i = 0; i + 1 < c.blocks.size(); ++i)
+            ++refCounts_[c.blocks[i]];
+    } else {
+        for (std::uint32_t b : c.blocks)
+            ++refCounts_[b];
+    }
+    seqs_.emplace(child, std::move(c));
+    return true;
+}
+
+void
+KvBlockPool::release(SeqId id)
+{
+    auto it = seqs_.find(id);
+    if (it == seqs_.end())
+        cllm_fatal("KvBlockPool: release of unknown sequence ", id);
+    for (std::uint32_t b : it->second.blocks)
+        unref(b);
+    seqs_.erase(it);
+}
+
+unsigned
+KvBlockPool::tokens(SeqId id) const
+{
+    auto it = seqs_.find(id);
+    return it == seqs_.end() ? 0 : it->second.tokens;
+}
+
+std::size_t
+KvBlockPool::blocksOf(SeqId id) const
+{
+    auto it = seqs_.find(id);
+    return it == seqs_.end() ? 0 : it->second.blocks.size();
+}
+
+std::uint64_t
+KvBlockPool::freeBlocks() const
+{
+    return freeList_.size();
+}
+
+double
+KvBlockPool::utilization() const
+{
+    return 1.0 - static_cast<double>(freeList_.size()) /
+                     static_cast<double>(cfg_.totalBlocks);
+}
+
+bool
+KvBlockPool::canAdmit(unsigned tokens) const
+{
+    const unsigned need =
+        (tokens + cfg_.blockTokens - 1) / cfg_.blockTokens;
+    return need <= freeList_.size();
+}
+
+} // namespace cllm::serve

@@ -1,0 +1,372 @@
+#include "serve/serving.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <optional>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace cllm::serve {
+
+std::vector<Request>
+generateWorkload(const WorkloadConfig &cfg)
+{
+    if (cfg.arrivalRate <= 0.0 || cfg.numRequests == 0)
+        cllm_fatal("generateWorkload: degenerate workload");
+    Rng rng(cfg.seed);
+    std::vector<Request> out;
+    out.reserve(cfg.numRequests);
+    double clock = 0.0;
+    for (unsigned i = 0; i < cfg.numRequests; ++i) {
+        // Poisson arrivals: exponential inter-arrival gaps.
+        double u = 0.0;
+        while (u == 0.0)
+            u = rng.uniform();
+        clock += -std::log(u) / cfg.arrivalRate;
+        Request r;
+        r.id = i;
+        r.arrival = clock;
+        r.inLen = std::max<unsigned>(
+            8, static_cast<unsigned>(
+                   rng.lognormal(cfg.meanInLen, cfg.lengthSigma)));
+        r.outLen = std::max<unsigned>(
+            4, static_cast<unsigned>(
+                   rng.lognormal(cfg.meanOutLen, cfg.lengthSigma)));
+        out.push_back(r);
+    }
+    return out;
+}
+
+const char *
+batchPolicyName(BatchPolicy p)
+{
+    switch (p) {
+      case BatchPolicy::Static:
+        return "static";
+      case BatchPolicy::Continuous:
+        return "continuous";
+    }
+    return "?";
+}
+
+namespace {
+
+/** CPU-backed step model. */
+class CpuStepModel : public StepModel
+{
+  public:
+    CpuStepModel(const hw::CpuSpec &cpu,
+                 std::shared_ptr<const tee::TeeBackend> backend,
+                 const llm::ModelConfig &model,
+                 const llm::RunParams &params)
+        : cpu_(cpu), backend_(std::move(backend)), model_(model),
+          params_(params)
+    {
+        rates_ = perf_.rates(cpu_, *backend_, model_, params_);
+    }
+
+    double
+    prefill(unsigned in_len) const override
+    {
+        return perf_.prefillSeconds(rates_, model_, params_, in_len);
+    }
+
+    double
+    decodeStep(double nseq, double avg_pos) const override
+    {
+        return perf_.decodeStepSeconds(rates_, model_, params_, nseq,
+                                       avg_pos);
+    }
+
+  private:
+    hw::CpuSpec cpu_;
+    std::shared_ptr<const tee::TeeBackend> backend_;
+    llm::ModelConfig model_;
+    llm::RunParams params_;
+    llm::CpuPerfModel perf_;
+    llm::DeploymentRates rates_;
+};
+
+/** GPU-backed step model. */
+class GpuStepModel : public StepModel
+{
+  public:
+    GpuStepModel(const hw::GpuSpec &gpu, bool confidential,
+                 const llm::ModelConfig &model, hw::Dtype dtype)
+        : gpu_(gpu), model_(model), dtype_(dtype)
+    {
+        tax_ = confidential ? tee::cgpuTax(gpu) : tee::GpuTax{};
+    }
+
+    double
+    prefill(unsigned in_len) const override
+    {
+        const double s = in_len;
+        const llm::GpuPerfConfig &cfg = perf_.config();
+        const double flops =
+            2.0 * static_cast<double>(model_.matmulParams()) * s +
+            2.0 * model_.layers * model_.hidden * s * s;
+        const double rate =
+            gpu_.peakOps(dtype_) * cfg.computeEff;
+        const double bytes = model_.weightBytes(dtype_) +
+                             model_.kvBytesPerToken(dtype_) * s;
+        const double bw =
+            gpu_.hbmBwBytes * cfg.memEff * tax_.hbmBwFactor;
+        const double launch =
+            gpu_.kernelLaunchUs * 1e-6 + tax_.launchExtraSec;
+        const double host_bw = tax_.hostLinkBwBytes > 0.0
+                                   ? tax_.hostLinkBwBytes
+                                   : gpu_.pcieBwBytes;
+        return std::max(flops / rate, bytes / bw) +
+               cfg.launchesPerStep * launch + s * 4.0 / host_bw;
+    }
+
+    double
+    decodeStep(double nseq, double avg_pos) const override
+    {
+        const llm::GpuPerfConfig &cfg = perf_.config();
+        const double flops =
+            nseq *
+            (2.0 * static_cast<double>(model_.matmulParams()) +
+             4.0 * model_.layers * model_.hidden * avg_pos);
+        const double bytes =
+            model_.weightBytes(dtype_) +
+            nseq * model_.kvBytesPerToken(dtype_) * (avg_pos + 1.0);
+        const double rate = gpu_.peakOps(dtype_) * cfg.computeEff;
+        const double bw =
+            gpu_.hbmBwBytes * cfg.memEff * tax_.hbmBwFactor;
+        const double launch =
+            gpu_.kernelLaunchUs * 1e-6 + tax_.launchExtraSec;
+        const double host_bw = tax_.hostLinkBwBytes > 0.0
+                                   ? tax_.hostLinkBwBytes
+                                   : gpu_.pcieBwBytes;
+        return std::max(flops / rate, bytes / bw) +
+               cfg.launchesPerStep * launch +
+               nseq * cfg.hostBytesPerToken / host_bw;
+    }
+
+  private:
+    hw::GpuSpec gpu_;
+    llm::ModelConfig model_;
+    hw::Dtype dtype_;
+    tee::GpuTax tax_;
+    llm::GpuPerfModel perf_;
+};
+
+/** A sequence active in the decode batch. */
+struct Active
+{
+    Request *req;
+    unsigned produced = 0; //!< output tokens so far
+};
+
+} // namespace
+
+std::unique_ptr<StepModel>
+makeCpuStepModel(const hw::CpuSpec &cpu,
+                 std::shared_ptr<const tee::TeeBackend> backend,
+                 const llm::ModelConfig &model,
+                 const llm::RunParams &params)
+{
+    return std::make_unique<CpuStepModel>(cpu, std::move(backend), model,
+                                          params);
+}
+
+std::unique_ptr<StepModel>
+makeGpuStepModel(const hw::GpuSpec &gpu, bool confidential,
+                 const llm::ModelConfig &model, hw::Dtype dtype)
+{
+    return std::make_unique<GpuStepModel>(gpu, confidential, model,
+                                          dtype);
+}
+
+Server::Server(std::unique_ptr<StepModel> step, ServerConfig cfg)
+    : step_(std::move(step)), cfg_(cfg)
+{
+    if (!step_)
+        cllm_fatal("Server requires a step model");
+    if (cfg_.maxBatch == 0)
+        cllm_fatal("Server: zero batch capacity");
+}
+
+ServeMetrics
+Server::run(std::vector<Request> trace) const
+{
+    if (trace.empty())
+        cllm_fatal("Server::run: empty trace");
+    std::sort(trace.begin(), trace.end(),
+              [](const Request &a, const Request &b) {
+                  return a.arrival < b.arrival;
+              });
+    return cfg_.policy == BatchPolicy::Static ? runStatic(trace)
+                                              : runContinuous(trace);
+}
+
+ServeMetrics
+Server::runStatic(std::vector<Request> &trace) const
+{
+    double clock = 0.0;
+    double occupancy_sum = 0.0;
+    std::size_t steps = 0;
+    std::size_t next = 0;
+
+    while (next < trace.size()) {
+        // Form the next batch from queued arrivals.
+        clock = std::max(clock, trace[next].arrival);
+        std::vector<Request *> batch;
+        while (next < trace.size() && batch.size() < cfg_.maxBatch &&
+               trace[next].arrival <= clock) {
+            batch.push_back(&trace[next]);
+            ++next;
+        }
+
+        // Prefill everyone, then decode until the whole batch drains.
+        for (Request *r : batch) {
+            clock += step_->prefill(r->inLen);
+            r->firstToken = clock;
+        }
+        unsigned max_out = 0;
+        for (Request *r : batch)
+            max_out = std::max(max_out, r->outLen);
+        for (unsigned t = 0; t < max_out; ++t) {
+            unsigned active = 0;
+            double avg_pos = 0.0;
+            for (Request *r : batch) {
+                if (t < r->outLen) {
+                    ++active;
+                    avg_pos += r->inLen + t;
+                }
+            }
+            if (active == 0)
+                break;
+            avg_pos /= active;
+            clock += step_->decodeStep(active, avg_pos);
+            occupancy_sum += active;
+            ++steps;
+            for (Request *r : batch) {
+                if (t + 1 == r->outLen)
+                    r->finish = clock;
+            }
+        }
+    }
+    return finalize(trace, clock, occupancy_sum, steps);
+}
+
+ServeMetrics
+Server::runContinuous(std::vector<Request> &trace) const
+{
+    double clock = 0.0;
+    double occupancy_sum = 0.0;
+    double kv_peak = 0.0;
+    std::size_t steps = 0;
+    std::size_t next = 0;
+    std::vector<Active> active;
+
+    std::optional<KvBlockPool> pool;
+    if (cfg_.kvBlocks)
+        pool.emplace(KvPoolConfig{cfg_.kvBlocks, cfg_.kvBlockTokens});
+    auto can_admit = [&](const Request &r) {
+        return !pool || pool->canAdmit(r.inLen + r.outLen);
+    };
+
+    while (next < trace.size() || !active.empty()) {
+        // Admit arrivals up to batch and KV capacity; prefill on
+        // admission, reserving the full context worth of blocks.
+        while (next < trace.size() &&
+               active.size() < cfg_.maxBatch &&
+               trace[next].arrival <= clock &&
+               can_admit(trace[next])) {
+            Request *r = &trace[next];
+            if (pool)
+                pool->addSequence(r->id, r->inLen + r->outLen);
+            clock += step_->prefill(r->inLen);
+            r->firstToken = clock;
+            active.push_back({r, 0});
+            ++next;
+        }
+        if (pool)
+            kv_peak = std::max(kv_peak, pool->utilization());
+        // If KV capacity blocks the head of the queue while nothing
+        // runs, time must still advance to the next completion or
+        // arrival; with full-reservation admission an empty active
+        // set means the head simply has not arrived yet OR is too
+        // big; skip oversized requests outright.
+        if (active.empty() && next < trace.size() &&
+            trace[next].arrival <= clock && !can_admit(trace[next])) {
+            // Request larger than the whole pool: drop it.
+            ++next;
+            continue;
+        }
+        if (active.empty()) {
+            clock = std::max(clock, trace[next].arrival);
+            continue;
+        }
+
+        // One decode step for everyone currently active.
+        double avg_pos = 0.0;
+        for (const Active &a : active)
+            avg_pos += a.req->inLen + a.produced;
+        avg_pos /= active.size();
+        clock += step_->decodeStep(static_cast<double>(active.size()),
+                                   avg_pos);
+        occupancy_sum += static_cast<double>(active.size());
+        ++steps;
+
+        for (auto it = active.begin(); it != active.end();) {
+            ++it->produced;
+            if (it->produced >= it->req->outLen) {
+                it->req->finish = clock;
+                if (pool)
+                    pool->release(it->req->id);
+                it = active.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    ServeMetrics m = finalize(trace, clock, occupancy_sum, steps);
+    m.kvUtilizationPeak = kv_peak;
+    return m;
+}
+
+ServeMetrics
+Server::finalize(const std::vector<Request> &trace, double makespan,
+                 double occupancy_sum, std::size_t steps) const
+{
+    ServeMetrics m;
+    m.makespan = makespan;
+    std::vector<double> ttft, tpot;
+    std::uint64_t tokens = 0;
+    std::size_t slo_ok = 0;
+    for (const Request &r : trace) {
+        if (r.finish < 0.0)
+            continue;
+        ++m.completed;
+        tokens += r.outLen;
+        const double first = r.firstToken - r.arrival;
+        const double per_tok =
+            r.outLen > 1 ? (r.finish - r.firstToken) / (r.outLen - 1)
+                         : 0.0;
+        ttft.push_back(first);
+        if (r.outLen > 1)
+            tpot.push_back(per_tok);
+        if (first <= cfg_.ttftSlo &&
+            (r.outLen <= 1 || per_tok <= cfg_.tpotSlo))
+            ++slo_ok;
+    }
+    if (m.completed == 0)
+        cllm_panic("serving simulation completed no requests");
+    m.tokensPerSecond = tokens / makespan;
+    m.ttft = summarize(ttft, 0.0);
+    if (!tpot.empty())
+        m.tpot = summarize(tpot, 0.0);
+    m.sloAttainment =
+        static_cast<double>(slo_ok) / static_cast<double>(m.completed);
+    m.meanBatchOccupancy =
+        steps ? occupancy_sum / static_cast<double>(steps) : 0.0;
+    return m;
+}
+
+} // namespace cllm::serve

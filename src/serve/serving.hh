@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Confidential LLM serving simulator — an extension of the paper's
+ * steady-state measurements to online serving: Poisson request
+ * arrivals, static or continuous batching, and user-facing SLO
+ * metrics (time-to-first-token, time-per-output-token), priced per
+ * step by the CPU/GPU timing models under any TEE backend. This turns
+ * Insight 11 ("CPU TEEs are pragmatic for small batches") into a
+ * capacity question a deployment can actually answer.
+ */
+
+#ifndef CLLM_SERVE_SERVING_HH
+#define CLLM_SERVE_SERVING_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hw/cpu.hh"
+#include "hw/gpu.hh"
+#include "llm/model_config.hh"
+#include "llm/perf_cpu.hh"
+#include "llm/perf_gpu.hh"
+#include "tee/backend.hh"
+#include "serve/kv_pool.hh"
+#include "util/stats.hh"
+
+namespace cllm::serve {
+
+/** One inference request moving through the server. */
+struct Request
+{
+    unsigned id = 0;
+    double arrival = 0.0;      //!< seconds since epoch
+    unsigned inLen = 0;
+    unsigned outLen = 0;
+
+    // Filled by the simulation.
+    double firstToken = -1.0;  //!< completion time of the first token
+    double finish = -1.0;
+};
+
+/** Open-loop workload description. */
+struct WorkloadConfig
+{
+    double arrivalRate = 2.0;      //!< requests per second (Poisson)
+    unsigned numRequests = 200;
+    unsigned meanInLen = 512;
+    unsigned meanOutLen = 128;
+    double lengthSigma = 0.4;      //!< lognormal length spread
+    std::uint64_t seed = 7;
+};
+
+/** Draw a reproducible request trace. */
+std::vector<Request> generateWorkload(const WorkloadConfig &cfg);
+
+/** Batching policies. */
+enum class BatchPolicy
+{
+    Static,     //!< form a batch, run it to completion, repeat
+    Continuous, //!< admit new requests at step granularity (vLLM-like)
+};
+
+/** Printable policy name. */
+const char *batchPolicyName(BatchPolicy p);
+
+/** Server configuration. */
+struct ServerConfig
+{
+    BatchPolicy policy = BatchPolicy::Continuous;
+    unsigned maxBatch = 32;
+    double ttftSlo = 2.0;   //!< seconds to first token
+    double tpotSlo = 0.200; //!< seconds per output token (paper's bar)
+
+    /**
+     * KV capacity in paged blocks (0 = unbounded). Inside a TEE the
+     * pool is the encrypted enclave/TD memory the operator sized;
+     * admission reserves a request's full inLen+outLen worth of
+     * blocks so decode can never deadlock on KV exhaustion.
+     */
+    std::uint64_t kvBlocks = 0;
+    unsigned kvBlockTokens = 16;
+};
+
+/** Outcome of serving a trace. */
+struct ServeMetrics
+{
+    std::size_t completed = 0;
+    double makespan = 0.0;            //!< seconds to drain the trace
+    double kvUtilizationPeak = 0.0;   //!< peak KV-pool occupancy
+    double tokensPerSecond = 0.0;     //!< output tokens / makespan
+    SampleSummary ttft{};             //!< time to first token
+    SampleSummary tpot{};             //!< time per output token
+    double sloAttainment = 0.0;       //!< fraction meeting both SLOs
+    double meanBatchOccupancy = 0.0;  //!< sequences per decode step
+};
+
+/**
+ * Abstract per-step cost model so CPU and GPU deployments share the
+ * serving loop.
+ */
+class StepModel
+{
+  public:
+    virtual ~StepModel() = default;
+
+    /** Seconds to prefill one request of `in_len` tokens. */
+    virtual double prefill(unsigned in_len) const = 0;
+
+    /** Seconds for one decode step over `nseq` seqs at avg `pos`. */
+    virtual double decodeStep(double nseq, double avg_pos) const = 0;
+};
+
+/** CPU deployment under a TEE backend. */
+std::unique_ptr<StepModel>
+makeCpuStepModel(const hw::CpuSpec &cpu,
+                 std::shared_ptr<const tee::TeeBackend> backend,
+                 const llm::ModelConfig &model,
+                 const llm::RunParams &params);
+
+/** GPU deployment (confidential or raw). */
+std::unique_ptr<StepModel> makeGpuStepModel(const hw::GpuSpec &gpu,
+                                            bool confidential,
+                                            const llm::ModelConfig &model,
+                                            hw::Dtype dtype);
+
+/**
+ * The serving simulator: replays a trace against a step model under a
+ * batching policy and reports SLO metrics.
+ */
+class Server
+{
+  public:
+    Server(std::unique_ptr<StepModel> step, ServerConfig cfg);
+
+    /** Simulate; the trace is copied and annotated internally. */
+    ServeMetrics run(std::vector<Request> trace) const;
+
+    const ServerConfig &config() const { return cfg_; }
+
+  private:
+    ServeMetrics runStatic(std::vector<Request> &trace) const;
+    ServeMetrics runContinuous(std::vector<Request> &trace) const;
+    ServeMetrics finalize(const std::vector<Request> &trace,
+                          double makespan, double occupancy_sum,
+                          std::size_t steps) const;
+
+    std::unique_ptr<StepModel> step_;
+    ServerConfig cfg_;
+};
+
+} // namespace cllm::serve
+
+#endif // CLLM_SERVE_SERVING_HH

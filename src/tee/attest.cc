@@ -1,0 +1,132 @@
+#include "tee/attest.hh"
+
+#include <cstring>
+
+namespace cllm::tee {
+
+void
+MeasurementBuilder::extend(const std::string &label,
+                           const std::vector<std::uint8_t> &data)
+{
+    // Length-prefixed framing so ("ab","c") != ("a","bc").
+    const std::uint64_t label_len = label.size();
+    const std::uint64_t data_len = data.size();
+    hasher_.update(&label_len, sizeof(label_len));
+    hasher_.update(label);
+    hasher_.update(&data_len, sizeof(data_len));
+    hasher_.update(data.data(), data.size());
+}
+
+void
+MeasurementBuilder::extend(const std::string &label, const std::string &data)
+{
+    extend(label, std::vector<std::uint8_t>(data.begin(), data.end()));
+}
+
+Measurement
+MeasurementBuilder::finish()
+{
+    return Measurement{hasher_.finish()};
+}
+
+QuotingEnclave::QuotingEnclave(const crypto::Digest256 &hardware_key,
+                               std::uint64_t security_version)
+    : hwKey_(hardware_key),
+      verifKey_(crypto::deriveKey(hardware_key, "quote-verification")),
+      securityVersion_(security_version)
+{
+}
+
+crypto::Digest256
+QuotingEnclave::signQuote(const Quote &q) const
+{
+    std::vector<std::uint8_t> buf;
+    buf.insert(buf.end(), q.measurement.value.begin(),
+               q.measurement.value.end());
+    buf.insert(buf.end(), q.reportData.begin(), q.reportData.end());
+    for (int i = 0; i < 8; ++i) {
+        buf.push_back(
+            static_cast<std::uint8_t>(q.securityVersion >> (56 - 8 * i)));
+    }
+    std::vector<std::uint8_t> key(verifKey_.begin(), verifKey_.end());
+    return crypto::hmacSha256(key, buf.data(), buf.size());
+}
+
+Quote
+QuotingEnclave::generateQuote(const Measurement &m,
+                              const crypto::Digest256 &report_data) const
+{
+    Quote q;
+    q.measurement = m;
+    q.reportData = report_data;
+    q.securityVersion = securityVersion_;
+    q.signature = signQuote(q);
+    return q;
+}
+
+crypto::Digest256
+QuotingEnclave::sealingKey(const Measurement &m) const
+{
+    const crypto::Digest256 base = crypto::deriveKey(hwKey_, "sealing");
+    std::vector<std::uint8_t> key(base.begin(), base.end());
+    return crypto::hmacSha256(key, m.value.data(), m.value.size());
+}
+
+const char *
+verifyStatusName(VerifyStatus s)
+{
+    switch (s) {
+      case VerifyStatus::Ok:
+        return "ok";
+      case VerifyStatus::BadSignature:
+        return "bad signature";
+      case VerifyStatus::UnexpectedMeasurement:
+        return "unexpected measurement";
+      case VerifyStatus::StaleSecurityVersion:
+        return "stale security version";
+    }
+    return "?";
+}
+
+QuoteVerifier::QuoteVerifier(const crypto::Digest256 &verification_key,
+                             std::uint64_t min_security_version)
+    : verifKey_(verification_key),
+      minSecurityVersion_(min_security_version)
+{
+}
+
+void
+QuoteVerifier::allow(const Measurement &m)
+{
+    allowed_.push_back(m);
+}
+
+VerifyStatus
+QuoteVerifier::verify(const Quote &quote) const
+{
+    // Recompute the signature with the shared verification key.
+    std::vector<std::uint8_t> buf;
+    buf.insert(buf.end(), quote.measurement.value.begin(),
+               quote.measurement.value.end());
+    buf.insert(buf.end(), quote.reportData.begin(), quote.reportData.end());
+    for (int i = 0; i < 8; ++i) {
+        buf.push_back(static_cast<std::uint8_t>(quote.securityVersion >>
+                                                (56 - 8 * i)));
+    }
+    std::vector<std::uint8_t> key(verifKey_.begin(), verifKey_.end());
+    const crypto::Digest256 expect =
+        crypto::hmacSha256(key, buf.data(), buf.size());
+    if (!crypto::digestEqual(expect, quote.signature))
+        return VerifyStatus::BadSignature;
+
+    if (quote.securityVersion < minSecurityVersion_)
+        return VerifyStatus::StaleSecurityVersion;
+
+    for (const auto &m : allowed_) {
+        if (m == quote.measurement)
+            return VerifyStatus::Ok;
+    }
+    return VerifyStatus::UnexpectedMeasurement;
+}
+
+} // namespace cllm::tee

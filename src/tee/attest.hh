@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Functional remote-attestation stack, mirroring the roles of SGX/TDX
+ * DCAP attestation: an enclave is *measured* (SHA-256 over its initial
+ * contents and configuration), the platform's quoting facility signs a
+ * *quote* binding the measurement to caller-supplied report data (for
+ * example a key-exchange public value), and a relying party *verifies*
+ * the quote against expected measurements before provisioning secrets
+ * (such as LLM weight-decryption keys). Sealing keys are derived from
+ * the hardware key and the measurement, so only the same enclave on
+ * the same platform can unseal.
+ *
+ * The vendor PKI is stood in for by an HMAC with a per-platform
+ * hardware key, preserving the protocol structure without an ECDSA
+ * implementation.
+ */
+
+#ifndef CLLM_TEE_ATTEST_HH
+#define CLLM_TEE_ATTEST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/hmac.hh"
+#include "crypto/sha256.hh"
+
+namespace cllm::tee {
+
+/** An enclave/TD measurement (MRENCLAVE / MRTD analogue). */
+struct Measurement
+{
+    crypto::Digest256 value{};
+
+    bool operator==(const Measurement &o) const
+    {
+        return crypto::digestEqual(value, o.value);
+    }
+};
+
+/**
+ * Compute a measurement over enclave contents and configuration,
+ * mimicking the page-by-page EEXTEND process: each (offset, chunk)
+ * pair is absorbed in order.
+ */
+class MeasurementBuilder
+{
+  public:
+    /** Absorb a labelled region (binary, manifest, config). */
+    void extend(const std::string &label,
+                const std::vector<std::uint8_t> &data);
+
+    /** Absorb a labelled string region. */
+    void extend(const std::string &label, const std::string &data);
+
+    /** Finalize. */
+    Measurement finish();
+
+  private:
+    crypto::Sha256 hasher_;
+};
+
+/** A signed attestation quote. */
+struct Quote
+{
+    Measurement measurement;
+    crypto::Digest256 reportData{}; //!< caller-bound data (e.g. pubkey)
+    std::uint64_t securityVersion = 0;
+    crypto::Digest256 signature{};  //!< platform signature (HMAC model)
+};
+
+/**
+ * Per-platform quoting facility holding the hardware root key.
+ */
+class QuotingEnclave
+{
+  public:
+    /** Create a platform with the given hardware root key. */
+    explicit QuotingEnclave(const crypto::Digest256 &hardware_key,
+                            std::uint64_t security_version = 1);
+
+    /** Produce a signed quote for a measurement + report data. */
+    Quote generateQuote(const Measurement &m,
+                        const crypto::Digest256 &report_data) const;
+
+    /**
+     * Derive the sealing key for an enclave measurement: stable across
+     * restarts of the same enclave on the same platform.
+     */
+    crypto::Digest256 sealingKey(const Measurement &m) const;
+
+    /**
+     * Platform verification key material, shared out-of-band with
+     * relying parties (stands in for the DCAP PCK certificate chain).
+     */
+    const crypto::Digest256 &verificationKey() const { return verifKey_; }
+
+  private:
+    crypto::Digest256 signQuote(const Quote &q) const;
+
+    crypto::Digest256 hwKey_;
+    crypto::Digest256 verifKey_;
+    std::uint64_t securityVersion_;
+
+    friend class QuoteVerifier;
+};
+
+/** Verification outcome. */
+enum class VerifyStatus
+{
+    Ok,
+    BadSignature,
+    UnexpectedMeasurement,
+    StaleSecurityVersion,
+};
+
+/** Printable name of a VerifyStatus. */
+const char *verifyStatusName(VerifyStatus s);
+
+/**
+ * Relying-party verifier: checks quotes against an allow-list of
+ * measurements and a minimum security version.
+ */
+class QuoteVerifier
+{
+  public:
+    /** Bind to a platform's verification key. */
+    explicit QuoteVerifier(const crypto::Digest256 &verification_key,
+                           std::uint64_t min_security_version = 1);
+
+    /** Add an acceptable enclave measurement. */
+    void allow(const Measurement &m);
+
+    /** Verify signature, measurement, and security version. */
+    VerifyStatus verify(const Quote &quote) const;
+
+  private:
+    crypto::Digest256 verifKey_;
+    std::uint64_t minSecurityVersion_;
+    std::vector<Measurement> allowed_;
+};
+
+} // namespace cllm::tee
+
+#endif // CLLM_TEE_ATTEST_HH

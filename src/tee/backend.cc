@@ -1,0 +1,255 @@
+#include "tee/backend.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace cllm::tee {
+
+namespace {
+
+/**
+ * Bare-metal environment: no taxes; honours all placement requests.
+ */
+class BareMetalBackend : public TeeBackend
+{
+  public:
+    std::string name() const override { return "bare"; }
+
+    SecurityProfile
+    security() const override
+    {
+        SecurityProfile s;
+        s.trustBoundary = "everything (no protection)";
+        return s;
+    }
+
+    ExecTax
+    tax(const hw::CpuSpec &cpu, const TeeRequest &req) const override
+    {
+        (void)cpu;
+        ExecTax t;
+        t.effectivePage = req.requestedPage;
+        t.xlate = mem::TranslationMode::Native;
+        t.placement = req.numaBindRequested ? mem::NumaPlacement::Local
+                                            : mem::NumaPlacement::Unbound;
+        return t;
+    }
+};
+
+/**
+ * Raw VM: virtualization tax and nested translation, no security.
+ */
+class VmBackend : public TeeBackend
+{
+  public:
+    explicit VmBackend(const VmConfig &cfg) : cfg_(cfg) {}
+
+    std::string name() const override
+    {
+        if (!cfg_.numaBound)
+            return "VM NB";
+        return cfg_.hugepages1G ? "VM" : "VM TH";
+    }
+
+    SecurityProfile
+    security() const override
+    {
+        SecurityProfile s;
+        s.trustBoundary = "VM + hypervisor + host (no protection)";
+        return s;
+    }
+
+    ExecTax
+    tax(const hw::CpuSpec &cpu, const TeeRequest &req) const override
+    {
+        (void)cpu;
+        ExecTax t;
+        t.computeFactor = 1.0 - cfg_.virtComputeTax;
+        t.effectivePage = cfg_.hugepages1G ? mem::PageSize::Page1G
+                                           : mem::PageSize::Page2M;
+        // A guest cannot use a larger page than the host backing.
+        if (pageBytes(req.requestedPage) < pageBytes(t.effectivePage))
+            t.effectivePage = req.requestedPage;
+        t.xlate = mem::TranslationMode::Nested;
+        t.placement = (cfg_.numaBound && req.numaBindRequested)
+                          ? mem::NumaPlacement::Local
+                          : mem::NumaPlacement::Unbound;
+        t.perOpFixedSec = cfg_.perOpFixedUs * MICRO;
+        t.noiseSigma = 0.010;
+        return t;
+    }
+
+  private:
+    VmConfig cfg_;
+};
+
+/**
+ * TDX: VM plus TME-MK memory encryption, SEPT checks, and the paper's
+ * driver limitations (no NUMA binding fidelity, no 1 GiB hugepages,
+ * no sub-NUMA awareness).
+ */
+class TdxBackend : public TeeBackend
+{
+  public:
+    explicit TdxBackend(const TdxConfig &cfg) : cfg_(cfg) {}
+
+    std::string name() const override { return "TDX"; }
+
+    SecurityProfile
+    security() const override
+    {
+        SecurityProfile s;
+        s.memoryEncrypted = true;
+        s.memoryIntegrity = true;
+        s.interconnectProtected = true; // UPI link encryption
+        s.protectsFromHost = true;
+        s.trustBoundary = "entire guest VM (OS + services + app)";
+        return s;
+    }
+
+    ExecTax
+    tax(const hw::CpuSpec &cpu, const TeeRequest &req) const override
+    {
+        (void)cpu;
+        ExecTax t;
+        t.computeFactor = 1.0 - cfg_.vm.virtComputeTax;
+        // Insight 7: TDX ignores reserved 1 GiB pages and uses 2 MiB
+        // transparent hugepages underneath.
+        t.effectivePage = mem::PageSize::Page2M;
+        t.xlate = mem::TranslationMode::NestedTdx;
+        // Insight 6: the TDX KVM driver does not honour NUMA bindings.
+        t.placement = req.sockets > 1 ? mem::NumaPlacement::Striped
+                                      : mem::NumaPlacement::Local;
+        t.upiEncrypted = true;
+        t.encBwFactor = 1.0 - cfg_.tmeBwTax;
+        // Section IV-A: sub-NUMA clustering misplaces TD memory,
+        // raising overheads from ~5% to ~42% in the paper's test runs.
+        if (req.sncEnabled)
+            t.encBwFactor *= 0.72;
+        t.perOpFixedSec = cfg_.perOpFixedUs * MICRO;
+        t.noiseSigma = cfg_.noiseSigma;
+        t.outlierProb = cfg_.outlierProb;
+        t.outlierScale = cfg_.outlierScale;
+        return t;
+    }
+
+  private:
+    TdxConfig cfg_;
+};
+
+/**
+ * Gramine-SGX: process enclave on bare metal. Native translation, but
+ * MEE encryption+integrity on all enclave traffic, EPC paging beyond
+ * the EPC size, enclave transitions for non-emulated syscalls, and a
+ * unified NUMA view (Section IV-A).
+ */
+class SgxBackend : public TeeBackend
+{
+  public:
+    explicit SgxBackend(const SgxConfig &cfg) : cfg_(cfg) {}
+
+    std::string name() const override { return "SGX"; }
+
+    SecurityProfile
+    security() const override
+    {
+        SecurityProfile s;
+        s.memoryEncrypted = true;
+        s.memoryIntegrity = true;
+        s.interconnectProtected = true;
+        s.protectsFromHost = true;
+        s.trustBoundary = "application + library OS only";
+        return s;
+    }
+
+    ExecTax
+    tax(const hw::CpuSpec &cpu, const TeeRequest &req) const override
+    {
+        ExecTax t;
+        // Enclave heap is backed by EPC sections; model 2 MiB-grained
+        // mappings on the native (non-nested) walk path.
+        t.effectivePage = mem::PageSize::Page2M;
+        t.xlate = mem::TranslationMode::Native;
+        // SGX exposes memory as a single unified NUMA node.
+        t.placement = req.sockets > 1 ? mem::NumaPlacement::SingleNode
+                                      : mem::NumaPlacement::Local;
+        t.upiEncrypted = true;
+        t.encBwFactor = 1.0 - cfg_.meeBwTax;
+        if (req.sncEnabled)
+            t.encBwFactor *= 0.72;
+
+        // EPC paging once the working set exceeds the EPC.
+        const std::uint64_t epc =
+            std::min<std::uint64_t>(cfg_.epcBytes,
+                                    cpu.epcBytesPerSocket * req.sockets);
+        mem::EpcCostModel epc_cost;
+        t.extraSecPerByte =
+            epc_cost.extraSecondsPerByte(req.workingSetBytes, epc);
+
+        // Enclave transitions for syscalls Gramine cannot emulate.
+        const double exits =
+            req.syscallsPerToken * (1.0 - cfg_.inEnclaveSyscallFrac);
+        t.perTokenFixedSec = exits * cfg_.enclaveTransitionUs * MICRO;
+        t.perOpFixedSec = cfg_.perOpFixedUs * MICRO;
+        t.noiseSigma = cfg_.noiseSigma;
+        t.outlierProb = cfg_.outlierProb;
+        t.outlierScale = cfg_.outlierScale;
+        return t;
+    }
+
+  private:
+    SgxConfig cfg_;
+};
+
+} // namespace
+
+std::unique_ptr<TeeBackend>
+makeBareMetal()
+{
+    return std::make_unique<BareMetalBackend>();
+}
+
+std::unique_ptr<TeeBackend>
+makeVm(const VmConfig &cfg)
+{
+    return std::make_unique<VmBackend>(cfg);
+}
+
+std::unique_ptr<TeeBackend>
+makeTdx(const TdxConfig &cfg)
+{
+    return std::make_unique<TdxBackend>(cfg);
+}
+
+std::unique_ptr<TeeBackend>
+makeSgx(const SgxConfig &cfg)
+{
+    return std::make_unique<SgxBackend>(cfg);
+}
+
+GpuTax
+cgpuTax(const hw::GpuSpec &gpu)
+{
+    GpuTax t;
+    t.launchExtraSec = gpu.ccLaunchExtraUs * MICRO;
+    t.hostLinkBwBytes = gpu.ccBounceBwBytes;
+    t.hbmBwFactor = gpu.hbmEncrypted ? 0.95 : 1.0;
+    return t;
+}
+
+SecurityProfile
+cgpuSecurity()
+{
+    SecurityProfile s;
+    s.memoryEncrypted = false; // H100 HBM is not encrypted
+    s.memoryIntegrity = false;
+    s.interconnectProtected = false; // NVLINK unprotected; PCIe via
+                                     // bounce buffer only
+    s.protectsFromHost = true;
+    s.trustBoundary = "GPU + host CPU TEE";
+    return s;
+}
+
+} // namespace cllm::tee

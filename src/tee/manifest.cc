@@ -1,0 +1,328 @@
+#include "tee/manifest.hh"
+
+#include <cctype>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace cllm::tee {
+
+namespace {
+
+/** Strip whitespace from both ends. */
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** Remove surrounding quotes if present. */
+std::string
+unquote(const std::string &s)
+{
+    if (s.size() >= 2 && ((s.front() == '"' && s.back() == '"') ||
+                          (s.front() == '\'' && s.back() == '\'')))
+        return s.substr(1, s.size() - 2);
+    return s;
+}
+
+/** Parse "64G" / "512M" / "4096" size literals. */
+std::optional<std::uint64_t>
+parseSize(const std::string &s)
+{
+    if (s.empty())
+        return std::nullopt;
+    char suffix = s.back();
+    std::uint64_t mult = 1;
+    std::string digits = s;
+    if (suffix == 'G' || suffix == 'g') {
+        mult = GiB;
+        digits = s.substr(0, s.size() - 1);
+    } else if (suffix == 'M' || suffix == 'm') {
+        mult = MiB;
+        digits = s.substr(0, s.size() - 1);
+    } else if (suffix == 'K' || suffix == 'k') {
+        mult = KiB;
+        digits = s.substr(0, s.size() - 1);
+    }
+    if (digits.empty())
+        return std::nullopt;
+    std::uint64_t v = 0;
+    for (char c : digits) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return std::nullopt;
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return v * mult;
+}
+
+/** True when `v` is a power of two. */
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Parse a `[{ uri = "...", sha256 = "..." }, ...]` inline array. */
+void
+parseTrustedFiles(const std::string &value, Manifest &m)
+{
+    // Split on '}' boundaries; tolerant of whitespace and newlines.
+    std::size_t pos = 0;
+    while ((pos = value.find("uri", pos)) != std::string::npos) {
+        const std::size_t eq = value.find('=', pos);
+        if (eq == std::string::npos)
+            break;
+        const std::size_t q1 = value.find('"', eq);
+        const std::size_t q2 =
+            q1 == std::string::npos ? std::string::npos
+                                    : value.find('"', q1 + 1);
+        if (q2 == std::string::npos)
+            break;
+        TrustedFile tf;
+        tf.uri = value.substr(q1 + 1, q2 - q1 - 1);
+        // Optional sha256 in the same element (before the next '}').
+        const std::size_t elem_end = value.find('}', q2);
+        const std::size_t sh = value.find("sha256", q2);
+        if (sh != std::string::npos &&
+            (elem_end == std::string::npos || sh < elem_end)) {
+            const std::size_t sq1 = value.find('"', sh);
+            const std::size_t sq2 = sq1 == std::string::npos
+                                        ? std::string::npos
+                                        : value.find('"', sq1 + 1);
+            if (sq2 != std::string::npos)
+                tf.sha256Hex = value.substr(sq1 + 1, sq2 - sq1 - 1);
+        }
+        m.trustedFiles.push_back(std::move(tf));
+        pos = q2 + 1;
+    }
+}
+
+/** Parse a `[ "a", "b" ]` string array. */
+std::vector<std::string>
+parseStringArray(const std::string &value)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while ((pos = value.find('"', pos)) != std::string::npos) {
+        const std::size_t end = value.find('"', pos + 1);
+        if (end == std::string::npos)
+            break;
+        out.push_back(value.substr(pos + 1, end - pos - 1));
+        pos = end + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+void
+Manifest::extendMeasurement(MeasurementBuilder &builder) const
+{
+    builder.extend("manifest", renderManifest(*this));
+}
+
+ManifestResult
+parseManifest(const std::string &text, bool strict)
+{
+    ManifestResult result;
+    Manifest &m = result.manifest;
+
+    std::istringstream in(text);
+    std::string line;
+    std::string pending_key, pending_value;
+    bool in_array = false;
+    int line_no = 0;
+
+    auto fail = [&](const std::string &why) {
+        result.ok = false;
+        result.error = "line " + std::to_string(line_no) + ": " + why;
+    };
+
+    auto apply = [&](const std::string &key,
+                     const std::string &raw_value) -> bool {
+        const std::string value = unquote(trim(raw_value));
+        if (key == "libos.entrypoint") {
+            m.entrypoint = value;
+        } else if (key == "loader.log_level") {
+            m.logLevel = value;
+        } else if (key == "sgx.enclave_size") {
+            auto sz = parseSize(value);
+            if (!sz) {
+                fail("bad enclave size '" + value + "'");
+                return false;
+            }
+            m.enclaveSizeBytes = *sz;
+        } else if (key == "sgx.max_threads") {
+            m.maxThreads = static_cast<unsigned>(std::stoul(value));
+        } else if (key == "sgx.edmm_enable") {
+            m.edmm = (value == "true" || value == "1");
+        } else if (key == "sgx.trusted_files") {
+            parseTrustedFiles(raw_value, m);
+        } else if (key == "fs.encrypted_files" ||
+                   key == "fs.mounts.encrypted") {
+            m.encryptedFiles = parseStringArray(raw_value);
+        } else if (key == "fs.insecure__keys.default" ||
+                   key == "sgx.key_provider") {
+            m.keyProvider = value;
+        } else if (key.rfind("loader.env.", 0) == 0) {
+            m.env[key.substr(11)] = value;
+        } else if (strict) {
+            fail("unknown key '" + key + "'");
+            return false;
+        }
+        return true;
+    };
+
+    while (std::getline(in, line)) {
+        ++line_no;
+        const std::string t = trim(line);
+        if (in_array) {
+            pending_value += "\n" + t;
+            // Arrays close when brackets balance.
+            long depth = 0;
+            for (char c : pending_value) {
+                if (c == '[')
+                    ++depth;
+                else if (c == ']')
+                    --depth;
+            }
+            if (depth <= 0) {
+                in_array = false;
+                if (!apply(pending_key, pending_value))
+                    return result;
+            }
+            continue;
+        }
+        if (t.empty() || t[0] == '#')
+            continue;
+        const std::size_t eq = t.find('=');
+        if (eq == std::string::npos) {
+            fail("expected key = value");
+            return result;
+        }
+        const std::string key = trim(t.substr(0, eq));
+        const std::string value = trim(t.substr(eq + 1));
+        long depth = 0;
+        for (char c : value) {
+            if (c == '[')
+                ++depth;
+            else if (c == ']')
+                --depth;
+        }
+        if (depth > 0) {
+            in_array = true;
+            pending_key = key;
+            pending_value = value;
+            continue;
+        }
+        if (!apply(key, value))
+            return result;
+    }
+    if (in_array) {
+        fail("unterminated array for key '" + pending_key + "'");
+        return result;
+    }
+    result.ok = true;
+    return result;
+}
+
+ManifestResult
+validateManifest(const Manifest &m)
+{
+    ManifestResult r;
+    r.manifest = m;
+    auto fail = [&](const std::string &why) {
+        r.ok = false;
+        r.error = why;
+    };
+
+    if (m.entrypoint.empty()) {
+        fail("libos.entrypoint missing");
+        return r;
+    }
+    if (m.enclaveSizeBytes == 0) {
+        fail("sgx.enclave_size missing");
+        return r;
+    }
+    if (!isPow2(m.enclaveSizeBytes)) {
+        fail("sgx.enclave_size must be a power of two");
+        return r;
+    }
+    if (m.enclaveSizeBytes < 1 * GiB) {
+        fail("enclave too small for LLM inference (< 1 GiB)");
+        return r;
+    }
+    if (m.maxThreads == 0) {
+        fail("sgx.max_threads missing");
+        return r;
+    }
+    for (const auto &tf : m.trustedFiles) {
+        if (tf.uri.empty()) {
+            fail("trusted file with empty uri");
+            return r;
+        }
+        if (!tf.sha256Hex.empty() && tf.sha256Hex.size() != 64) {
+            fail("trusted file '" + tf.uri + "' has malformed sha256");
+            return r;
+        }
+    }
+    r.ok = true;
+    return r;
+}
+
+std::string
+renderManifest(const Manifest &m)
+{
+    std::ostringstream os;
+    os << "libos.entrypoint = \"" << m.entrypoint << "\"\n";
+    os << "loader.log_level = \"" << m.logLevel << "\"\n";
+    for (const auto &[k, v] : m.env)
+        os << "loader.env." << k << " = \"" << v << "\"\n";
+    os << "sgx.enclave_size = \"" << m.enclaveSizeBytes / GiB << "G\"\n";
+    os << "sgx.max_threads = " << m.maxThreads << "\n";
+    os << "sgx.edmm_enable = " << (m.edmm ? "true" : "false") << "\n";
+    os << "sgx.trusted_files = [\n";
+    for (const auto &tf : m.trustedFiles) {
+        os << "  { uri = \"" << tf.uri << "\"";
+        if (!tf.sha256Hex.empty())
+            os << ", sha256 = \"" << tf.sha256Hex << "\"";
+        os << " },\n";
+    }
+    os << "]\n";
+    os << "fs.encrypted_files = [";
+    for (std::size_t i = 0; i < m.encryptedFiles.size(); ++i)
+        os << (i ? ", " : " ") << "\"" << m.encryptedFiles[i] << "\"";
+    os << " ]\n";
+    if (!m.keyProvider.empty())
+        os << "sgx.key_provider = \"" << m.keyProvider << "\"\n";
+    return os.str();
+}
+
+std::string
+exampleLlamaManifest()
+{
+    return R"(# Gramine manifest for Llama2 inference with IPEX
+libos.entrypoint = "/usr/bin/python3"
+loader.log_level = "error"
+loader.env.OMP_NUM_THREADS = "32"
+loader.env.LD_PRELOAD = "/usr/lib/libtcmalloc.so"
+sgx.enclave_size = "64G"
+sgx.max_threads = 128
+sgx.edmm_enable = true
+sgx.trusted_files = [
+  { uri = "file:/usr/bin/python3" },
+  { uri = "file:/app/run_inference.py" },
+]
+fs.encrypted_files = [ "file:/models/llama2-7b/" ]
+sgx.key_provider = "kds://weights-key"
+)";
+}
+
+} // namespace cllm::tee

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Gramine manifest handling (Figure 2 of the paper). Manifests are
+ * TOML-flavoured key/value files describing the enclave: entrypoint,
+ * enclave size, thread count, trusted files (integrity-checked via
+ * SHA-256) and encrypted files (confidentiality via the FS shield).
+ * This module parses the subset Gramine's LLM deployments use,
+ * validates it, and folds it into the enclave measurement so that a
+ * manifest change changes MRENCLAVE.
+ */
+
+#ifndef CLLM_TEE_MANIFEST_HH
+#define CLLM_TEE_MANIFEST_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tee/attest.hh"
+
+namespace cllm::tee {
+
+/** A trusted-file entry: path plus expected SHA-256. */
+struct TrustedFile
+{
+    std::string uri;
+    std::string sha256Hex; //!< empty until computed/pinned
+};
+
+/** Parsed manifest contents. */
+struct Manifest
+{
+    std::string entrypoint;              //!< libos.entrypoint
+    std::string logLevel = "error";      //!< loader.log_level
+    std::uint64_t enclaveSizeBytes = 0;  //!< sgx.enclave_size
+    unsigned maxThreads = 0;             //!< sgx.max_threads
+    bool edmm = false;                   //!< sgx.edmm_enable
+    std::vector<TrustedFile> trustedFiles;
+    std::vector<std::string> encryptedFiles;
+    std::string keyProvider;             //!< fs.insecure__keys or KDS
+    std::map<std::string, std::string> env;
+
+    /** Fold the manifest into an enclave measurement. */
+    void extendMeasurement(MeasurementBuilder &builder) const;
+};
+
+/** Outcome of parsing/validation. */
+struct ManifestResult
+{
+    bool ok = false;
+    std::string error;       //!< first problem found, when !ok
+    Manifest manifest;       //!< valid only when ok
+};
+
+/**
+ * Parse a Gramine-style manifest text. Unknown keys are preserved as
+ * env-style entries when under `loader.env`, otherwise rejected only
+ * if `strict` is set.
+ */
+ManifestResult parseManifest(const std::string &text, bool strict = false);
+
+/**
+ * Validate semantic constraints: entrypoint present, enclave size a
+ * power of two and >= 1 GiB for LLM workloads, thread count sized for
+ * the runtime, trusted files carrying hashes.
+ */
+ManifestResult validateManifest(const Manifest &m);
+
+/** Render back to manifest text (normalized ordering). */
+std::string renderManifest(const Manifest &m);
+
+/**
+ * Example manifest for an IPEX Llama2 deployment, close to the
+ * paper's Figure 2 excerpt.
+ */
+std::string exampleLlamaManifest();
+
+} // namespace cllm::tee
+
+#endif // CLLM_TEE_MANIFEST_HH

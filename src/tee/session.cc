@@ -1,0 +1,137 @@
+#include "tee/session.hh"
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace cllm::tee {
+
+std::uint64_t
+dhModPow(std::uint64_t base, std::uint64_t exp)
+{
+    unsigned __int128 result = 1;
+    unsigned __int128 b = base % kDhPrime;
+    while (exp > 0) {
+        if (exp & 1)
+            result = result * b % kDhPrime;
+        b = b * b % kDhPrime;
+        exp >>= 1;
+    }
+    return static_cast<std::uint64_t>(result);
+}
+
+DhKeyPair::DhKeyPair(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    // Clamp into [2, p-2].
+    secret_ = 2 + splitmix64(s) % (kDhPrime - 3);
+    pub_ = dhModPow(kDhGenerator, secret_);
+}
+
+std::uint64_t
+DhKeyPair::sharedSecret(std::uint64_t peer_public) const
+{
+    if (peer_public < 2 || peer_public >= kDhPrime)
+        cllm_fatal("DH peer public value out of group range");
+    return dhModPow(peer_public, secret_);
+}
+
+crypto::Digest256
+bindPublicValue(std::uint64_t pub)
+{
+    std::uint8_t buf[8];
+    for (int i = 0; i < 8; ++i)
+        buf[i] = static_cast<std::uint8_t>(pub >> (56 - 8 * i));
+    return crypto::sha256(buf, sizeof(buf));
+}
+
+SessionKeys
+deriveSessionKeys(std::uint64_t shared_secret)
+{
+    crypto::Digest256 base{};
+    for (int i = 0; i < 8; ++i) {
+        base[i] =
+            static_cast<std::uint8_t>(shared_secret >> (56 - 8 * i));
+    }
+    SessionKeys keys;
+    keys.clientToServer = crypto::deriveKey(base, "session-c2s");
+    keys.serverToClient = crypto::deriveKey(base, "session-s2c");
+    return keys;
+}
+
+ServerHello
+makeServerHello(const QuotingEnclave &platform,
+                const Measurement &enclave,
+                const DhKeyPair &server_keys)
+{
+    ServerHello hello;
+    hello.dhPublic = server_keys.publicValue();
+    hello.quote = platform.generateQuote(
+        enclave, bindPublicValue(hello.dhPublic));
+    return hello;
+}
+
+HandshakeResult
+completeHandshake(const QuoteVerifier &verifier, const ServerHello &hello,
+                  const DhKeyPair &client_keys)
+{
+    HandshakeResult result;
+    result.status = verifier.verify(hello.quote);
+    if (result.status != VerifyStatus::Ok)
+        return result;
+    // The quote must bind exactly the DH value we are about to use.
+    if (!crypto::digestEqual(hello.quote.reportData,
+                             bindPublicValue(hello.dhPublic))) {
+        result.status = VerifyStatus::BadSignature;
+        return result;
+    }
+    result.keys =
+        deriveSessionKeys(client_keys.sharedSecret(hello.dhPublic));
+    result.ok = true;
+    return result;
+}
+
+SecureChannel::SecureChannel(const crypto::Digest256 &key)
+    : cipher_(crypto::toAesKey(crypto::deriveKey(key, "channel-enc")))
+{
+    const crypto::Digest256 mk = crypto::deriveKey(key, "channel-mac");
+    macKey_.assign(mk.begin(), mk.end());
+}
+
+crypto::Digest256
+SecureChannel::macOf(const SealedMessage &msg) const
+{
+    std::vector<std::uint8_t> buf;
+    buf.reserve(8 + msg.ciphertext.size());
+    for (int i = 0; i < 8; ++i) {
+        buf.push_back(
+            static_cast<std::uint8_t>(msg.sequence >> (56 - 8 * i)));
+    }
+    buf.insert(buf.end(), msg.ciphertext.begin(), msg.ciphertext.end());
+    return crypto::hmacSha256(macKey_, buf.data(), buf.size());
+}
+
+SealedMessage
+SecureChannel::seal(const std::vector<std::uint8_t> &plaintext)
+{
+    SealedMessage msg;
+    msg.sequence = ++sendSeq_;
+    msg.ciphertext = plaintext;
+    cipher_.transform(msg.sequence, 0, msg.ciphertext);
+    msg.mac = macOf(msg);
+    return msg;
+}
+
+std::optional<std::vector<std::uint8_t>>
+SecureChannel::open(const SealedMessage &msg)
+{
+    if (msg.sequence != recvSeq_ + 1)
+        return std::nullopt; // replay or reorder
+    if (!crypto::digestEqual(msg.mac, macOf(msg)))
+        return std::nullopt;
+    ++recvSeq_;
+    std::vector<std::uint8_t> plain = msg.ciphertext;
+    cipher_.transform(msg.sequence, 0, plain);
+    return plain;
+}
+
+} // namespace cllm::tee

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Attested secure sessions: the protocol glue between remote
+ * attestation and confidential inference traffic. The enclave binds a
+ * Diffie-Hellman public value into its quote's report data; a client
+ * verifies the quote (measurement + signature) before completing the
+ * key exchange, so the resulting channel keys are only shared with
+ * the *attested* code. Prompts and generated tokens then flow through
+ * an authenticated stream cipher with strict sequence numbers
+ * (replay/reorder protection).
+ *
+ * The DH group is a real (if small, 61-bit) prime-field group — big
+ * enough to exercise the arithmetic honestly, far too small for real
+ * security; production code would use X25519, exactly as DCAP-based
+ * RA-TLS does.
+ */
+
+#ifndef CLLM_TEE_SESSION_HH
+#define CLLM_TEE_SESSION_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/ctr.hh"
+#include "crypto/hmac.hh"
+#include "tee/attest.hh"
+
+namespace cllm::tee {
+
+/** The DH group: Z_p^* with p = 2^61 - 1 (Mersenne prime), g = 3. */
+constexpr std::uint64_t kDhPrime = 2305843009213693951ULL;
+constexpr std::uint64_t kDhGenerator = 3;
+
+/** Modular exponentiation base^exp mod kDhPrime. */
+std::uint64_t dhModPow(std::uint64_t base, std::uint64_t exp);
+
+/**
+ * One party's ephemeral DH key pair.
+ */
+class DhKeyPair
+{
+  public:
+    /** Derive a secret exponent deterministically from a seed. */
+    explicit DhKeyPair(std::uint64_t seed);
+
+    std::uint64_t publicValue() const { return pub_; }
+
+    /** g^(ab) from the peer's public value. */
+    std::uint64_t sharedSecret(std::uint64_t peer_public) const;
+
+  private:
+    std::uint64_t secret_;
+    std::uint64_t pub_;
+};
+
+/** Hash a DH public value for binding into quote report data. */
+crypto::Digest256 bindPublicValue(std::uint64_t pub);
+
+/** Directional channel keys derived from the DH shared secret. */
+struct SessionKeys
+{
+    crypto::Digest256 clientToServer{};
+    crypto::Digest256 serverToClient{};
+};
+
+/** Derive both directions' keys from a shared secret. */
+SessionKeys deriveSessionKeys(std::uint64_t shared_secret);
+
+/** Server-side hello: a quote binding the enclave's DH public. */
+struct ServerHello
+{
+    Quote quote;
+    std::uint64_t dhPublic = 0;
+};
+
+/** Produce the server hello for an attested enclave. */
+ServerHello makeServerHello(const QuotingEnclave &platform,
+                            const Measurement &enclave,
+                            const DhKeyPair &server_keys);
+
+/** Client-side handshake outcome. */
+struct HandshakeResult
+{
+    bool ok = false;
+    VerifyStatus status = VerifyStatus::BadSignature;
+    SessionKeys keys{};
+};
+
+/**
+ * Verify the hello and complete the exchange. Fails when the quote
+ * does not verify or when the advertised DH public value does not
+ * match the quoted report data (MITM substitution).
+ */
+HandshakeResult completeHandshake(const QuoteVerifier &verifier,
+                                  const ServerHello &hello,
+                                  const DhKeyPair &client_keys);
+
+/** A sealed message on the wire. */
+struct SealedMessage
+{
+    std::uint64_t sequence = 0;
+    std::vector<std::uint8_t> ciphertext;
+    crypto::Digest256 mac{};
+};
+
+/**
+ * One direction of an authenticated encrypted stream.
+ */
+class SecureChannel
+{
+  public:
+    /** Bind to one directional key. */
+    explicit SecureChannel(const crypto::Digest256 &key);
+
+    /** Encrypt + authenticate the next message. */
+    SealedMessage seal(const std::vector<std::uint8_t> &plaintext);
+
+    /**
+     * Verify and decrypt; enforces strictly increasing sequence
+     * numbers, so replays and reordering return nullopt.
+     */
+    std::optional<std::vector<std::uint8_t>>
+    open(const SealedMessage &msg);
+
+  private:
+    crypto::Digest256 macOf(const SealedMessage &msg) const;
+
+    crypto::AesCtr cipher_;
+    std::vector<std::uint8_t> macKey_;
+    std::uint64_t sendSeq_ = 0;
+    std::uint64_t recvSeq_ = 0;
+};
+
+} // namespace cllm::tee
+
+#endif // CLLM_TEE_SESSION_HH

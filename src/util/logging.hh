@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Logging and error-reporting helpers, following the gem5 convention:
+ * panic() for internal library bugs (aborts), fatal() for user errors
+ * (clean exit), warn()/inform() for diagnostics.
+ */
+
+#ifndef CLLM_UTIL_LOGGING_HH
+#define CLLM_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace cllm {
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel { Silent = 0, Warn = 1, Inform = 2, Debug = 3 };
+
+/** Set the global log verbosity. Thread-unsafe; set once at startup. */
+void setLogLevel(LogLevel level);
+
+/** Current global log verbosity. */
+LogLevel logLevel();
+
+namespace detail {
+
+/** Concatenate any streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Report an internal invariant violation (a cllm bug) and abort.
+ * Mirrors gem5's panic(): never use for conditions a user can cause.
+ */
+#define cllm_panic(...) \
+    ::cllm::detail::panicImpl(__FILE__, __LINE__, \
+                              ::cllm::detail::concat(__VA_ARGS__))
+
+/**
+ * Report an unrecoverable user error (bad configuration, invalid
+ * arguments) and exit(1). Mirrors gem5's fatal().
+ */
+#define cllm_fatal(...) \
+    ::cllm::detail::fatalImpl(__FILE__, __LINE__, \
+                              ::cllm::detail::concat(__VA_ARGS__))
+
+/** Warn about suspicious but non-fatal conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace cllm
+
+#endif // CLLM_UTIL_LOGGING_HH

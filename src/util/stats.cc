@@ -1,0 +1,147 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace cllm {
+
+void
+OnlineStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+OnlineStats::merge(const OnlineStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+}
+
+double
+OnlineStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+percentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        cllm_panic("percentile of empty sample set");
+    if (p < 0.0 || p > 100.0)
+        cllm_panic("percentile p out of range: ", p);
+    std::sort(samples.begin(), samples.end());
+    if (samples.size() == 1)
+        return samples[0];
+    const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double
+median(std::vector<double> samples)
+{
+    return percentile(std::move(samples), 50.0);
+}
+
+std::vector<double>
+zScoreFilter(const std::vector<double> &samples, double z_max,
+             std::size_t *removed)
+{
+    OnlineStats st;
+    for (double x : samples)
+        st.add(x);
+    const double sd = st.stddev();
+    std::vector<double> out;
+    out.reserve(samples.size());
+    if (sd == 0.0) {
+        out = samples;
+    } else {
+        for (double x : samples) {
+            if (std::abs(x - st.mean()) / sd <= z_max)
+                out.push_back(x);
+        }
+    }
+    if (removed)
+        *removed = samples.size() - out.size();
+    return out;
+}
+
+SampleSummary
+summarize(const std::vector<double> &samples, double z_max)
+{
+    SampleSummary s;
+    if (samples.empty())
+        return s;
+    std::vector<double> kept;
+    if (z_max > 0.0) {
+        kept = zScoreFilter(samples, z_max, &s.outliers);
+    } else {
+        kept = samples;
+    }
+    if (kept.empty())
+        kept = samples;
+    OnlineStats st;
+    for (double x : kept)
+        st.add(x);
+    s.count = st.count();
+    s.mean = st.mean();
+    s.stddev = st.stddev();
+    s.min = st.min();
+    s.max = st.max();
+    s.p50 = percentile(kept, 50.0);
+    s.p95 = percentile(kept, 95.0);
+    s.p99 = percentile(kept, 99.0);
+    return s;
+}
+
+double
+overhead(double value, double baseline)
+{
+    if (baseline == 0.0)
+        cllm_panic("overhead with zero baseline");
+    return value / baseline - 1.0;
+}
+
+double
+overheadPct(double value, double baseline)
+{
+    return 100.0 * overhead(value, baseline);
+}
+
+} // namespace cllm

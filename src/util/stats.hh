@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Statistics helpers used throughout the benchmark harness: streaming
+ * moments, percentiles, and the Z-score outlier filter the paper applies
+ * to per-token latency samples (Section III-D, Z > 3).
+ */
+
+#ifndef CLLM_UTIL_STATS_HH
+#define CLLM_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace cllm {
+
+/**
+ * Streaming mean/variance accumulator (Welford's algorithm).
+ * Numerically stable; O(1) memory.
+ */
+class OnlineStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (Chan et al.). */
+    void merge(const OnlineStats &other);
+
+    /** Number of samples seen so far. */
+    std::size_t count() const { return n_; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance; 0 when n < 2. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample seen; 0 when empty. */
+    double min() const { return n_ ? min_ : 0.0; }
+
+    /** Largest sample seen; 0 when empty. */
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return n_ ? mean_ * n_ : 0.0; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Percentile of a sample set via linear interpolation between closest
+ * ranks (the "linear" / type-7 method). p in [0, 100].
+ */
+double percentile(std::vector<double> samples, double p);
+
+/** Median (50th percentile). */
+double median(std::vector<double> samples);
+
+/**
+ * Drop samples whose Z-score exceeds `z_max`, as the paper does for
+ * TEE memory-encryption outliers (Z > 3 excluded ~0.64% of samples).
+ *
+ * @param samples input samples (unmodified)
+ * @param z_max threshold on |x - mean| / stddev
+ * @param removed optional out-param: number of dropped samples
+ * @return surviving samples in original order
+ */
+std::vector<double> zScoreFilter(const std::vector<double> &samples,
+                                 double z_max,
+                                 std::size_t *removed = nullptr);
+
+/** Summary of a sample set after optional outlier filtering. */
+struct SampleSummary
+{
+    std::size_t count = 0;      //!< samples after filtering
+    std::size_t outliers = 0;   //!< samples removed by the Z filter
+    double mean = 0.0;
+    double stddev = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/** Build a SampleSummary, filtering at Z > z_max first (0 disables). */
+SampleSummary summarize(const std::vector<double> &samples,
+                        double z_max = 3.0);
+
+/** Relative overhead of `value` versus `baseline`, as a fraction. */
+double overhead(double value, double baseline);
+
+/** Relative overhead in percent. */
+double overheadPct(double value, double baseline);
+
+} // namespace cllm
+
+#endif // CLLM_UTIL_STATS_HH

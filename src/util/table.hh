@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Lightweight ASCII table and CSV emitters used by the bench binaries
+ * to print figure/table data in a uniform format.
+ */
+
+#ifndef CLLM_UTIL_TABLE_HH
+#define CLLM_UTIL_TABLE_HH
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cllm {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"backend", "tput [tok/s]", "overhead [%]"});
+ *   t.addRow({"TDX", fmt(123.4), fmt(5.6)});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render as an aligned ASCII table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (RFC-4180-ish quoting for commas/quotes). */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given number of decimals. */
+std::string fmt(double v, int decimals = 2);
+
+/** Format a percentage (value already in percent). */
+std::string fmtPct(double v, int decimals = 1);
+
+/** Format an integer with thousands separators. */
+std::string fmtInt(std::uint64_t v);
+
+} // namespace cllm
+
+#endif // CLLM_UTIL_TABLE_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Unit constants and conversion helpers. All simulator-internal times
+ * are in seconds (double), sizes in bytes (std::uint64_t or double),
+ * rates in units/second.
+ */
+
+#ifndef CLLM_UTIL_UNITS_HH
+#define CLLM_UTIL_UNITS_HH
+
+#include <cstdint>
+
+namespace cllm {
+
+// Binary sizes.
+constexpr std::uint64_t KiB = 1024ULL;
+constexpr std::uint64_t MiB = 1024ULL * KiB;
+constexpr std::uint64_t GiB = 1024ULL * MiB;
+
+// Decimal rates.
+constexpr double KILO = 1e3;
+constexpr double MEGA = 1e6;
+constexpr double GIGA = 1e9;
+constexpr double TERA = 1e12;
+
+// Times.
+constexpr double MILLI = 1e-3;
+constexpr double MICRO = 1e-6;
+constexpr double NANO = 1e-9;
+
+/** Convert seconds to milliseconds. */
+constexpr double
+toMs(double seconds)
+{
+    return seconds * 1e3;
+}
+
+/** Convert seconds to microseconds. */
+constexpr double
+toUs(double seconds)
+{
+    return seconds * 1e6;
+}
+
+/** Hours to seconds. */
+constexpr double
+hours(double h)
+{
+    return h * 3600.0;
+}
+
+} // namespace cllm
+
+#endif // CLLM_UTIL_UNITS_HH

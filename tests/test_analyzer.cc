@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the text analyzer feeding ElasticLite.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rag/analyzer.hh"
+
+using namespace cllm::rag;
+
+TEST(Analyzer, SplitsOnNonAlnum)
+{
+    Analyzer a;
+    const auto t = a.analyze("hello, world! foo-bar");
+    ASSERT_EQ(t.size(), 4u);
+    EXPECT_EQ(t[0], "hello");
+    EXPECT_EQ(t[1], "world");
+    EXPECT_EQ(t[2], "foo");
+    EXPECT_EQ(t[3], "bar");
+}
+
+TEST(Analyzer, Lowercases)
+{
+    Analyzer a;
+    const auto t = a.analyze("HeLLo WORLD");
+    EXPECT_EQ(t[0], "hello");
+    EXPECT_EQ(t[1], "world");
+}
+
+TEST(Analyzer, RemovesStopwords)
+{
+    Analyzer a;
+    const auto t = a.analyze("the cat and the hat");
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t[0], "cat");
+    EXPECT_EQ(t[1], "hat");
+}
+
+TEST(Analyzer, StopwordsCanBeKept)
+{
+    AnalyzerConfig cfg;
+    cfg.removeStopwords = false;
+    Analyzer a(cfg);
+    EXPECT_EQ(a.analyze("the cat").size(), 2u);
+}
+
+TEST(Analyzer, DropsShortTokens)
+{
+    Analyzer a;
+    const auto t = a.analyze("a x yz abc");
+    // "a" is a stopword anyway; "x" too short; "yz" passes (len 2).
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t[0], "yz");
+}
+
+TEST(Analyzer, KeepsDigits)
+{
+    Analyzer a;
+    const auto t = a.analyze("llama2 70b");
+    EXPECT_EQ(t[0], "llama2");
+    EXPECT_EQ(t[1], "70b");
+}
+
+TEST(Analyzer, EmptyInput)
+{
+    Analyzer a;
+    EXPECT_TRUE(a.analyze("").empty());
+    EXPECT_TRUE(a.analyze("  ,.;  ").empty());
+}
+
+TEST(Stemmer, PluralStripping)
+{
+    EXPECT_EQ(Analyzer::stem("models"), "model");
+    EXPECT_EQ(Analyzer::stem("caches"), "cache");
+    EXPECT_EQ(Analyzer::stem("glass"), "glass"); // no ss stripping
+}
+
+TEST(Stemmer, IesToY)
+{
+    EXPECT_EQ(Analyzer::stem("queries"), "query");
+    EXPECT_EQ(Analyzer::stem("latencies"), "latency");
+}
+
+TEST(Stemmer, IngAndEd)
+{
+    EXPECT_EQ(Analyzer::stem("running"), "runn");
+    EXPECT_EQ(Analyzer::stem("encrypted"), "encrypt");
+}
+
+TEST(Stemmer, DerivationalSuffixes)
+{
+    EXPECT_EQ(Analyzer::stem("virtualization"), "virtualize");
+    EXPECT_EQ(Analyzer::stem("encryption"), "encrypte");
+    EXPECT_EQ(Analyzer::stem("measurement"), "measure");
+}
+
+TEST(Stemmer, StemmedFormsMatch)
+{
+    // The retrieval property that matters: different inflections of a
+    // word map to one index term.
+    Analyzer a;
+    const auto q = a.analyze("encrypting");
+    const auto d = a.analyze("encrypted");
+    ASSERT_FALSE(q.empty());
+    ASSERT_FALSE(d.empty());
+    EXPECT_EQ(q[0], d[0]);
+}
+
+TEST(Analyzer, StemmingCanBeDisabled)
+{
+    AnalyzerConfig cfg;
+    cfg.stem = false;
+    Analyzer a(cfg);
+    EXPECT_EQ(a.analyze("models")[0], "models");
+}

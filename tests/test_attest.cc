@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the attestation stack: measurement construction, quote
+ * generation/verification, sealing keys, and the failure modes a
+ * relying party must catch.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hh"
+#include "tee/attest.hh"
+
+using namespace cllm;
+using namespace cllm::tee;
+
+namespace {
+
+Measurement
+measureOf(const std::string &binary)
+{
+    MeasurementBuilder b;
+    b.extend("binary", binary);
+    return b.finish();
+}
+
+crypto::Digest256
+hwKey(const std::string &platform = "platform-a")
+{
+    return crypto::sha256(platform);
+}
+
+} // namespace
+
+TEST(Measurement, DeterministicAndContentSensitive)
+{
+    EXPECT_TRUE(measureOf("app-v1") == measureOf("app-v1"));
+    EXPECT_FALSE(measureOf("app-v1") == measureOf("app-v2"));
+}
+
+TEST(Measurement, LabelFramingPreventsConcatAmbiguity)
+{
+    MeasurementBuilder a, b;
+    a.extend("ab", std::string("c"));
+    b.extend("a", std::string("bc"));
+    EXPECT_FALSE(a.finish() == b.finish());
+}
+
+TEST(Measurement, OrderMatters)
+{
+    MeasurementBuilder a, b;
+    a.extend("x", std::string("1"));
+    a.extend("y", std::string("2"));
+    b.extend("y", std::string("2"));
+    b.extend("x", std::string("1"));
+    EXPECT_FALSE(a.finish() == b.finish());
+}
+
+TEST(Quote, VerifiesWhenAllowed)
+{
+    QuotingEnclave qe(hwKey());
+    const Measurement m = measureOf("inference-stack");
+    const Quote q = qe.generateQuote(m, crypto::sha256(std::string("kx")));
+
+    QuoteVerifier v(qe.verificationKey());
+    v.allow(m);
+    EXPECT_EQ(v.verify(q), VerifyStatus::Ok);
+}
+
+TEST(Quote, UnknownMeasurementRejected)
+{
+    QuotingEnclave qe(hwKey());
+    const Quote q = qe.generateQuote(measureOf("malware"),
+                                     crypto::Digest256{});
+    QuoteVerifier v(qe.verificationKey());
+    v.allow(measureOf("inference-stack"));
+    EXPECT_EQ(v.verify(q), VerifyStatus::UnexpectedMeasurement);
+}
+
+TEST(Quote, TamperedSignatureRejected)
+{
+    QuotingEnclave qe(hwKey());
+    const Measurement m = measureOf("app");
+    Quote q = qe.generateQuote(m, crypto::Digest256{});
+    q.signature[5] ^= 0x40;
+    QuoteVerifier v(qe.verificationKey());
+    v.allow(m);
+    EXPECT_EQ(v.verify(q), VerifyStatus::BadSignature);
+}
+
+TEST(Quote, TamperedMeasurementBreaksSignature)
+{
+    QuotingEnclave qe(hwKey());
+    Quote q = qe.generateQuote(measureOf("app"), crypto::Digest256{});
+    q.measurement = measureOf("other"); // forged claim
+    QuoteVerifier v(qe.verificationKey());
+    v.allow(measureOf("other"));
+    EXPECT_EQ(v.verify(q), VerifyStatus::BadSignature);
+}
+
+TEST(Quote, TamperedReportDataBreaksSignature)
+{
+    QuotingEnclave qe(hwKey());
+    const Measurement m = measureOf("app");
+    Quote q = qe.generateQuote(m, crypto::sha256(std::string("honest")));
+    q.reportData = crypto::sha256(std::string("mitm-key"));
+    QuoteVerifier v(qe.verificationKey());
+    v.allow(m);
+    EXPECT_EQ(v.verify(q), VerifyStatus::BadSignature);
+}
+
+TEST(Quote, StaleSecurityVersionRejected)
+{
+    QuotingEnclave old_platform(hwKey(), /*security_version=*/1);
+    const Measurement m = measureOf("app");
+    const Quote q = old_platform.generateQuote(m, crypto::Digest256{});
+    QuoteVerifier v(old_platform.verificationKey(),
+                    /*min_security_version=*/2);
+    v.allow(m);
+    EXPECT_EQ(v.verify(q), VerifyStatus::StaleSecurityVersion);
+}
+
+TEST(Quote, WrongPlatformKeyRejected)
+{
+    QuotingEnclave a(hwKey("platform-a"));
+    QuotingEnclave b(hwKey("platform-b"));
+    const Measurement m = measureOf("app");
+    const Quote q = a.generateQuote(m, crypto::Digest256{});
+    QuoteVerifier v(b.verificationKey());
+    v.allow(m);
+    EXPECT_EQ(v.verify(q), VerifyStatus::BadSignature);
+}
+
+TEST(Sealing, StablePerEnclavePerPlatform)
+{
+    QuotingEnclave qe(hwKey());
+    const Measurement m = measureOf("app");
+    EXPECT_TRUE(crypto::digestEqual(qe.sealingKey(m), qe.sealingKey(m)));
+}
+
+TEST(Sealing, DiffersAcrossEnclaves)
+{
+    QuotingEnclave qe(hwKey());
+    EXPECT_FALSE(crypto::digestEqual(qe.sealingKey(measureOf("a")),
+                                     qe.sealingKey(measureOf("b"))));
+}
+
+TEST(Sealing, DiffersAcrossPlatforms)
+{
+    const Measurement m = measureOf("app");
+    QuotingEnclave a(hwKey("platform-a")), b(hwKey("platform-b"));
+    EXPECT_FALSE(crypto::digestEqual(a.sealingKey(m), b.sealingKey(m)));
+}
+
+TEST(VerifyStatusName, AllNamed)
+{
+    EXPECT_STREQ(verifyStatusName(VerifyStatus::Ok), "ok");
+    EXPECT_STREQ(verifyStatusName(VerifyStatus::BadSignature),
+                 "bad signature");
+    EXPECT_STREQ(verifyStatusName(VerifyStatus::UnexpectedMeasurement),
+                 "unexpected measurement");
+    EXPECT_STREQ(verifyStatusName(VerifyStatus::StaleSecurityVersion),
+                 "stale security version");
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the synthetic BEIR generator and the IR metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rag/beir.hh"
+
+using namespace cllm::rag;
+
+namespace {
+
+BeirConfig
+smallConfig()
+{
+    BeirConfig cfg;
+    cfg.numDocs = 200;
+    cfg.numQueries = 20;
+    cfg.numTopics = 10;
+    cfg.seed = 5;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Beir, GeneratesRequestedCounts)
+{
+    const auto ds = generateBeir(smallConfig());
+    EXPECT_EQ(ds.corpus.size(), 200u);
+    EXPECT_EQ(ds.queries.size(), 20u);
+}
+
+TEST(Beir, Deterministic)
+{
+    const auto a = generateBeir(smallConfig());
+    const auto b = generateBeir(smallConfig());
+    ASSERT_EQ(a.corpus.size(), b.corpus.size());
+    EXPECT_EQ(a.corpus[13].body, b.corpus[13].body);
+    EXPECT_EQ(a.queries[7].text, b.queries[7].text);
+}
+
+TEST(Beir, SeedChangesData)
+{
+    auto cfg = smallConfig();
+    const auto a = generateBeir(cfg);
+    cfg.seed = 6;
+    const auto b = generateBeir(cfg);
+    EXPECT_NE(a.corpus[0].body, b.corpus[0].body);
+}
+
+TEST(Beir, EveryQueryHasAHighlyRelevantDoc)
+{
+    const auto ds = generateBeir(smallConfig());
+    for (const auto &q : ds.queries) {
+        bool has_grade2 = false;
+        for (const auto &[id, g] : q.qrels) {
+            EXPECT_LT(id, ds.corpus.size());
+            has_grade2 |= g == 2;
+        }
+        EXPECT_TRUE(has_grade2);
+        EXPECT_FALSE(q.text.empty());
+    }
+}
+
+TEST(Beir, DocsHaveExpectedLength)
+{
+    auto cfg = smallConfig();
+    cfg.docLen = 50;
+    const auto ds = generateBeir(cfg);
+    // Body is docLen space-separated words.
+    int words = 1;
+    for (char c : ds.corpus[0].body)
+        words += c == ' ';
+    EXPECT_EQ(words, 50);
+}
+
+TEST(Ndcg, PerfectRankingIsOne)
+{
+    Qrels q = {{1, 2}, {2, 1}};
+    const std::vector<SearchHit> ranked = {{1, 0.9}, {2, 0.8}, {3, 0.1}};
+    EXPECT_NEAR(ndcgAtK(ranked, q, 10), 1.0, 1e-9);
+}
+
+TEST(Ndcg, WorseRankingScoresLess)
+{
+    Qrels q = {{1, 2}, {2, 1}};
+    const std::vector<SearchHit> good = {{1, 0.9}, {2, 0.8}};
+    const std::vector<SearchHit> swapped = {{2, 0.9}, {1, 0.8}};
+    EXPECT_GT(ndcgAtK(good, q, 10), ndcgAtK(swapped, q, 10));
+}
+
+TEST(Ndcg, IrrelevantOnlyIsZero)
+{
+    Qrels q = {{1, 2}};
+    const std::vector<SearchHit> ranked = {{5, 1.0}, {6, 0.9}};
+    EXPECT_EQ(ndcgAtK(ranked, q, 10), 0.0);
+}
+
+TEST(Ndcg, CutoffApplies)
+{
+    Qrels q = {{1, 2}};
+    const std::vector<SearchHit> ranked = {{9, 1.0}, {1, 0.9}};
+    EXPECT_EQ(ndcgAtK(ranked, q, 1), 0.0);
+    EXPECT_GT(ndcgAtK(ranked, q, 2), 0.0);
+}
+
+TEST(Ndcg, GradedGainsPreferHighGrade)
+{
+    // Putting the grade-2 doc first must beat grade-1 first.
+    Qrels q = {{1, 2}, {2, 1}};
+    const std::vector<SearchHit> two_first = {{1, 1.0}, {2, 0.9}};
+    const std::vector<SearchHit> one_first = {{2, 1.0}, {1, 0.9}};
+    EXPECT_GT(ndcgAtK(two_first, q, 10), ndcgAtK(one_first, q, 10));
+}
+
+TEST(Recall, CountsFractionFound)
+{
+    Qrels q = {{1, 2}, {2, 1}, {3, 1}, {4, 1}};
+    const std::vector<SearchHit> ranked = {{1, 1.0}, {9, 0.9}, {3, 0.8}};
+    EXPECT_NEAR(recallAtK(ranked, q, 3), 0.5, 1e-9);
+    EXPECT_NEAR(recallAtK(ranked, q, 1), 0.25, 1e-9);
+}
+
+TEST(Recall, EmptyQrelsIsZero)
+{
+    EXPECT_EQ(recallAtK({{1, 1.0}}, {}, 10), 0.0);
+}
+
+TEST(Mrr, FirstRelevantPosition)
+{
+    Qrels q = {{7, 1}};
+    EXPECT_NEAR(reciprocalRank({{1, 1.0}, {7, 0.9}}, q), 0.5, 1e-9);
+    EXPECT_NEAR(reciprocalRank({{7, 1.0}}, q), 1.0, 1e-9);
+    EXPECT_EQ(reciprocalRank({{1, 1.0}}, q), 0.0);
+}
+
+TEST(BeirDeath, DegenerateConfigFatal)
+{
+    BeirConfig cfg;
+    cfg.numTopics = 0;
+    EXPECT_DEATH(generateBeir(cfg), "degenerate");
+}

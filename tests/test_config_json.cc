@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the INI configuration parser and the streaming JSON
+ * writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/config.hh"
+#include "util/json.hh"
+
+using namespace cllm;
+
+namespace {
+
+const char *kSample = R"(# experiment description
+[experiment]
+model = 7b
+backend = tdx
+batch = 6
+beam = 4          ; inline comment
+amx = true
+price = 0.0088
+
+[machine]
+name = emr1
+sockets = 1
+)";
+
+} // namespace
+
+TEST(Config, ParsesSectionsAndKeys)
+{
+    const auto r = Config::parse(kSample);
+    ASSERT_TRUE(r.ok) << r.error;
+    const Config &c = r.config;
+    EXPECT_EQ(c.getString("experiment", "model"), "7b");
+    EXPECT_EQ(c.getInt("experiment", "batch"), 6);
+    EXPECT_EQ(c.getInt("experiment", "beam"), 4); // comment stripped
+    EXPECT_TRUE(c.getBool("experiment", "amx"));
+    EXPECT_NEAR(c.getDouble("experiment", "price"), 0.0088, 1e-12);
+    EXPECT_EQ(c.getString("machine", "name"), "emr1");
+}
+
+TEST(Config, SectionAndKeyOrderPreserved)
+{
+    const auto r = Config::parse(kSample);
+    ASSERT_TRUE(r.ok);
+    const auto secs = r.config.sections();
+    ASSERT_EQ(secs.size(), 2u);
+    EXPECT_EQ(secs[0], "experiment");
+    EXPECT_EQ(secs[1], "machine");
+    const auto keys = r.config.keys("experiment");
+    ASSERT_GE(keys.size(), 2u);
+    EXPECT_EQ(keys[0], "model");
+    EXPECT_EQ(keys[1], "backend");
+}
+
+TEST(Config, DefaultsWhenMissing)
+{
+    const auto r = Config::parse(kSample);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.config.getString("experiment", "nope", "dflt"), "dflt");
+    EXPECT_EQ(r.config.getInt("nope", "x", 42), 42);
+    EXPECT_FALSE(r.config.has("experiment", "nope"));
+}
+
+TEST(Config, LastDuplicateWins)
+{
+    const auto r = Config::parse("[s]\nk = 1\nk = 2\n");
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.config.getInt("s", "k"), 2);
+    EXPECT_EQ(r.config.keys("s").size(), 1u);
+}
+
+TEST(Config, ErrorsAreReported)
+{
+    EXPECT_FALSE(Config::parse("[unterminated\n").ok);
+    EXPECT_FALSE(Config::parse("[]\n").ok);
+    EXPECT_FALSE(Config::parse("no equals here\n").ok);
+    EXPECT_FALSE(Config::parse("= value\n").ok);
+    EXPECT_FALSE(Config::load("/nonexistent/path.ini").ok);
+}
+
+TEST(Config, GlobalSectionSupported)
+{
+    const auto r = Config::parse("top = 1\n[s]\nk = 2\n");
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.config.getInt("", "top"), 1);
+}
+
+TEST(ConfigDeath, MalformedNumbersFatal)
+{
+    const auto r = Config::parse("[s]\nk = 12abc\nb = maybe\n");
+    ASSERT_TRUE(r.ok);
+    EXPECT_DEATH(r.config.getInt("s", "k"), "trailing junk");
+    EXPECT_DEATH(r.config.getBool("s", "b"), "not a boolean");
+}
+
+TEST(Json, FlatObject)
+{
+    std::ostringstream os;
+    {
+        JsonWriter j(os);
+        j.beginObject();
+        j.key("name").value("TDX");
+        j.key("tput").value(46.63);
+        j.key("batch").value(6);
+        j.key("amx").value(true);
+        j.key("note").null();
+        j.endObject();
+        EXPECT_TRUE(j.complete());
+    }
+    EXPECT_EQ(os.str(), "{\"name\":\"TDX\",\"tput\":46.63,"
+                        "\"batch\":6,\"amx\":true,\"note\":null}");
+}
+
+TEST(Json, NestedArraysAndObjects)
+{
+    std::ostringstream os;
+    JsonWriter j(os);
+    j.beginObject();
+    j.key("rows").beginArray();
+    j.beginObject().key("x").value(1).endObject();
+    j.beginObject().key("x").value(2).endObject();
+    j.endArray();
+    j.endObject();
+    EXPECT_EQ(os.str(), "{\"rows\":[{\"x\":1},{\"x\":2}]}");
+}
+
+TEST(Json, EscapesStrings)
+{
+    std::ostringstream os;
+    JsonWriter j(os);
+    j.beginObject();
+    j.key("s").value("a\"b\\c\nd\te");
+    j.endObject();
+    EXPECT_EQ(os.str(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\"}");
+}
+
+TEST(Json, ControlCharactersEscapedAsUnicode)
+{
+    std::ostringstream os;
+    JsonWriter j(os);
+    j.beginArray().value(std::string("\x01")).endArray();
+    EXPECT_EQ(os.str(), "[\"\\u0001\"]");
+}
+
+TEST(Json, NonFiniteBecomesNull)
+{
+    std::ostringstream os;
+    JsonWriter j(os);
+    j.beginArray()
+        .value(1.0 / 0.0)
+        .value(std::nan(""))
+        .endArray();
+    EXPECT_EQ(os.str(), "[null,null]");
+}
+
+TEST(Json, ArrayOfScalars)
+{
+    std::ostringstream os;
+    JsonWriter j(os);
+    j.beginArray().value(1).value(2.5).value("x").endArray();
+    EXPECT_EQ(os.str(), "[1,2.5,\"x\"]");
+}
+
+TEST(JsonDeath, MisuseIsCaught)
+{
+    {
+        std::ostringstream os;
+        JsonWriter j(os);
+        j.beginObject();
+        EXPECT_DEATH(j.value(1), "without key");
+        j.endObject();
+    }
+    {
+        std::ostringstream os;
+        JsonWriter j(os);
+        j.beginArray();
+        EXPECT_DEATH(j.key("k"), "outside object");
+        j.endArray();
+    }
+    {
+        std::ostringstream os;
+        JsonWriter j(os);
+        EXPECT_DEATH(j.endObject(), "outside object");
+    }
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Tests for the cloud pricing model (Figures 12-13 arithmetic).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cost/pricing.hh"
+
+using namespace cllm::cost;
+
+TEST(Pricing, InstanceHourMath)
+{
+    CpuPricing p{"test", 0.01, 0.001};
+    EXPECT_NEAR(cpuInstanceHr(p, 32, 128.0), 0.32 + 0.128, 1e-12);
+}
+
+TEST(Pricing, MemoryDominatesSmallInstances)
+{
+    // The paper's observation: memory cost is fixed; at low vCPU
+    // counts it dominates the bill.
+    const CpuPricing p = gcpSpotUsEast1();
+    const double hr8 = cpuInstanceHr(p, 8, 128.0);
+    const double mem_part = p.memGbHr * 128.0;
+    EXPECT_GT(mem_part / hr8, 0.5);
+}
+
+TEST(Pricing, CostPerMTokensInverseInThroughput)
+{
+    const double slow = costPerMTokens(10.0, 1.0);
+    const double fast = costPerMTokens(100.0, 1.0);
+    EXPECT_NEAR(slow / fast, 10.0, 1e-9);
+}
+
+TEST(Pricing, CostPerMTokensKnownValue)
+{
+    // 1M tokens at 100 tok/s = 10,000 s = 2.7778 hours at $3.60/hr.
+    EXPECT_NEAR(costPerMTokens(100.0, 3.6), 10.0, 1e-9);
+}
+
+TEST(Pricing, SprCheaperPerVcpu)
+{
+    EXPECT_LT(gcpSpotSprUsEast1().vcpuHr, gcpSpotUsEast1().vcpuHr);
+}
+
+TEST(Pricing, ConfidentialGpuCostsMoreThanPlain)
+{
+    EXPECT_GT(cgpuH100().instanceHr, gpuH100().instanceHr);
+}
+
+TEST(PricingDeath, DegenerateInputsFatal)
+{
+    CpuPricing p = gcpSpotUsEast1();
+    EXPECT_DEATH(cpuInstanceHr(p, 0, 128.0), "empty");
+    EXPECT_DEATH(costPerMTokens(0.0, 1.0), "throughput");
+}

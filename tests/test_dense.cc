@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for dense retrieval: MiniSbert embedding properties and the
+ * brute-force cosine index.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rag/dense.hh"
+
+using namespace cllm::rag;
+
+TEST(MiniSbert, EmbeddingIsUnitNorm)
+{
+    MiniSbert s;
+    const auto v = s.embed("confidential inference in enclaves");
+    double norm = 0.0;
+    for (float x : v)
+        norm += static_cast<double>(x) * x;
+    EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-4);
+    EXPECT_EQ(v.size(), s.dim());
+}
+
+TEST(MiniSbert, Deterministic)
+{
+    MiniSbert s;
+    EXPECT_EQ(s.embed("hello world"), s.embed("hello world"));
+}
+
+TEST(MiniSbert, SimilarTextsCloserThanDissimilar)
+{
+    MiniSbert s;
+    const auto a = s.embed("gpu inference with trusted hardware");
+    const auto b = s.embed("trusted hardware gpu inference speed");
+    const auto c = s.embed("pancake recipe with maple syrup");
+    EXPECT_GT(cosine(a, b), cosine(a, c));
+}
+
+TEST(MiniSbert, WordOrderMattersViaBigrams)
+{
+    MiniSbert s;
+    const auto ab = s.embed("alpha beta gamma delta");
+    const auto ba = s.embed("delta gamma beta alpha");
+    EXPECT_LT(cosine(ab, ba), 0.999999);
+    EXPECT_GT(cosine(ab, ba), 0.5); // same unigrams keep them close
+}
+
+TEST(MiniSbert, EmptyTextSafe)
+{
+    MiniSbert s;
+    const auto v = s.embed("");
+    EXPECT_EQ(v.size(), s.dim());
+}
+
+TEST(MiniSbert, StatsAccumulate)
+{
+    MiniSbert s;
+    DenseStats st;
+    s.embed("one two three", &st);
+    EXPECT_GT(st.embedFlops, 0u);
+    EXPECT_GT(st.bytesTouched, 0u);
+}
+
+TEST(Cosine, BasicProperties)
+{
+    const std::vector<float> x = {1.0f, 0.0f};
+    const std::vector<float> y = {0.0f, 1.0f};
+    const std::vector<float> nx = {-1.0f, 0.0f};
+    EXPECT_NEAR(cosine(x, x), 1.0, 1e-9);
+    EXPECT_NEAR(cosine(x, y), 0.0, 1e-9);
+    EXPECT_NEAR(cosine(x, nx), -1.0, 1e-9);
+}
+
+TEST(Cosine, ZeroVectorIsZero)
+{
+    const std::vector<float> x = {1.0f, 2.0f};
+    const std::vector<float> z = {0.0f, 0.0f};
+    EXPECT_EQ(cosine(x, z), 0.0);
+}
+
+TEST(CosineDeath, DimensionMismatchPanics)
+{
+    const std::vector<float> a = {1.0f};
+    const std::vector<float> b = {1.0f, 2.0f};
+    EXPECT_DEATH(cosine(a, b), "mismatch");
+}
+
+TEST(DenseIndex, FindsNearestNeighbor)
+{
+    MiniSbert s;
+    DenseIndex idx(s.dim());
+    idx.add(0, s.embed("cats and dogs are pets"));
+    idx.add(1, s.embed("tdx enclaves encrypt memory"));
+    idx.add(2, s.embed("stock market prices fall"));
+    const auto hits =
+        idx.search(s.embed("memory encryption in tdx enclaves"), 2);
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(hits[0].id, 1u);
+}
+
+TEST(DenseIndex, TopKOrderingAndTruncation)
+{
+    MiniSbert s;
+    DenseIndex idx(s.dim());
+    for (DocId i = 0; i < 10; ++i)
+        idx.add(i, s.embed("document number " + std::to_string(i)));
+    const auto hits = idx.search(s.embed("document number 3"), 4);
+    ASSERT_EQ(hits.size(), 4u);
+    for (std::size_t i = 1; i < hits.size(); ++i)
+        EXPECT_GE(hits[i - 1].score, hits[i].score);
+}
+
+TEST(DenseIndex, SelfQueryRanksFirst)
+{
+    MiniSbert s;
+    DenseIndex idx(s.dim());
+    const std::string text = "unique marker phrase xyzzy plugh";
+    idx.add(7, s.embed(text));
+    idx.add(8, s.embed("completely unrelated content"));
+    const auto hits = idx.search(s.embed(text), 1);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].id, 7u);
+    EXPECT_NEAR(hits[0].score, 1.0, 1e-4);
+}
+
+TEST(DenseIndex, StatsCountComparisons)
+{
+    MiniSbert s;
+    DenseIndex idx(s.dim());
+    for (DocId i = 0; i < 5; ++i)
+        idx.add(i, s.embed(std::to_string(i)));
+    DenseStats st;
+    idx.search(s.embed("3"), 2, &st);
+    EXPECT_EQ(st.vectorsCompared, 5u);
+    EXPECT_GT(st.bytesTouched, 0u);
+}
+
+TEST(DenseIndexDeath, WrongDimensionFatal)
+{
+    DenseIndex idx(8);
+    EXPECT_DEATH(idx.add(0, std::vector<float>(4)), "dimension");
+    EXPECT_DEATH(idx.search(std::vector<float>(4), 1), "dimension");
+}

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the ElasticLite search engine: indexing, BM25 ranking
+ * properties (idf, tf saturation, length normalization), and work
+ * counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rag/elastic_lite.hh"
+
+using namespace cllm::rag;
+
+namespace {
+
+ElasticLite
+smallCorpus()
+{
+    ElasticLite e;
+    e.index("intro", "trusted execution environments protect models");
+    e.index("gpu", "confidential gpu inference with hopper");
+    e.index("cpu",
+            "cpu inference with amx acceleration and trusted hardware");
+    e.index("cooking", "a recipe for pancakes with maple syrup");
+    return e;
+}
+
+} // namespace
+
+TEST(Elastic, IndexAssignsSequentialIds)
+{
+    ElasticLite e;
+    EXPECT_EQ(e.index("a", "x"), 0u);
+    EXPECT_EQ(e.index("b", "y"), 1u);
+    EXPECT_EQ(e.size(), 2u);
+    EXPECT_EQ(e.doc(1).title, "b");
+}
+
+TEST(Elastic, FindsMatchingDocument)
+{
+    ElasticLite e = smallCorpus();
+    const auto hits = e.search("pancakes recipe", 10);
+    ASSERT_FALSE(hits.empty());
+    EXPECT_EQ(hits[0].id, 3u);
+}
+
+TEST(Elastic, RanksMoreMatchesHigher)
+{
+    ElasticLite e = smallCorpus();
+    const auto hits = e.search("trusted execution environments", 10);
+    ASSERT_GE(hits.size(), 2u);
+    EXPECT_EQ(hits[0].id, 0u); // matches all three terms
+}
+
+TEST(Elastic, NoMatchesEmptyResult)
+{
+    ElasticLite e = smallCorpus();
+    EXPECT_TRUE(e.search("zzzqqq", 10).empty());
+}
+
+TEST(Elastic, TopKLimitsResults)
+{
+    ElasticLite e;
+    for (int i = 0; i < 20; ++i)
+        e.index("t" + std::to_string(i), "common word soup");
+    EXPECT_EQ(e.search("common soup", 5).size(), 5u);
+}
+
+TEST(Elastic, ScoresAreDescending)
+{
+    ElasticLite e = smallCorpus();
+    const auto hits = e.search("inference trusted cpu", 10);
+    for (std::size_t i = 1; i < hits.size(); ++i)
+        EXPECT_GE(hits[i - 1].score, hits[i].score);
+}
+
+TEST(Elastic, RareTermsWeighMore)
+{
+    // idf: a term in 1/100 docs beats a term in 50/100.
+    ElasticLite e;
+    for (int i = 0; i < 50; ++i)
+        e.index("common" + std::to_string(i), "ubiquitous filler");
+    e.index("rare", "unicorn ubiquitous");
+    for (int i = 0; i < 49; ++i)
+        e.index("pad" + std::to_string(i), "plain text");
+    const auto hits = e.search("unicorn ubiquitous", 3);
+    ASSERT_FALSE(hits.empty());
+    EXPECT_EQ(e.doc(hits[0].id).title, "rare");
+}
+
+TEST(Elastic, TermFrequencySaturates)
+{
+    // BM25's k1 saturation: 10 repetitions is not 10x the score.
+    ElasticLite e;
+    const DocId once = e.index("once", "token filler filler filler");
+    const DocId many = e.index(
+        "many", "token token token token token token token token "
+                "token token filler");
+    const auto terms = e.analyzer().analyze("token");
+    const double s1 = e.scoreDoc(terms, once);
+    const double s10 = e.scoreDoc(terms, many);
+    EXPECT_GT(s10, s1);
+    EXPECT_LT(s10, 3.0 * s1);
+}
+
+TEST(Elastic, LengthNormalizationPenalizesLongDocs)
+{
+    ElasticLite e;
+    std::string long_body = "needle";
+    for (int i = 0; i < 300; ++i)
+        long_body += " hay" + std::to_string(i % 7);
+    const DocId longdoc = e.index("long", long_body);
+    const DocId shortdoc = e.index("short", "needle in brief");
+    // Pad the corpus so idf is shared.
+    for (int i = 0; i < 10; ++i)
+        e.index("pad", "hay filler text");
+    const auto terms = e.analyzer().analyze("needle");
+    EXPECT_GT(e.scoreDoc(terms, shortdoc), e.scoreDoc(terms, longdoc));
+}
+
+TEST(Elastic, ScoreDocMatchesSearchScore)
+{
+    ElasticLite e = smallCorpus();
+    const auto hits = e.search("confidential gpu", 10);
+    ASSERT_FALSE(hits.empty());
+    const auto terms = e.analyzer().analyze("confidential gpu");
+    EXPECT_NEAR(hits[0].score, e.scoreDoc(terms, hits[0].id), 1e-9);
+}
+
+TEST(Elastic, StatsCountWork)
+{
+    ElasticLite e = smallCorpus();
+    SearchStats s;
+    e.search("trusted inference", 10, &s);
+    EXPECT_GE(s.termsLookedUp, 2u);
+    EXPECT_GT(s.postingsVisited, 0u);
+    EXPECT_GT(s.docsScored, 0u);
+    EXPECT_GT(s.bytesTouched, 0u);
+}
+
+TEST(Elastic, BulkIndexReturnsFirstId)
+{
+    ElasticLite e;
+    e.index("pre", "x");
+    std::vector<Document> docs = {{0, "a", "one"}, {0, "b", "two"}};
+    EXPECT_EQ(e.bulkIndex(docs), 1u);
+    EXPECT_EQ(e.size(), 3u);
+    EXPECT_EQ(e.doc(2).title, "b");
+}
+
+TEST(Elastic, IndexBytesGrowWithCorpus)
+{
+    ElasticLite e;
+    e.index("a", "some words here");
+    const auto small = e.indexBytes();
+    for (int i = 0; i < 100; ++i)
+        e.index("t", "more words accumulate in the postings lists");
+    EXPECT_GT(e.indexBytes(), small);
+}
+
+TEST(Elastic, StemmedQueryMatchesInflectedDoc)
+{
+    ElasticLite e;
+    e.index("doc", "encrypted memories protect models");
+    const auto hits = e.search("encrypting memory model", 5);
+    ASSERT_FALSE(hits.empty());
+    EXPECT_EQ(hits[0].id, 0u);
+}
+
+TEST(ElasticDeath, DocOutOfRangeFatal)
+{
+    ElasticLite e = smallCorpus();
+    EXPECT_DEATH(e.doc(99), "out of range");
+}
+
+TEST(ElasticDeath, EmptyBulkFatal)
+{
+    ElasticLite e;
+    EXPECT_DEATH(e.bulkIndex({}), "empty");
+}

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Cross-module integration tests: the paper's end-to-end confidential
+ * deployment, wired through real components — manifest, measurement,
+ * attestation, sealing, encrypted weight storage, attested session,
+ * actual inference — with the attacks the threat model (Figure 1)
+ * lists exercised against it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.hh"
+#include "llm/runtime.hh"
+#include "llm/tokenizer.hh"
+#include "tee/attest.hh"
+#include "tee/fs_shield.hh"
+#include "tee/manifest.hh"
+#include "tee/session.hh"
+
+using namespace cllm;
+using namespace cllm::llm;
+using namespace cllm::tee;
+
+namespace {
+
+ModelConfig
+tinyConfig()
+{
+    ModelConfig m;
+    m.layers = 2;
+    m.hidden = 32;
+    m.heads = 4;
+    m.kvHeads = 4;
+    m.ffn = 64;
+    m.vocab = ByteTokenizer::kVocabSize;
+    return m;
+}
+
+Measurement
+measuredEnclave()
+{
+    MeasurementBuilder mb;
+    mb.extend("binary", std::string("inference-runtime"));
+    const auto parsed = parseManifest(exampleLlamaManifest());
+    parsed.manifest.extendMeasurement(mb);
+    return mb.finish();
+}
+
+} // namespace
+
+TEST(Integration, WeightsRoundtripThroughSealedStorage)
+{
+    // Provider trains (here: seeds) a model and seals its weights for
+    // a specific enclave on a specific platform.
+    const TinyLlama provider_model(tinyConfig(), hw::Dtype::Fp32, 555);
+    const auto weights = provider_model.saveWeights();
+
+    QuotingEnclave platform(crypto::sha256(std::string("plat")));
+    const Measurement enclave = measuredEnclave();
+    FsShield fs(platform.sealingKey(enclave));
+    fs.put("/models/tiny.bin", weights);
+
+    // The enclave boots, unseals, and loads the weights.
+    const auto unsealed = fs.get("/models/tiny.bin");
+    ASSERT_TRUE(unsealed.has_value());
+    TinyLlama enclave_model(tinyConfig(), hw::Dtype::Fp32, 1);
+    ASSERT_TRUE(enclave_model.loadWeights(*unsealed));
+
+    // Identical behaviour: same greedy generation as the provider's.
+    ByteTokenizer tok;
+    const auto prompt = tok.encode("the patient presents with");
+    EXPECT_EQ(enclave_model.generateGreedy(prompt, 12),
+              provider_model.generateGreedy(prompt, 12));
+}
+
+TEST(Integration, TamperedWeightsNeverLoad)
+{
+    const TinyLlama model(tinyConfig(), hw::Dtype::Fp32, 555);
+    QuotingEnclave platform(crypto::sha256(std::string("plat")));
+    FsShield fs(platform.sealingKey(measuredEnclave()));
+    fs.put("/w", model.saveWeights());
+
+    fs.tamper("/w", 4096); // storage attacker flips a weight byte
+    EXPECT_FALSE(fs.get("/w").has_value());
+}
+
+TEST(Integration, WrongEnclaveCannotUnseal)
+{
+    // Sealing keys derive from the measurement: a different enclave
+    // (e.g. an exfiltration tool) gets a different key and its shield
+    // cannot authenticate the provider's files.
+    const TinyLlama model(tinyConfig(), hw::Dtype::Fp32, 555);
+    QuotingEnclave platform(crypto::sha256(std::string("plat")));
+
+    FsShield good(platform.sealingKey(measuredEnclave()));
+    good.put("/w", model.saveWeights());
+
+    MeasurementBuilder evil;
+    evil.extend("binary", std::string("weight-stealer"));
+    const auto evil_key = platform.sealingKey(evil.finish());
+    EXPECT_FALSE(crypto::digestEqual(
+        evil_key, platform.sealingKey(measuredEnclave())));
+}
+
+TEST(Integration, LoadWeightsRejectsGarbage)
+{
+    TinyLlama model(tinyConfig(), hw::Dtype::Fp32, 1);
+    const auto before = model.saveWeights();
+
+    EXPECT_FALSE(model.loadWeights({}));
+    EXPECT_FALSE(model.loadWeights({1, 2, 3, 4}));
+    auto truncated = before;
+    truncated.resize(truncated.size() / 2);
+    EXPECT_FALSE(model.loadWeights(truncated));
+    auto trailing = before;
+    trailing.push_back(0);
+    EXPECT_FALSE(model.loadWeights(trailing));
+
+    // Architecture mismatch.
+    ModelConfig other = tinyConfig();
+    other.layers = 3;
+    const TinyLlama bigger(other, hw::Dtype::Fp32, 2);
+    EXPECT_FALSE(model.loadWeights(bigger.saveWeights()));
+
+    // All failures left the model untouched.
+    EXPECT_EQ(model.saveWeights(), before);
+}
+
+TEST(Integration, LoadAppliesComputeModeConversions)
+{
+    // Loading fp32 master weights into an int8 model must requantize,
+    // and into a bf16 model must re-round.
+    const TinyLlama master(tinyConfig(), hw::Dtype::Fp32, 777);
+    const auto blob = master.saveWeights();
+
+    TinyLlama i8(tinyConfig(), hw::Dtype::Int8, 1);
+    ASSERT_TRUE(i8.loadWeights(blob));
+    TinyLlama i8_direct(tinyConfig(), hw::Dtype::Int8, 777);
+    KvCache a = i8.makeCache(), b = i8_direct.makeCache();
+    EXPECT_EQ(i8.forward(65, a), i8_direct.forward(65, b));
+
+    TinyLlama bf(tinyConfig(), hw::Dtype::Bf16, 1);
+    ASSERT_TRUE(bf.loadWeights(blob));
+    TinyLlama bf_direct(tinyConfig(), hw::Dtype::Bf16, 777);
+    KvCache c = bf.makeCache(), d = bf_direct.makeCache();
+    EXPECT_EQ(bf.forward(65, c), bf_direct.forward(65, d));
+}
+
+TEST(Integration, FullConfidentialInferenceSession)
+{
+    // The complete flow: attest -> key exchange -> encrypted prompt ->
+    // in-enclave generation -> encrypted reply.
+    QuotingEnclave platform(crypto::sha256(std::string("plat")), 2);
+    const Measurement enclave = measuredEnclave();
+
+    DhKeyPair server_keys(100), client_keys(200);
+    const ServerHello hello =
+        makeServerHello(platform, enclave, server_keys);
+
+    QuoteVerifier verifier(platform.verificationKey(), 2);
+    verifier.allow(enclave);
+    const HandshakeResult hs =
+        completeHandshake(verifier, hello, client_keys);
+    ASSERT_TRUE(hs.ok);
+
+    const SessionKeys server_session = deriveSessionKeys(
+        server_keys.sharedSecret(client_keys.publicValue()));
+    SecureChannel c2s_tx(hs.keys.clientToServer);
+    SecureChannel c2s_rx(server_session.clientToServer);
+    SecureChannel s2c_tx(server_session.serverToClient);
+    SecureChannel s2c_rx(hs.keys.serverToClient);
+
+    const std::string prompt = "summarize: quarterly earnings";
+    const auto sealed = c2s_tx.seal(
+        std::vector<std::uint8_t>(prompt.begin(), prompt.end()));
+    const auto received = c2s_rx.open(sealed);
+    ASSERT_TRUE(received.has_value());
+
+    const TinyLlama model(tinyConfig(), hw::Dtype::Bf16, 321);
+    ByteTokenizer tok;
+    const auto out_tokens = model.generateGreedy(
+        tok.encode(std::string(received->begin(), received->end())),
+        16);
+    const std::string reply = tok.decode(out_tokens);
+
+    const auto sealed_reply = s2c_tx.seal(
+        std::vector<std::uint8_t>(reply.begin(), reply.end()));
+    const auto client_view = s2c_rx.open(sealed_reply);
+    ASSERT_TRUE(client_view.has_value());
+    EXPECT_EQ(std::string(client_view->begin(), client_view->end()),
+              reply);
+
+    // A network attacker's replay of the prompt is rejected.
+    EXPECT_FALSE(c2s_rx.open(sealed).has_value());
+}

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the paged KV-cache block pool: allocation, growth,
+ * copy-on-write forking, exhaustion, and accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/kv_pool.hh"
+
+using namespace cllm::serve;
+
+namespace {
+
+KvPoolConfig
+smallPool(std::uint64_t blocks = 8, unsigned block_tokens = 4)
+{
+    KvPoolConfig cfg;
+    cfg.totalBlocks = blocks;
+    cfg.blockTokens = block_tokens;
+    return cfg;
+}
+
+} // namespace
+
+TEST(KvPool, AdmitsAndAccounts)
+{
+    KvBlockPool pool(smallPool());
+    ASSERT_TRUE(pool.addSequence(1, 6)); // needs ceil(6/4) = 2 blocks
+    EXPECT_EQ(pool.blocksOf(1), 2u);
+    EXPECT_EQ(pool.tokens(1), 6u);
+    EXPECT_EQ(pool.freeBlocks(), 6u);
+    EXPECT_NEAR(pool.utilization(), 0.25, 1e-9);
+}
+
+TEST(KvPool, AppendAllocatesOnBoundary)
+{
+    KvBlockPool pool(smallPool());
+    ASSERT_TRUE(pool.addSequence(1, 4)); // exactly one full block
+    EXPECT_EQ(pool.blocksOf(1), 1u);
+    ASSERT_TRUE(pool.appendToken(1)); // crosses into block 2
+    EXPECT_EQ(pool.blocksOf(1), 2u);
+    ASSERT_TRUE(pool.appendToken(1)); // within block 2
+    EXPECT_EQ(pool.blocksOf(1), 2u);
+    EXPECT_EQ(pool.tokens(1), 6u);
+}
+
+TEST(KvPool, RejectsWhenFull)
+{
+    KvBlockPool pool(smallPool(2, 4));
+    ASSERT_TRUE(pool.addSequence(1, 8)); // both blocks
+    EXPECT_FALSE(pool.addSequence(2, 1));
+    EXPECT_FALSE(pool.appendToken(1)); // would need a third block
+    // The failed ops must not leak or corrupt.
+    EXPECT_EQ(pool.freeBlocks(), 0u);
+    pool.release(1);
+    EXPECT_EQ(pool.freeBlocks(), 2u);
+    EXPECT_TRUE(pool.addSequence(2, 1));
+}
+
+TEST(KvPool, ReleaseReturnsBlocks)
+{
+    KvBlockPool pool(smallPool());
+    pool.addSequence(1, 8);
+    pool.addSequence(2, 8);
+    EXPECT_EQ(pool.freeBlocks(), 4u);
+    pool.release(1);
+    EXPECT_EQ(pool.freeBlocks(), 6u);
+    EXPECT_EQ(pool.tokens(1), 0u);
+}
+
+TEST(KvPool, ForkSharesFullBlocks)
+{
+    KvBlockPool pool(smallPool(8, 4));
+    pool.addSequence(1, 8); // two full blocks
+    ASSERT_TRUE(pool.fork(1, 2));
+    // No partial block: everything shared, no extra allocation.
+    EXPECT_EQ(pool.freeBlocks(), 6u);
+    EXPECT_EQ(pool.tokens(2), 8u);
+}
+
+TEST(KvPool, ForkCopiesPartialBlock)
+{
+    KvBlockPool pool(smallPool(8, 4));
+    pool.addSequence(1, 6); // 1 full + 1 partial
+    ASSERT_TRUE(pool.fork(1, 2));
+    // Partial block duplicated: 3 blocks in use.
+    EXPECT_EQ(pool.freeBlocks(), 5u);
+}
+
+TEST(KvPool, CopyOnWriteOnSharedBoundary)
+{
+    // Fork on a full-block boundary shares everything; the next
+    // append lands in a fresh block so beams never clobber each
+    // other.
+    KvBlockPool pool(smallPool(8, 4));
+    pool.addSequence(1, 4);
+    ASSERT_TRUE(pool.fork(1, 2));
+    EXPECT_EQ(pool.freeBlocks(), 7u); // one shared block
+    ASSERT_TRUE(pool.appendToken(1)); // new private block for 1
+    ASSERT_TRUE(pool.appendToken(2)); // new private block for 2
+    EXPECT_EQ(pool.freeBlocks(), 5u);
+    EXPECT_EQ(pool.blocksOf(1), 2u);
+    EXPECT_EQ(pool.blocksOf(2), 2u);
+}
+
+TEST(KvPool, ReleaseOfForkKeepsParentIntact)
+{
+    KvBlockPool pool(smallPool(8, 4));
+    pool.addSequence(1, 8);
+    pool.fork(1, 2);
+    pool.release(2);
+    EXPECT_EQ(pool.freeBlocks(), 6u);
+    EXPECT_EQ(pool.tokens(1), 8u);
+    // Parent can still grow.
+    EXPECT_TRUE(pool.appendToken(1));
+}
+
+TEST(KvPool, CanAdmitChecksWithoutAllocating)
+{
+    KvBlockPool pool(smallPool(4, 4));
+    EXPECT_TRUE(pool.canAdmit(16));
+    EXPECT_FALSE(pool.canAdmit(17));
+    EXPECT_EQ(pool.freeBlocks(), 4u); // unchanged
+}
+
+TEST(KvPool, ManySequencesChurn)
+{
+    KvBlockPool pool(smallPool(64, 8));
+    for (int round = 0; round < 20; ++round) {
+        for (SeqId s = 0; s < 8; ++s)
+            ASSERT_TRUE(pool.addSequence(round * 100 + s, 17));
+        for (SeqId s = 0; s < 8; ++s) {
+            for (int t = 0; t < 5; ++t)
+                ASSERT_TRUE(pool.appendToken(round * 100 + s));
+        }
+        for (SeqId s = 0; s < 8; ++s)
+            pool.release(round * 100 + s);
+    }
+    EXPECT_EQ(pool.freeBlocks(), 64u); // no leaks
+    EXPECT_EQ(pool.utilization(), 0.0);
+}
+
+TEST(KvPoolDeath, ApiMisuseFatal)
+{
+    KvBlockPool pool(smallPool());
+    pool.addSequence(1, 4);
+    EXPECT_DEATH(pool.addSequence(1, 4), "duplicate");
+    EXPECT_DEATH(pool.appendToken(99), "unknown");
+    EXPECT_DEATH(pool.release(99), "unknown");
+    EXPECT_DEATH(pool.fork(99, 100), "unknown");
+    EXPECT_DEATH(pool.fork(1, 1), "existing");
+}
+
+TEST(KvPoolDeath, DegenerateConfigFatal)
+{
+    KvPoolConfig cfg;
+    cfg.totalBlocks = 0;
+    EXPECT_DEATH(KvBlockPool{cfg}, "degenerate");
+}

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for Gramine-manifest parsing, validation, rendering, and its
+ * contribution to the enclave measurement (Figure 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "tee/attest.hh"
+#include "tee/manifest.hh"
+#include "util/rng.hh"
+#include "util/units.hh"
+
+using namespace cllm;
+using namespace cllm::tee;
+
+TEST(Manifest, ParsesExample)
+{
+    const auto r = parseManifest(exampleLlamaManifest());
+    ASSERT_TRUE(r.ok) << r.error;
+    const Manifest &m = r.manifest;
+    EXPECT_EQ(m.entrypoint, "/usr/bin/python3");
+    EXPECT_EQ(m.enclaveSizeBytes, 64ULL * GiB);
+    EXPECT_EQ(m.maxThreads, 128u);
+    EXPECT_TRUE(m.edmm);
+    ASSERT_EQ(m.trustedFiles.size(), 2u);
+    EXPECT_EQ(m.trustedFiles[0].uri, "file:/usr/bin/python3");
+    ASSERT_EQ(m.encryptedFiles.size(), 1u);
+    EXPECT_EQ(m.encryptedFiles[0], "file:/models/llama2-7b/");
+    EXPECT_EQ(m.keyProvider, "kds://weights-key");
+    EXPECT_EQ(m.env.at("OMP_NUM_THREADS"), "32");
+}
+
+TEST(Manifest, ExampleValidates)
+{
+    const auto parsed = parseManifest(exampleLlamaManifest());
+    ASSERT_TRUE(parsed.ok);
+    EXPECT_TRUE(validateManifest(parsed.manifest).ok);
+}
+
+TEST(Manifest, SizeSuffixes)
+{
+    const auto r = parseManifest("libos.entrypoint = \"/bin/x\"\n"
+                                 "sgx.enclave_size = \"512M\"\n"
+                                 "sgx.max_threads = 4\n");
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.manifest.enclaveSizeBytes, 512ULL * MiB);
+}
+
+TEST(Manifest, RejectsGarbageSize)
+{
+    const auto r = parseManifest("sgx.enclave_size = \"lots\"\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("enclave size"), std::string::npos);
+}
+
+TEST(Manifest, RejectsMissingEquals)
+{
+    const auto r = parseManifest("this is not toml\n");
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(Manifest, CommentsAndBlanksIgnored)
+{
+    const auto r = parseManifest("# a comment\n\n"
+                                 "libos.entrypoint = \"/bin/x\"\n");
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.manifest.entrypoint, "/bin/x");
+}
+
+TEST(Manifest, TrustedFileHashesParsed)
+{
+    const std::string text =
+        "sgx.trusted_files = [\n"
+        "  { uri = \"file:/a\", sha256 = \"" +
+        std::string(64, 'a') + "\" },\n"
+        "  { uri = \"file:/b\" },\n"
+        "]\n";
+    const auto r = parseManifest(text);
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_EQ(r.manifest.trustedFiles.size(), 2u);
+    EXPECT_EQ(r.manifest.trustedFiles[0].sha256Hex, std::string(64, 'a'));
+    EXPECT_TRUE(r.manifest.trustedFiles[1].sha256Hex.empty());
+}
+
+TEST(Manifest, UnterminatedArrayFails)
+{
+    const auto r = parseManifest("sgx.trusted_files = [\n"
+                                 "  { uri = \"file:/a\" },\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("unterminated"), std::string::npos);
+}
+
+TEST(Manifest, StrictModeRejectsUnknownKeys)
+{
+    const auto lax = parseManifest("sgx.mystery = \"1\"\n", false);
+    EXPECT_TRUE(lax.ok);
+    const auto strict = parseManifest("sgx.mystery = \"1\"\n", true);
+    EXPECT_FALSE(strict.ok);
+}
+
+TEST(Validate, MissingEntrypoint)
+{
+    Manifest m;
+    m.enclaveSizeBytes = 4 * GiB;
+    m.maxThreads = 8;
+    const auto r = validateManifest(m);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("entrypoint"), std::string::npos);
+}
+
+TEST(Validate, NonPowerOfTwoSize)
+{
+    Manifest m;
+    m.entrypoint = "/bin/x";
+    m.enclaveSizeBytes = 3 * GiB;
+    m.maxThreads = 8;
+    EXPECT_FALSE(validateManifest(m).ok);
+}
+
+TEST(Validate, TooSmallForLlm)
+{
+    Manifest m;
+    m.entrypoint = "/bin/x";
+    m.enclaveSizeBytes = 512 * MiB;
+    m.maxThreads = 8;
+    const auto r = validateManifest(m);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("too small"), std::string::npos);
+}
+
+TEST(Validate, ZeroThreads)
+{
+    Manifest m;
+    m.entrypoint = "/bin/x";
+    m.enclaveSizeBytes = 4 * GiB;
+    m.maxThreads = 0;
+    EXPECT_FALSE(validateManifest(m).ok);
+}
+
+TEST(Validate, MalformedTrustedHash)
+{
+    Manifest m;
+    m.entrypoint = "/bin/x";
+    m.enclaveSizeBytes = 4 * GiB;
+    m.maxThreads = 8;
+    m.trustedFiles.push_back({"file:/a", "deadbeef"});
+    const auto r = validateManifest(m);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("sha256"), std::string::npos);
+}
+
+TEST(Manifest, RenderParseRoundtrip)
+{
+    const auto first = parseManifest(exampleLlamaManifest());
+    ASSERT_TRUE(first.ok);
+    const std::string rendered = renderManifest(first.manifest);
+    const auto second = parseManifest(rendered);
+    ASSERT_TRUE(second.ok) << second.error;
+    EXPECT_EQ(second.manifest.entrypoint, first.manifest.entrypoint);
+    EXPECT_EQ(second.manifest.enclaveSizeBytes,
+              first.manifest.enclaveSizeBytes);
+    EXPECT_EQ(second.manifest.maxThreads, first.manifest.maxThreads);
+    EXPECT_EQ(second.manifest.trustedFiles.size(),
+              first.manifest.trustedFiles.size());
+    EXPECT_EQ(second.manifest.encryptedFiles,
+              first.manifest.encryptedFiles);
+}
+
+TEST(Manifest, MeasurementChangesWithManifest)
+{
+    auto a = parseManifest(exampleLlamaManifest());
+    ASSERT_TRUE(a.ok);
+    Manifest changed = a.manifest;
+    changed.maxThreads = 64; // attacker shrinks the thread pool
+
+    MeasurementBuilder ba, bb;
+    a.manifest.extendMeasurement(ba);
+    changed.extendMeasurement(bb);
+    EXPECT_FALSE(ba.finish() == bb.finish());
+}
+
+TEST(Manifest, RandomizedRenderParseRoundtrips)
+{
+    // Property sweep: render(parse(render(m))) is a fixed point for
+    // randomized manifests.
+    cllm::Rng rng(2026);
+    for (int trial = 0; trial < 50; ++trial) {
+        Manifest m;
+        m.entrypoint = "/bin/app" + std::to_string(trial);
+        m.logLevel = trial % 2 ? "error" : "debug";
+        m.enclaveSizeBytes = (1ULL << (30 + trial % 4));
+        m.maxThreads = 1 + static_cast<unsigned>(rng.uniformInt(0, 255));
+        m.edmm = rng.chance(0.5);
+        const int files = static_cast<int>(rng.uniformInt(0, 5));
+        for (int f = 0; f < files; ++f) {
+            TrustedFile tf;
+            tf.uri = "file:/data/f" + std::to_string(f);
+            if (rng.chance(0.5))
+                tf.sha256Hex = std::string(64, 'a' + f % 6);
+            m.trustedFiles.push_back(tf);
+        }
+        if (rng.chance(0.7))
+            m.encryptedFiles.push_back("file:/models/");
+        if (rng.chance(0.5))
+            m.env["OMP_NUM_THREADS"] =
+                std::to_string(rng.uniformInt(1, 128));
+
+        const std::string once = renderManifest(m);
+        const auto parsed = parseManifest(once);
+        ASSERT_TRUE(parsed.ok) << parsed.error << "\n" << once;
+        EXPECT_EQ(renderManifest(parsed.manifest), once)
+            << "trial " << trial;
+        EXPECT_TRUE(validateManifest(parsed.manifest).ok);
+    }
+}

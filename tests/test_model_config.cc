@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for model configurations: derived parameter counts must match
+ * the published model sizes, and the byte accounting used by the
+ * timing model must be consistent.
+ */
+
+#include <gtest/gtest.h>
+
+#include "llm/model_config.hh"
+
+using namespace cllm;
+using namespace cllm::llm;
+
+namespace {
+
+double
+billions(std::uint64_t n)
+{
+    return static_cast<double>(n) / 1e9;
+}
+
+} // namespace
+
+TEST(ModelConfig, Llama2SevenBParamCount)
+{
+    // Published: 6.74B parameters.
+    EXPECT_NEAR(billions(llama2_7b().numParams()), 6.74, 0.07);
+}
+
+TEST(ModelConfig, Llama2ThirteenBParamCount)
+{
+    // Published: 13.02B.
+    EXPECT_NEAR(billions(llama2_13b().numParams()), 13.0, 0.15);
+}
+
+TEST(ModelConfig, Llama2SeventyBParamCount)
+{
+    // Published: 68.98B.
+    EXPECT_NEAR(billions(llama2_70b().numParams()), 69.0, 0.8);
+}
+
+TEST(ModelConfig, Llama3EightBParamCount)
+{
+    // Published: 8.03B.
+    EXPECT_NEAR(billions(llama3_8b().numParams()), 8.0, 0.12);
+}
+
+TEST(ModelConfig, GptJSixBParamCount)
+{
+    // Published: 6.05B.
+    EXPECT_NEAR(billions(gptj_6b().numParams()), 6.05, 0.25);
+}
+
+TEST(ModelConfig, CrossCheckModelsAreSevenBClass)
+{
+    for (const auto &m : {falcon_7b(), baichuan2_7b(), qwen_7b()}) {
+        EXPECT_GT(billions(m.numParams()), 5.5) << m.name;
+        EXPECT_LT(billions(m.numParams()), 9.5) << m.name;
+    }
+}
+
+TEST(ModelConfig, HeadDimConsistent)
+{
+    const ModelConfig m = llama2_7b();
+    EXPECT_EQ(m.headDim(), 128u);
+    EXPECT_EQ(m.kvDim(), m.hidden); // MHA: kv width == hidden
+}
+
+TEST(ModelConfig, GqaShrinksKv)
+{
+    const ModelConfig m = llama2_70b();
+    EXPECT_EQ(m.kvHeads, 8u);
+    EXPECT_EQ(m.kvDim(), m.headDim() * 8);
+    EXPECT_LT(m.kvDim(), m.hidden);
+}
+
+TEST(ModelConfig, MqaSingleKvHead)
+{
+    const ModelConfig m = falcon_7b();
+    EXPECT_EQ(m.kvHeads, 1u);
+    EXPECT_EQ(m.kvDim(), m.headDim());
+}
+
+TEST(ModelConfig, WeightBytesScaleWithDtype)
+{
+    const ModelConfig m = llama2_7b();
+    EXPECT_DOUBLE_EQ(m.weightBytes(hw::Dtype::Fp32),
+                     2.0 * m.weightBytes(hw::Dtype::Bf16));
+    EXPECT_DOUBLE_EQ(m.weightBytes(hw::Dtype::Bf16),
+                     2.0 * m.weightBytes(hw::Dtype::Int8));
+}
+
+TEST(ModelConfig, KvBytesPerTokenMatchesFormula)
+{
+    const ModelConfig m = llama2_7b();
+    // 2 (K+V) x layers x kvDim x 2 bytes (bf16).
+    EXPECT_DOUBLE_EQ(m.kvBytesPerToken(hw::Dtype::Bf16),
+                     2.0 * 32 * 4096 * 2.0);
+    // Weight-only int8 keeps KV in bf16.
+    EXPECT_DOUBLE_EQ(m.kvBytesPerToken(hw::Dtype::Int8),
+                     m.kvBytesPerToken(hw::Dtype::Bf16));
+    // fp32 doubles it.
+    EXPECT_DOUBLE_EQ(m.kvBytesPerToken(hw::Dtype::Fp32),
+                     2.0 * m.kvBytesPerToken(hw::Dtype::Bf16));
+}
+
+TEST(ModelConfig, SeventyBKvPerTokenSmallerThanThirteenB)
+{
+    // GQA: 70B has *less* KV per token than 13B despite more layers.
+    EXPECT_LT(llama2_70b().kvBytesPerToken(hw::Dtype::Bf16),
+              llama2_13b().kvBytesPerToken(hw::Dtype::Bf16));
+}
+
+TEST(ModelConfig, MatmulParamsExcludeEmbeddings)
+{
+    const ModelConfig m = llama2_7b();
+    EXPECT_LT(m.matmulParams(), m.numParams());
+    // But include the LM head.
+    EXPECT_GT(m.matmulParams(),
+              m.layers * (m.attnParamsPerLayer() +
+                          m.mlpParamsPerLayer()));
+}
+
+TEST(ModelConfig, GatedMlpHasThreeMatrices)
+{
+    ModelConfig gated = llama2_7b();
+    ModelConfig plain = gated;
+    plain.gatedMlp = false;
+    EXPECT_DOUBLE_EQ(
+        static_cast<double>(gated.mlpParamsPerLayer()) /
+            static_cast<double>(plain.mlpParamsPerLayer()),
+        1.5);
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the NUMA placement model behind Insight 6: placement
+ * fidelity ordering, single-node degradation (SGX), interleaving
+ * (TDX), and UPI link-encryption costs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/numa.hh"
+
+using namespace cllm::mem;
+
+TEST(Numa, SingleActiveNodeIsAlwaysLocal)
+{
+    NumaModel m;
+    for (auto p : {NumaPlacement::Local, NumaPlacement::Interleaved,
+                   NumaPlacement::SingleNode, NumaPlacement::Unbound}) {
+        const NumaEffective e = m.effective(p, 1);
+        EXPECT_EQ(e.remoteFraction, 0.0);
+        EXPECT_DOUBLE_EQ(e.bandwidthBytes, m.config().localBwBytes);
+        EXPECT_DOUBLE_EQ(e.latencyNs, m.config().localLatencyNs);
+    }
+}
+
+TEST(Numa, RemoteFractionOrdering)
+{
+    NumaModel m;
+    EXPECT_LT(m.remoteFraction(NumaPlacement::Local),
+              m.remoteFraction(NumaPlacement::Interleaved));
+    EXPECT_DOUBLE_EQ(m.remoteFraction(NumaPlacement::Interleaved), 0.5);
+}
+
+TEST(Numa, BoundBandwidthNearlyDoubles)
+{
+    NumaModel m;
+    const NumaEffective e = m.effective(NumaPlacement::Local, 2);
+    EXPECT_GT(e.bandwidthBytes, 1.8 * m.config().localBwBytes);
+}
+
+TEST(Numa, PlacementBandwidthOrdering)
+{
+    NumaModel m;
+    const double local =
+        m.effective(NumaPlacement::Local, 2).bandwidthBytes;
+    const double inter =
+        m.effective(NumaPlacement::Interleaved, 2).bandwidthBytes;
+    const double unbound =
+        m.effective(NumaPlacement::Unbound, 2).bandwidthBytes;
+    const double single =
+        m.effective(NumaPlacement::SingleNode, 2).bandwidthBytes;
+    EXPECT_GT(local, inter);
+    EXPECT_GT(inter, unbound);
+    EXPECT_GT(unbound, single);
+}
+
+TEST(Numa, SingleNodePlacementIsCatastrophic)
+{
+    // SGX's unified-node view: one socket's DRAM + the link must feed
+    // both sockets -> less than 40% of the bound configuration, which
+    // is how the paper's ~230% SGX overhead arises.
+    NumaModel m;
+    const double local =
+        m.effective(NumaPlacement::Local, 2).bandwidthBytes;
+    const double single =
+        m.effective(NumaPlacement::SingleNode, 2).bandwidthBytes;
+    EXPECT_LT(single / local, 0.40);
+}
+
+TEST(Numa, UpiEncryptionShavesBandwidth)
+{
+    NumaConfig enc;
+    enc.upiEncrypted = true;
+    NumaConfig plain = enc;
+    plain.upiEncrypted = false;
+    const double be = NumaModel(enc)
+                          .effective(NumaPlacement::Interleaved, 2)
+                          .bandwidthBytes;
+    const double bp = NumaModel(plain)
+                          .effective(NumaPlacement::Interleaved, 2)
+                          .bandwidthBytes;
+    EXPECT_LT(be, bp);
+    // The tax applies only to the remote share, so it is bounded by
+    // the configured link tax.
+    EXPECT_GT(be / bp, 1.0 - enc.upiCryptoTax);
+}
+
+TEST(Numa, UpiEncryptionAddsLatency)
+{
+    NumaConfig enc;
+    enc.upiEncrypted = true;
+    NumaConfig plain = enc;
+    plain.upiEncrypted = false;
+    EXPECT_GT(
+        NumaModel(enc).effective(NumaPlacement::Interleaved, 2).latencyNs,
+        NumaModel(plain)
+            .effective(NumaPlacement::Interleaved, 2)
+            .latencyNs);
+}
+
+TEST(Numa, LatencyBlendsLocalAndRemote)
+{
+    NumaModel m;
+    const NumaEffective e = m.effective(NumaPlacement::Interleaved, 2);
+    EXPECT_GT(e.latencyNs, m.config().localLatencyNs);
+    EXPECT_LT(e.latencyNs, m.config().remoteLatencyNs + 20.0);
+}
+
+TEST(Numa, ActiveNodesClampedToTopology)
+{
+    NumaModel m; // 2 nodes
+    const NumaEffective e2 = m.effective(NumaPlacement::Local, 2);
+    const NumaEffective e9 = m.effective(NumaPlacement::Local, 9);
+    EXPECT_DOUBLE_EQ(e2.bandwidthBytes, e9.bandwidthBytes);
+}
+
+TEST(NumaDeath, ZeroNodesFatal)
+{
+    NumaConfig cfg;
+    cfg.nodes = 0;
+    EXPECT_DEATH(NumaModel{cfg}, "zero nodes");
+}

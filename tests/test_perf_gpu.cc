@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Calibration tests for the GPU timing model against the paper's
+ * Section V: cGPU overheads of 4-8% that shrink with batch and input
+ * size, and the H100's capacity limits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/gpu.hh"
+#include "llm/model_config.hh"
+#include "llm/perf_gpu.hh"
+#include "util/stats.hh"
+
+using namespace cllm;
+using namespace cllm::llm;
+
+namespace {
+
+double
+ccOverheadPct(unsigned batch, unsigned in_len,
+              const ModelConfig &model = llama2_7b())
+{
+    GpuPerfModel m;
+    GpuRunParams p;
+    p.batch = batch;
+    p.inLen = in_len;
+    p.outLen = 128;
+    const auto raw = m.run(hw::h100Nvl(), model, p);
+    p.confidential = true;
+    const auto cc = m.run(hw::h100Nvl(), model, p);
+    // Generation-phase throughput, the paper's Figure 11 metric.
+    return overheadPct(raw.decodeTput, cc.decodeTput);
+}
+
+} // namespace
+
+TEST(PerfGpuFig11, OverheadInPaperBand)
+{
+    // Paper: oscillates between 7.5% and 4.4% over the sweep.
+    for (unsigned batch : {1u, 4u, 16u}) {
+        for (unsigned in : {128u, 512u, 2048u}) {
+            const double ov = ccOverheadPct(batch, in);
+            EXPECT_GT(ov, 2.0) << batch << "x" << in;
+            EXPECT_LT(ov, 9.0) << batch << "x" << in;
+        }
+    }
+}
+
+TEST(PerfGpuFig11, OverheadShrinksWithBatch)
+{
+    EXPECT_GT(ccOverheadPct(1, 128), ccOverheadPct(32, 128));
+}
+
+TEST(PerfGpuFig11, OverheadShrinksWithInput)
+{
+    EXPECT_GT(ccOverheadPct(4, 128), ccOverheadPct(4, 4096));
+}
+
+TEST(PerfGpuFig11, ThroughputGrowsWithBatch)
+{
+    GpuPerfModel m;
+    GpuRunParams p;
+    p.inLen = 128;
+    p.outLen = 64;
+    double prev = 0.0;
+    for (unsigned b : {1u, 8u, 64u}) {
+        p.batch = b;
+        const auto r = m.run(hw::h100Nvl(), llama2_7b(), p);
+        EXPECT_GT(r.decodeTput, prev);
+        prev = r.decodeTput;
+    }
+}
+
+TEST(PerfGpu, RawGpuFarFasterThanPaperCpuNumbers)
+{
+    GpuPerfModel m;
+    GpuRunParams p;
+    p.batch = 1;
+    p.inLen = 128;
+    p.outLen = 64;
+    const auto r = m.run(hw::h100Nvl(), llama2_7b(), p);
+    // H100 decode of 7B bf16 is worth hundreds of tokens/s.
+    EXPECT_GT(r.decodeTput, 100.0);
+    EXPECT_LT(r.decodeTput, 1000.0);
+}
+
+TEST(PerfGpu, SeventyBDoesNotFit)
+{
+    // Section V-D4: a single H100 NVL fits ~30B; 70B must be refused.
+    GpuPerfModel m;
+    GpuRunParams p;
+    EXPECT_DEATH(m.run(hw::h100Nvl(), llama2_70b(), p),
+                 "exceed GPU memory");
+}
+
+TEST(PerfGpu, ThirtyBClassFits)
+{
+    ModelConfig m30 = llama2_13b();
+    m30.name = "30B-class";
+    m30.layers = 60;
+    m30.hidden = 6656;
+    m30.heads = 52;
+    m30.kvHeads = 52;
+    m30.ffn = 17920;
+    GpuPerfModel m;
+    GpuRunParams p;
+    p.batch = 1;
+    p.inLen = 128;
+    p.outLen = 16;
+    const auto r = m.run(hw::h100Nvl(), m30, p);
+    EXPECT_GT(r.decodeTput, 0.0);
+}
+
+TEST(PerfGpu, KvCacheLimitsBatchAtLongInput)
+{
+    GpuPerfModel m;
+    GpuRunParams p;
+    p.batch = 256;
+    p.inLen = 4096;
+    p.outLen = 128;
+    EXPECT_DEATH(m.run(hw::h100Nvl(), llama2_7b(), p), "exceed");
+}
+
+TEST(PerfGpu, ConfidentialPrefillPaysBounceBuffer)
+{
+    GpuPerfModel m;
+    GpuRunParams p;
+    p.batch = 8;
+    p.inLen = 8000;
+    p.outLen = 16;
+    const auto raw = m.run(hw::h100Nvl(), llama2_7b(), p);
+    p.confidential = true;
+    const auto cc = m.run(hw::h100Nvl(), llama2_7b(), p);
+    EXPECT_GT(cc.prefillSeconds, raw.prefillSeconds);
+}
+
+TEST(PerfGpu, DecodeIsMemoryBoundAtSmallBatch)
+{
+    GpuPerfModel m;
+    GpuRunParams p;
+    p.batch = 1;
+    p.inLen = 128;
+    p.outLen = 16;
+    EXPECT_TRUE(m.run(hw::h100Nvl(), llama2_7b(), p).memoryBound);
+}
+
+TEST(PerfGpu, SeedReproducible)
+{
+    GpuPerfModel m;
+    GpuRunParams p;
+    p.batch = 2;
+    p.inLen = 64;
+    p.outLen = 32;
+    const auto a = m.run(hw::h100Nvl(), llama2_7b(), p);
+    const auto b = m.run(hw::h100Nvl(), llama2_7b(), p);
+    EXPECT_EQ(a.tokenLatencies, b.tokenLatencies);
+}
+
+TEST(PerfGpuDeath, ZeroBatchFatal)
+{
+    GpuPerfModel m;
+    GpuRunParams p;
+    p.batch = 0;
+    EXPECT_DEATH(m.run(hw::h100Nvl(), llama2_7b(), p), "positive");
+}

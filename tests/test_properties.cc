@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Property-style parameterized sweeps over the whole model surface:
+ * invariants that must hold for EVERY (backend x dtype x batch)
+ * combination, every page-size/translation regime, every message
+ * size, rather than the single points the unit tests pin down.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <tuple>
+
+#include "core/experiment.hh"
+#include "util/stats.hh"
+#include "crypto/sha256.hh"
+#include "llm/perf_cpu.hh"
+#include "mem/mee_tree.hh"
+#include "mem/tlb.hh"
+#include "tee/session.hh"
+#include "util/units.hh"
+
+using namespace cllm;
+
+// ---- CPU timing-model invariants over the configuration grid ----------
+
+using PerfCase = std::tuple<core::Backend, hw::Dtype, unsigned>;
+
+class PerfGrid : public ::testing::TestWithParam<PerfCase>
+{
+};
+
+TEST_P(PerfGrid, RunInvariantsHold)
+{
+    const auto [backend, dtype, batch] = GetParam();
+    core::Experiment exp;
+    const hw::CpuSpec cpu = hw::emr1();
+    llm::RunParams p;
+    p.batch = batch;
+    p.dtype = dtype;
+    p.inLen = 256;
+    p.outLen = 32;
+    p.sockets = 1;
+    p.cores = cpu.coresPerSocket;
+
+    const auto r = exp.runCpu(cpu, backend, llm::llama2_7b(), p);
+
+    // Structural invariants.
+    EXPECT_EQ(r.timing.tokenLatencies.size(), p.outLen);
+    EXPECT_GT(r.timing.prefillSeconds, 0.0);
+    EXPECT_GT(r.timing.decodeTput, 0.0);
+    EXPECT_GT(r.timing.e2eTput, 0.0);
+    EXPECT_LT(r.timing.e2eTput, r.timing.decodeTput * 1.0001);
+    for (double t : r.timing.tokenLatencies)
+        EXPECT_GT(t, 0.0);
+
+    // Consistency: mean latency matches the filtered sample mean and
+    // throughput is its inverse scaled by batch.
+    EXPECT_NEAR(r.timing.decodeTput * r.timing.meanTokenLatency,
+                p.batch, 1e-6);
+
+    // No protected backend may be faster than bare metal.
+    const auto bare =
+        exp.runCpu(cpu, core::Backend::Bare, llm::llama2_7b(), p);
+    EXPECT_LE(r.timing.decodeTput, bare.timing.decodeTput * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PerfGrid,
+    ::testing::Combine(::testing::Values(core::Backend::Bare,
+                                         core::Backend::Vm,
+                                         core::Backend::VmTh,
+                                         core::Backend::Sgx,
+                                         core::Backend::Tdx),
+                       ::testing::Values(hw::Dtype::Fp32,
+                                         hw::Dtype::Bf16,
+                                         hw::Dtype::Int8),
+                       ::testing::Values(1u, 8u, 64u)),
+    [](const ::testing::TestParamInfo<PerfCase> &info) {
+        std::string name =
+            std::string(core::backendName(std::get<0>(info.param))) +
+            "_" + hw::dtypeName(std::get<1>(info.param)) + "_b" +
+            std::to_string(std::get<2>(info.param));
+        for (auto &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+// ---- Throughput monotonicity in cores, for every backend --------------
+
+class CoreSweep : public ::testing::TestWithParam<core::Backend>
+{
+};
+
+TEST_P(CoreSweep, MoreCoresNeverSlower)
+{
+    core::Experiment exp;
+    const hw::CpuSpec cpu = hw::emr2();
+    llm::RunParams p;
+    p.batch = 8;
+    p.inLen = 128;
+    p.outLen = 16;
+    p.sockets = 1;
+    double prev = 0.0;
+    for (unsigned cores : {4u, 8u, 16u, 32u, 60u}) {
+        p.cores = cores;
+        const auto r = exp.runCpu(cpu, GetParam(), llm::llama2_7b(), p);
+        EXPECT_GE(r.timing.decodeTput, prev * 0.999) << cores;
+        prev = r.timing.decodeTput;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, CoreSweep,
+    ::testing::Values(core::Backend::Bare, core::Backend::Vm,
+                      core::Backend::Sgx, core::Backend::Tdx),
+    [](const ::testing::TestParamInfo<core::Backend> &info) {
+        std::string n = core::backendName(info.param);
+        for (auto &c : n)
+            if (c == ' ')
+                c = '_';
+        return n;
+    });
+
+// ---- TLB model monotonicity over regimes -------------------------------
+
+using TlbCase = std::tuple<mem::PageSize, mem::TranslationMode>;
+
+class TlbGrid : public ::testing::TestWithParam<TlbCase>
+{
+};
+
+TEST_P(TlbGrid, FactorMonotoneInWorkingSet)
+{
+    const auto [page, mode] = GetParam();
+    mem::TlbModel m;
+    double prev = 1.0;
+    for (std::uint64_t ws_gb : {1ULL, 4ULL, 16ULL, 64ULL, 256ULL}) {
+        mem::AccessPattern p;
+        p.workingSetBytes = ws_gb * GiB;
+        const double f = m.bandwidthFactor(300e9, page, mode, p);
+        EXPECT_GT(f, 0.0);
+        EXPECT_LE(f, prev + 1e-12) << ws_gb << " GiB";
+        prev = f;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, TlbGrid,
+    ::testing::Combine(::testing::Values(mem::PageSize::Page4K,
+                                         mem::PageSize::Page2M,
+                                         mem::PageSize::Page1G),
+                       ::testing::Values(mem::TranslationMode::Native,
+                                         mem::TranslationMode::Nested,
+                                         mem::TranslationMode::NestedTdx)),
+    [](const ::testing::TestParamInfo<TlbCase> &info) {
+        const char *pages =
+            std::get<0>(info.param) == mem::PageSize::Page4K   ? "p4k"
+            : std::get<0>(info.param) == mem::PageSize::Page2M ? "p2m"
+                                                               : "p1g";
+        const char *mode =
+            std::get<1>(info.param) == mem::TranslationMode::Native
+                ? "native"
+            : std::get<1>(info.param) == mem::TranslationMode::Nested
+                ? "nested"
+                : "tdx";
+        return std::string(pages) + "_" + mode;
+    });
+
+// ---- MEE roundtrip across geometries -----------------------------------
+
+using MeeCase = std::tuple<unsigned, unsigned>; // lines, arity
+
+class MeeGrid : public ::testing::TestWithParam<MeeCase>
+{
+};
+
+TEST_P(MeeGrid, RoundtripAndTamperDetection)
+{
+    const auto [lines, arity] = GetParam();
+    mem::PhysMem phys(lines);
+    mem::MeeTree mee(phys, crypto::sha256(std::string("k")), arity);
+
+    // Write a pattern to every 7th line, verify all, tamper one.
+    for (std::size_t i = 0; i < lines; i += 7) {
+        mem::CacheLine l{};
+        for (std::size_t b = 0; b < l.size(); ++b)
+            l[b] = static_cast<std::uint8_t>(i + b);
+        mee.writeLine(i, l);
+    }
+    for (std::size_t i = 0; i < lines; i += 7) {
+        const auto r = mee.readLine(i);
+        ASSERT_TRUE(r.ok) << "line " << i;
+        EXPECT_EQ(r.data[1], static_cast<std::uint8_t>(i + 1));
+    }
+    phys.raw()[(lines / 2) * mem::kLineBytes] ^= 0xff;
+    EXPECT_FALSE(mee.readLine(lines / 2).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, MeeGrid,
+    ::testing::Combine(::testing::Values(8u, 64u, 513u),
+                       ::testing::Values(2u, 8u, 16u)),
+    [](const ::testing::TestParamInfo<MeeCase> &info) {
+        return "l" + std::to_string(std::get<0>(info.param)) + "_a" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+// ---- SHA-256 incremental == one-shot across lengths --------------------
+
+class ShaLengths : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ShaLengths, IncrementalMatchesOneShot)
+{
+    const int len = GetParam();
+    std::string msg(len, '\0');
+    for (int i = 0; i < len; ++i)
+        msg[i] = static_cast<char>('a' + i % 26);
+
+    crypto::Sha256 h;
+    // Absorb in awkward chunk sizes.
+    std::size_t off = 0;
+    std::size_t chunk = 1;
+    while (off < msg.size()) {
+        const std::size_t take =
+            std::min(chunk, msg.size() - off);
+        h.update(msg.data() + off, take);
+        off += take;
+        chunk = chunk * 2 + 1;
+    }
+    EXPECT_EQ(crypto::toHex(h.finish()),
+              crypto::toHex(crypto::sha256(msg)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, ShaLengths,
+                         ::testing::Values(0, 1, 55, 56, 57, 63, 64, 65,
+                                           127, 128, 1000));
+
+// ---- Secure channel across message sizes -------------------------------
+
+class ChannelSizes : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ChannelSizes, SealOpenRoundtrip)
+{
+    const auto key = crypto::sha256(std::string("sweep"));
+    tee::SecureChannel tx(key), rx(key);
+    std::vector<std::uint8_t> msg(GetParam());
+    for (std::size_t i = 0; i < msg.size(); ++i)
+        msg[i] = static_cast<std::uint8_t>(i * 17);
+    const auto out = rx.open(tx.seal(msg));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, msg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChannelSizes,
+                         ::testing::Values(0, 1, 15, 16, 17, 255, 4096,
+                                           65536));
+
+// ---- GPU overhead band across the full figure-11 grid ------------------
+
+using GpuCase = std::tuple<unsigned, unsigned>; // batch, input
+
+class GpuGrid : public ::testing::TestWithParam<GpuCase>
+{
+};
+
+TEST_P(GpuGrid, ConfidentialOverheadBounded)
+{
+    const auto [batch, input] = GetParam();
+    llm::GpuPerfModel m;
+    llm::GpuRunParams p;
+    p.batch = batch;
+    p.inLen = input;
+    p.outLen = 64;
+    const auto raw = m.run(hw::h100Nvl(), llm::llama2_7b(), p);
+    p.confidential = true;
+    const auto cc = m.run(hw::h100Nvl(), llm::llama2_7b(), p);
+    const double ov = overheadPct(raw.decodeTput, cc.decodeTput);
+    EXPECT_GT(ov, 1.0);
+    EXPECT_LT(ov, 10.0);
+    EXPECT_GT(cc.prefillSeconds, raw.prefillSeconds * 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig11Grid, GpuGrid,
+    ::testing::Combine(::testing::Values(1u, 8u, 32u),
+                       ::testing::Values(128u, 1024u, 4096u)),
+    [](const ::testing::TestParamInfo<GpuCase> &info) {
+        return "b" + std::to_string(std::get<0>(info.param)) + "_in" +
+               std::to_string(std::get<1>(info.param));
+    });

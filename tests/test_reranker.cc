@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the cross-encoder reranker used by "Reranked BM25".
+ */
+
+#include <gtest/gtest.h>
+
+#include "rag/reranker.hh"
+
+using namespace cllm::rag;
+
+namespace {
+
+Document
+doc(DocId id, const std::string &title, const std::string &body)
+{
+    return {id, title, body};
+}
+
+} // namespace
+
+TEST(CrossEncoder, RelevantBeatsIrrelevant)
+{
+    CrossEncoder ce;
+    const auto rel = doc(0, "tee overheads",
+                         "trusted execution environment overheads for "
+                         "llm inference");
+    const auto irr = doc(1, "pasta", "boil water and add salt to taste");
+    const std::string q = "llm inference overheads in trusted execution";
+    EXPECT_GT(ce.score(q, rel), ce.score(q, irr));
+}
+
+TEST(CrossEncoder, TitleMatchBoosts)
+{
+    CrossEncoder ce;
+    const auto in_title = doc(0, "amx acceleration", "generic filler text");
+    const auto in_body = doc(1, "misc notes", "amx acceleration filler");
+    const std::string q = "amx acceleration";
+    EXPECT_GT(ce.score(q, in_title), ce.score(q, in_body));
+}
+
+TEST(CrossEncoder, DeterministicScores)
+{
+    CrossEncoder ce;
+    const auto d = doc(0, "t", "some body text");
+    EXPECT_EQ(ce.score("query text", d), ce.score("query text", d));
+}
+
+TEST(CrossEncoder, RerankSortsByScore)
+{
+    CrossEncoder ce;
+    ElasticLite store;
+    store.index("relevant", "enclave attestation verifies measurements");
+    store.index("partial", "attestation appears once here");
+    store.index("noise", "completely unrelated cooking content");
+    const std::vector<SearchHit> hits = {{2, 1.0}, {1, 0.9}, {0, 0.8}};
+    const auto out =
+        ce.rerank("enclave attestation measurements", store, hits);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].id, 0u);
+    for (std::size_t i = 1; i < out.size(); ++i)
+        EXPECT_GE(out[i - 1].score, out[i].score);
+}
+
+TEST(CrossEncoder, RerankEmptyInput)
+{
+    CrossEncoder ce;
+    ElasticLite store;
+    EXPECT_TRUE(ce.rerank("q", store, {}).empty());
+}
+
+TEST(CrossEncoder, StatsCountPairs)
+{
+    CrossEncoder ce;
+    ElasticLite store;
+    store.index("a", "x y z");
+    store.index("b", "p q r");
+    RerankStats st;
+    ce.rerank("x", store, {{0, 1.0}, {1, 0.5}}, &st);
+    EXPECT_EQ(st.pairsScored, 2u);
+    EXPECT_EQ(st.flops, 2 * ce.flopsPerPair());
+}
+
+TEST(CrossEncoder, FlopsPerPairPositive)
+{
+    CrossEncoder ce;
+    EXPECT_GT(ce.flopsPerPair(), 1000u);
+}
+
+TEST(CrossEncoder, MoreOverlapMonotone)
+{
+    CrossEncoder ce;
+    const std::string q = "alpha beta gamma delta";
+    const auto none = doc(0, "t", "unrelated words entirely here");
+    const auto one = doc(1, "t", "alpha unrelated words here");
+    const auto all = doc(2, "t", "alpha beta gamma delta words");
+    const double s0 = ce.score(q, none);
+    const double s1 = ce.score(q, one);
+    const double s4 = ce.score(q, all);
+    EXPECT_LT(s0, s1);
+    EXPECT_LT(s1, s4);
+}

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Tests for the confidential-serving simulator: workload generation,
+ * batching policies, SLO accounting, and TEE-induced capacity loss.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "serve/serving.hh"
+
+using namespace cllm;
+using namespace cllm::serve;
+
+namespace {
+
+std::shared_ptr<const tee::TeeBackend>
+shared(std::unique_ptr<tee::TeeBackend> p)
+{
+    return std::shared_ptr<const tee::TeeBackend>(std::move(p));
+}
+
+llm::RunParams
+deployParams(const hw::CpuSpec &cpu)
+{
+    llm::RunParams p;
+    p.inLen = 1024;  // sizing context for the working set
+    p.outLen = 256;
+    p.batch = 32;
+    p.sockets = 1;
+    p.cores = cpu.coresPerSocket;
+    return p;
+}
+
+std::unique_ptr<StepModel>
+cpuModel(std::unique_ptr<tee::TeeBackend> be)
+{
+    const hw::CpuSpec cpu = hw::emr2();
+    return makeCpuStepModel(cpu, shared(std::move(be)),
+                            llm::llama2_7b(), deployParams(cpu));
+}
+
+WorkloadConfig
+lightLoad()
+{
+    WorkloadConfig w;
+    w.arrivalRate = 0.5;
+    w.numRequests = 60;
+    w.meanInLen = 256;
+    w.meanOutLen = 64;
+    w.seed = 11;
+    return w;
+}
+
+} // namespace
+
+TEST(Workload, DeterministicAndOrdered)
+{
+    const auto a = generateWorkload(lightLoad());
+    const auto b = generateWorkload(lightLoad());
+    ASSERT_EQ(a.size(), 60u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].arrival, b[i].arrival);
+        EXPECT_EQ(a[i].inLen, b[i].inLen);
+        if (i) {
+            EXPECT_GE(a[i].arrival, a[i - 1].arrival);
+        }
+    }
+}
+
+TEST(Workload, MeanInterArrivalMatchesRate)
+{
+    WorkloadConfig w = lightLoad();
+    w.arrivalRate = 4.0;
+    w.numRequests = 4000;
+    const auto trace = generateWorkload(w);
+    const double span = trace.back().arrival - trace.front().arrival;
+    const double mean_gap = span / (trace.size() - 1);
+    EXPECT_NEAR(mean_gap, 0.25, 0.03);
+}
+
+TEST(Workload, LengthsHaveSensibleScale)
+{
+    const auto trace = generateWorkload(lightLoad());
+    double in_sum = 0.0;
+    for (const auto &r : trace) {
+        EXPECT_GE(r.inLen, 8u);
+        EXPECT_GE(r.outLen, 4u);
+        in_sum += r.inLen;
+    }
+    const double mean_in = in_sum / trace.size();
+    EXPECT_GT(mean_in, 150.0);
+    EXPECT_LT(mean_in, 450.0);
+}
+
+TEST(WorkloadDeath, DegenerateConfigFatal)
+{
+    WorkloadConfig w;
+    w.arrivalRate = 0.0;
+    EXPECT_DEATH(generateWorkload(w), "degenerate");
+}
+
+TEST(Server, CompletesAllRequests)
+{
+    Server server(cpuModel(tee::makeTdx()), ServerConfig{});
+    const auto m = server.run(generateWorkload(lightLoad()));
+    EXPECT_EQ(m.completed, 60u);
+    EXPECT_GT(m.makespan, 0.0);
+    EXPECT_GT(m.tokensPerSecond, 0.0);
+}
+
+TEST(Server, Deterministic)
+{
+    Server server(cpuModel(tee::makeTdx()), ServerConfig{});
+    const auto a = server.run(generateWorkload(lightLoad()));
+    const auto b = server.run(generateWorkload(lightLoad()));
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.ttft.mean, b.ttft.mean);
+}
+
+TEST(Server, TimelineInvariantsHold)
+{
+    // For every request: arrival <= firstToken <= finish; occupancy
+    // is within batch capacity.
+    ServerConfig cfg;
+    cfg.maxBatch = 8;
+    Server server(cpuModel(tee::makeBareMetal()), cfg);
+    auto trace = generateWorkload(lightLoad());
+    const auto m = server.run(trace);
+    EXPECT_LE(m.meanBatchOccupancy, 8.0);
+    EXPECT_GT(m.meanBatchOccupancy, 0.0);
+    EXPECT_GE(m.ttft.min, 0.0);
+    EXPECT_GE(m.tpot.min, 0.0);
+}
+
+TEST(Server, TdxServesFewerTokensPerSecondUnderLoad)
+{
+    WorkloadConfig heavy = lightLoad();
+    heavy.arrivalRate = 50.0; // saturating: makespan is service-bound
+    heavy.numRequests = 120;
+
+    Server bare(cpuModel(tee::makeBareMetal()), ServerConfig{});
+    Server tdx(cpuModel(tee::makeTdx()), ServerConfig{});
+    const auto mb = bare.run(generateWorkload(heavy));
+    const auto mt = tdx.run(generateWorkload(heavy));
+    EXPECT_GT(mb.tokensPerSecond, mt.tokensPerSecond);
+    // The capacity loss should be TEE-sized (a few %), not 2x.
+    EXPECT_LT(mb.tokensPerSecond / mt.tokensPerSecond, 1.3);
+}
+
+TEST(Server, ContinuousBeatsStaticOnTtft)
+{
+    // Static batching holds early arrivals hostage to the whole
+    // batch; continuous batching admits at step granularity.
+    WorkloadConfig w = lightLoad();
+    w.arrivalRate = 8.0;
+    w.numRequests = 100;
+
+    ServerConfig cont;
+    cont.policy = BatchPolicy::Continuous;
+    ServerConfig stat;
+    stat.policy = BatchPolicy::Static;
+
+    Server s_cont(cpuModel(tee::makeTdx()), cont);
+    Server s_stat(cpuModel(tee::makeTdx()), stat);
+    const auto mc = s_cont.run(generateWorkload(w));
+    const auto ms = s_stat.run(generateWorkload(w));
+    EXPECT_LT(mc.tpot.p95, ms.tpot.p95 + 1.0);
+    EXPECT_GE(mc.sloAttainment, ms.sloAttainment - 0.05);
+}
+
+TEST(Server, OverloadDegradesSloAttainment)
+{
+    WorkloadConfig light = lightLoad();
+    WorkloadConfig heavy = lightLoad();
+    heavy.arrivalRate = 100.0;
+    heavy.numRequests = 150;
+
+    Server server(cpuModel(tee::makeTdx()), ServerConfig{});
+    const auto ml = server.run(generateWorkload(light));
+    const auto mh = server.run(generateWorkload(heavy));
+    EXPECT_GT(ml.sloAttainment, mh.sloAttainment);
+    EXPECT_GT(ml.ttft.p50, 0.0);
+    EXPECT_GT(mh.ttft.p95, ml.ttft.p95);
+}
+
+TEST(Server, GpuStepModelServesFasterThanCpu)
+{
+    WorkloadConfig w = lightLoad();
+    w.arrivalRate = 50.0;
+    w.numRequests = 100;
+
+    Server cpu_server(cpuModel(tee::makeTdx()), ServerConfig{});
+    Server gpu_server(makeGpuStepModel(hw::h100Nvl(), true,
+                                       llm::llama2_7b(),
+                                       hw::Dtype::Bf16),
+                      ServerConfig{});
+    const auto mc = cpu_server.run(generateWorkload(w));
+    const auto mg = gpu_server.run(generateWorkload(w));
+    EXPECT_GT(mg.tokensPerSecond, mc.tokensPerSecond * 3.0);
+}
+
+TEST(Server, ConfidentialGpuSlowerThanRaw)
+{
+    WorkloadConfig w = lightLoad();
+    w.arrivalRate = 200.0;
+    w.numRequests = 150;
+    Server raw(makeGpuStepModel(hw::h100Nvl(), false, llm::llama2_7b(),
+                                hw::Dtype::Bf16),
+               ServerConfig{});
+    Server cc(makeGpuStepModel(hw::h100Nvl(), true, llm::llama2_7b(),
+                               hw::Dtype::Bf16),
+              ServerConfig{});
+    const auto mr = raw.run(generateWorkload(w));
+    const auto mcc = cc.run(generateWorkload(w));
+    EXPECT_GT(mr.tokensPerSecond, mcc.tokensPerSecond);
+    // cGPU serving tax stays in the paper's single-digit band.
+    EXPECT_LT(mr.tokensPerSecond / mcc.tokensPerSecond, 1.12);
+}
+
+TEST(Server, BatchPolicyNames)
+{
+    EXPECT_STREQ(batchPolicyName(BatchPolicy::Static), "static");
+    EXPECT_STREQ(batchPolicyName(BatchPolicy::Continuous),
+                 "continuous");
+}
+
+TEST(ServerDeath, EmptyTraceFatal)
+{
+    Server server(cpuModel(tee::makeBareMetal()), ServerConfig{});
+    EXPECT_DEATH(server.run({}), "empty trace");
+}
+
+TEST(ServerDeath, ZeroBatchFatal)
+{
+    ServerConfig cfg;
+    cfg.maxBatch = 0;
+    EXPECT_DEATH(Server(cpuModel(tee::makeBareMetal()), cfg),
+                 "batch");
+}
+
+TEST(ServerKv, ConstrainedPoolLimitsOccupancy)
+{
+    WorkloadConfig w = lightLoad();
+    w.arrivalRate = 30.0; // everyone arrives quickly
+    w.numRequests = 80;
+
+    ServerConfig unbounded;
+    ServerConfig tight;
+    tight.kvBlocks = 64; // 64 blocks x 16 tokens = 1024 tokens of KV
+    tight.kvBlockTokens = 16;
+
+    Server su(cpuModel(tee::makeTdx()), unbounded);
+    Server st(cpuModel(tee::makeTdx()), tight);
+    const auto mu = su.run(generateWorkload(w));
+    const auto mt = st.run(generateWorkload(w));
+
+    EXPECT_LT(mt.meanBatchOccupancy, mu.meanBatchOccupancy);
+    EXPECT_GT(mt.kvUtilizationPeak, 0.5);
+    EXPECT_LE(mt.kvUtilizationPeak, 1.0);
+    EXPECT_EQ(mu.kvUtilizationPeak, 0.0); // unbounded: not tracked
+}
+
+TEST(ServerKv, AllRequestsStillCompleteWhenConstrained)
+{
+    WorkloadConfig w = lightLoad();
+    w.numRequests = 40;
+    ServerConfig tight;
+    tight.kvBlocks = 128;
+    Server st(cpuModel(tee::makeTdx()), tight);
+    const auto m = st.run(generateWorkload(w));
+    EXPECT_EQ(m.completed, 40u);
+}
+
+TEST(ServerKv, OversizedRequestIsDroppedNotDeadlocked)
+{
+    ServerConfig tiny;
+    tiny.kvBlocks = 4;
+    tiny.kvBlockTokens = 16; // pool holds 64 tokens
+    Server s(cpuModel(tee::makeTdx()), tiny);
+
+    std::vector<Request> trace;
+    Request big;
+    big.id = 0;
+    big.arrival = 0.0;
+    big.inLen = 512; // cannot ever fit
+    big.outLen = 64;
+    trace.push_back(big);
+    Request small;
+    small.id = 1;
+    small.arrival = 0.1;
+    small.inLen = 16;
+    small.outLen = 8;
+    trace.push_back(small);
+
+    const auto m = s.run(trace);
+    EXPECT_EQ(m.completed, 1u); // the small one; no deadlock
+}

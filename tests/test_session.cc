@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for attested secure sessions: DH math, handshake binding,
+ * and the authenticated channel's tamper/replay behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/sha256.hh"
+#include "tee/session.hh"
+
+using namespace cllm;
+using namespace cllm::tee;
+
+namespace {
+
+Measurement
+measureOf(const std::string &binary)
+{
+    MeasurementBuilder b;
+    b.extend("binary", binary);
+    return b.finish();
+}
+
+std::vector<std::uint8_t>
+bytes(const std::string &s)
+{
+    return {s.begin(), s.end()};
+}
+
+} // namespace
+
+TEST(Dh, ModPowBasics)
+{
+    EXPECT_EQ(dhModPow(3, 0), 1u);
+    EXPECT_EQ(dhModPow(3, 1), 3u);
+    EXPECT_EQ(dhModPow(3, 2), 9u);
+    // Fermat: g^(p-1) = 1 mod p for prime p.
+    EXPECT_EQ(dhModPow(3, kDhPrime - 1), 1u);
+}
+
+TEST(Dh, SharedSecretAgrees)
+{
+    DhKeyPair alice(1), bob(2);
+    EXPECT_NE(alice.publicValue(), bob.publicValue());
+    EXPECT_EQ(alice.sharedSecret(bob.publicValue()),
+              bob.sharedSecret(alice.publicValue()));
+}
+
+TEST(Dh, DistinctPairsDistinctSecrets)
+{
+    DhKeyPair a(1), b(2), c(3);
+    EXPECT_NE(a.sharedSecret(b.publicValue()),
+              a.sharedSecret(c.publicValue()));
+}
+
+TEST(Dh, PublicValueInGroup)
+{
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        DhKeyPair kp(seed);
+        EXPECT_GE(kp.publicValue(), 2u);
+        EXPECT_LT(kp.publicValue(), kDhPrime);
+    }
+}
+
+TEST(DhDeath, OutOfRangePeerFatal)
+{
+    DhKeyPair kp(1);
+    EXPECT_DEATH(kp.sharedSecret(0), "group range");
+    EXPECT_DEATH(kp.sharedSecret(kDhPrime), "group range");
+}
+
+TEST(Handshake, SucceedsForAttestedEnclave)
+{
+    const auto hw_key = crypto::sha256(std::string("platform"));
+    QuotingEnclave platform(hw_key);
+    const Measurement enclave = measureOf("inference-v1");
+
+    DhKeyPair server(42), client(43);
+    const ServerHello hello =
+        makeServerHello(platform, enclave, server);
+
+    QuoteVerifier verifier(platform.verificationKey());
+    verifier.allow(enclave);
+    const HandshakeResult hr =
+        completeHandshake(verifier, hello, client);
+    ASSERT_TRUE(hr.ok);
+
+    // Both sides derive the same directional keys.
+    const SessionKeys server_keys =
+        deriveSessionKeys(server.sharedSecret(client.publicValue()));
+    EXPECT_TRUE(crypto::digestEqual(hr.keys.clientToServer,
+                                    server_keys.clientToServer));
+    EXPECT_FALSE(crypto::digestEqual(hr.keys.clientToServer,
+                                     hr.keys.serverToClient));
+}
+
+TEST(Handshake, RejectsUnknownMeasurement)
+{
+    const auto hw_key = crypto::sha256(std::string("platform"));
+    QuotingEnclave platform(hw_key);
+    DhKeyPair server(1), client(2);
+    const ServerHello hello =
+        makeServerHello(platform, measureOf("malware"), server);
+
+    QuoteVerifier verifier(platform.verificationKey());
+    verifier.allow(measureOf("inference-v1"));
+    const HandshakeResult hr =
+        completeHandshake(verifier, hello, client);
+    EXPECT_FALSE(hr.ok);
+    EXPECT_EQ(hr.status, VerifyStatus::UnexpectedMeasurement);
+}
+
+TEST(Handshake, DetectsDhSubstitution)
+{
+    // A MITM swaps the advertised DH public for their own; the quote
+    // still verifies but the binding check must fail.
+    const auto hw_key = crypto::sha256(std::string("platform"));
+    QuotingEnclave platform(hw_key);
+    const Measurement enclave = measureOf("inference-v1");
+    DhKeyPair server(7), client(8), mitm(9);
+
+    ServerHello hello = makeServerHello(platform, enclave, server);
+    hello.dhPublic = mitm.publicValue(); // substitution
+
+    QuoteVerifier verifier(platform.verificationKey());
+    verifier.allow(enclave);
+    const HandshakeResult hr =
+        completeHandshake(verifier, hello, client);
+    EXPECT_FALSE(hr.ok);
+}
+
+TEST(Channel, RoundtripsMessages)
+{
+    const auto key = crypto::sha256(std::string("session"));
+    SecureChannel tx(key), rx(key);
+    for (int i = 0; i < 5; ++i) {
+        const auto plain = bytes("prompt " + std::to_string(i));
+        const SealedMessage msg = tx.seal(plain);
+        EXPECT_NE(msg.ciphertext, plain); // actually encrypted
+        const auto out = rx.open(msg);
+        ASSERT_TRUE(out.has_value());
+        EXPECT_EQ(*out, plain);
+    }
+}
+
+TEST(Channel, DetectsTampering)
+{
+    const auto key = crypto::sha256(std::string("session"));
+    SecureChannel tx(key), rx(key);
+    SealedMessage msg = tx.seal(bytes("sensitive health record"));
+    msg.ciphertext[3] ^= 0x01;
+    EXPECT_FALSE(rx.open(msg).has_value());
+}
+
+TEST(Channel, RejectsReplay)
+{
+    const auto key = crypto::sha256(std::string("session"));
+    SecureChannel tx(key), rx(key);
+    const SealedMessage msg = tx.seal(bytes("one-time"));
+    ASSERT_TRUE(rx.open(msg).has_value());
+    EXPECT_FALSE(rx.open(msg).has_value()); // replay
+}
+
+TEST(Channel, RejectsReordering)
+{
+    const auto key = crypto::sha256(std::string("session"));
+    SecureChannel tx(key), rx(key);
+    const SealedMessage m1 = tx.seal(bytes("first"));
+    const SealedMessage m2 = tx.seal(bytes("second"));
+    EXPECT_FALSE(rx.open(m2).has_value()); // skipped ahead
+    EXPECT_TRUE(rx.open(m1).has_value());
+    EXPECT_TRUE(rx.open(m2).has_value());
+}
+
+TEST(Channel, WrongKeyFails)
+{
+    SecureChannel tx(crypto::sha256(std::string("key-a")));
+    SecureChannel rx(crypto::sha256(std::string("key-b")));
+    EXPECT_FALSE(rx.open(tx.seal(bytes("hello"))).has_value());
+}
+
+TEST(Channel, DirectionalKeysIsolateStreams)
+{
+    const SessionKeys keys = deriveSessionKeys(123456789);
+    SecureChannel c2s_tx(keys.clientToServer);
+    SecureChannel s2c_rx(keys.serverToClient);
+    EXPECT_FALSE(s2c_rx.open(c2s_tx.seal(bytes("x"))).has_value());
+}
+
+TEST(Channel, EmptyMessageSupported)
+{
+    const auto key = crypto::sha256(std::string("session"));
+    SecureChannel tx(key), rx(key);
+    const auto out = rx.open(tx.seal({}));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_TRUE(out->empty());
+}

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the statistics helpers, including the paper's Z>3 outlier
+ * filter (Section III-D).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/stats.hh"
+
+using namespace cllm;
+
+TEST(OnlineStats, EmptyIsZero)
+{
+    OnlineStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(OnlineStats, SingleSample)
+{
+    OnlineStats s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), 5.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 5.0);
+    EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, MatchesClosedForm)
+{
+    OnlineStats s;
+    const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0,
+                                    9.0};
+    for (double x : xs)
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance with n-1: sum sq dev = 32, / 7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.sum(), 40.0, 1e-12);
+}
+
+TEST(OnlineStats, MergeEqualsCombined)
+{
+    OnlineStats a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double x = std::sin(i) * 10.0;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty)
+{
+    OnlineStats a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, MedianOfOddSet)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks)
+{
+    // p50 of {1,2,3,4} = 2.5 under the linear method.
+    EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 50.0), 2.5);
+}
+
+TEST(Percentile, Extremes)
+{
+    const std::vector<double> v = {5.0, 1.0, 9.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 9.0);
+}
+
+TEST(Percentile, SingleSample)
+{
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 95.0), 7.0);
+}
+
+TEST(PercentileDeath, EmptyPanics)
+{
+    EXPECT_DEATH(percentile({}, 50.0), "empty");
+}
+
+TEST(PercentileDeath, OutOfRangePanics)
+{
+    EXPECT_DEATH(percentile({1.0}, 101.0), "out of range");
+}
+
+TEST(ZScoreFilter, RemovesClearOutlier)
+{
+    std::vector<double> v(100, 10.0);
+    for (int i = 0; i < 100; ++i)
+        v[i] += (i % 2 ? 0.1 : -0.1);
+    v.push_back(1000.0);
+    std::size_t removed = 0;
+    const auto kept = zScoreFilter(v, 3.0, &removed);
+    EXPECT_EQ(removed, 1u);
+    EXPECT_EQ(kept.size(), 100u);
+}
+
+TEST(ZScoreFilter, KeepsAllWhenTight)
+{
+    const std::vector<double> v = {1.0, 2.0, 3.0, 2.0, 1.0};
+    std::size_t removed = 9;
+    const auto kept = zScoreFilter(v, 3.0, &removed);
+    EXPECT_EQ(removed, 0u);
+    EXPECT_EQ(kept, v);
+}
+
+TEST(ZScoreFilter, ConstantSamplesSurvive)
+{
+    const std::vector<double> v(10, 4.2);
+    const auto kept = zScoreFilter(v, 3.0);
+    EXPECT_EQ(kept.size(), 10u);
+}
+
+TEST(Summarize, CountsOutliersLikePaper)
+{
+    // ~0.64% of samples beyond Z>3 in the paper; build 1000 samples
+    // with 6 injected spikes.
+    std::vector<double> v;
+    for (int i = 0; i < 994; ++i)
+        v.push_back(50.0 + 0.5 * std::sin(i));
+    for (int i = 0; i < 6; ++i)
+        v.push_back(500.0);
+    const SampleSummary s = summarize(v, 3.0);
+    EXPECT_EQ(s.outliers, 6u);
+    EXPECT_EQ(s.count, 994u);
+    EXPECT_NEAR(s.mean, 50.0, 0.5);
+}
+
+TEST(Summarize, DisabledFilterKeepsEverything)
+{
+    std::vector<double> v = {1.0, 1.0, 1.0, 100.0};
+    const SampleSummary s = summarize(v, 0.0);
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_EQ(s.outliers, 0u);
+}
+
+TEST(Summarize, PercentilesOrdered)
+{
+    std::vector<double> v;
+    for (int i = 1; i <= 1000; ++i)
+        v.push_back(static_cast<double>(i));
+    const SampleSummary s = summarize(v, 0.0);
+    EXPECT_LE(s.p50, s.p95);
+    EXPECT_LE(s.p95, s.p99);
+    EXPECT_LE(s.p99, s.max);
+    EXPECT_GE(s.p50, s.min);
+}
+
+TEST(Overhead, BasicMath)
+{
+    EXPECT_NEAR(overhead(110.0, 100.0), 0.1, 1e-12);
+    EXPECT_NEAR(overheadPct(110.0, 100.0), 10.0, 1e-10);
+    EXPECT_NEAR(overheadPct(90.0, 100.0), -10.0, 1e-10);
+}
+
+TEST(OverheadDeath, ZeroBaselinePanics)
+{
+    EXPECT_DEATH(overhead(1.0, 0.0), "zero baseline");
+}

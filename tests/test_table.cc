@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the ASCII-table / CSV emitters used by the bench harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hh"
+
+using namespace cllm;
+
+TEST(Table, PrintsHeaderAndRows)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    t.addRow({"333", "4"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("a"), std::string::npos);
+    EXPECT_NE(out.find("333"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ColumnsAreAligned)
+{
+    Table t({"col", "x"});
+    t.addRow({"short", "1"});
+    t.addRow({"a-much-longer-cell", "2"});
+    std::ostringstream os;
+    t.print(os);
+    // Every line containing "1" or "2" must place them at the same
+    // column offset.
+    std::istringstream in(os.str());
+    std::string line;
+    std::size_t pos1 = std::string::npos, pos2 = std::string::npos;
+    while (std::getline(in, line)) {
+        if (line.find("short") != std::string::npos)
+            pos1 = line.find('1');
+        if (line.find("longer") != std::string::npos)
+            pos2 = line.find('2');
+    }
+    ASSERT_NE(pos1, std::string::npos);
+    ASSERT_NE(pos2, std::string::npos);
+    EXPECT_EQ(pos1, pos2);
+}
+
+TEST(Table, CsvQuotesSpecials)
+{
+    Table t({"name", "value"});
+    t.addRow({"with,comma", "with\"quote"});
+    std::ostringstream os;
+    t.printCsv(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainCellsUnquoted)
+{
+    Table t({"h"});
+    t.addRow({"plain"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "h\nplain\n");
+}
+
+TEST(TableDeath, RowArityMismatchPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "cells");
+}
+
+TEST(TableDeath, EmptyHeaderPanics)
+{
+    EXPECT_DEATH(Table{std::vector<std::string>{}}, "column");
+}
+
+TEST(Fmt, Decimals)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(3.14159, 0), "3");
+    EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Fmt, Percent)
+{
+    EXPECT_EQ(fmtPct(12.345, 1), "12.3%");
+}
+
+TEST(Fmt, IntThousands)
+{
+    EXPECT_EQ(fmtInt(0), "0");
+    EXPECT_EQ(fmtInt(999), "999");
+    EXPECT_EQ(fmtInt(1000), "1,000");
+    EXPECT_EQ(fmtInt(1234567), "1,234,567");
+}

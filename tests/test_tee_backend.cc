@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the TEE backend tax models: each backend's documented
+ * behaviours (Insights 5-7) must appear in its ExecTax.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/cpu.hh"
+#include "tee/backend.hh"
+#include "util/units.hh"
+
+using namespace cllm;
+using namespace cllm::tee;
+
+namespace {
+
+TeeRequest
+llamaRequest(unsigned sockets = 1)
+{
+    TeeRequest r;
+    r.sockets = sockets;
+    r.workingSetBytes = 28ULL * GiB;
+    return r;
+}
+
+} // namespace
+
+TEST(BareMetal, IsNeutral)
+{
+    const auto be = makeBareMetal();
+    const ExecTax t = be->tax(hw::emr1(), llamaRequest());
+    EXPECT_EQ(t.computeFactor, 1.0);
+    EXPECT_EQ(t.encBwFactor, 1.0);
+    EXPECT_EQ(t.extraSecPerByte, 0.0);
+    EXPECT_EQ(t.perOpFixedSec, 0.0);
+    EXPECT_EQ(t.xlate, mem::TranslationMode::Native);
+    EXPECT_EQ(t.placement, mem::NumaPlacement::Local);
+    EXPECT_FALSE(t.upiEncrypted);
+    EXPECT_EQ(be->name(), "bare");
+}
+
+TEST(BareMetal, HonoursPageAndBindingRequests)
+{
+    const auto be = makeBareMetal();
+    TeeRequest r = llamaRequest();
+    r.requestedPage = mem::PageSize::Page2M;
+    r.numaBindRequested = false;
+    const ExecTax t = be->tax(hw::emr1(), r);
+    EXPECT_EQ(t.effectivePage, mem::PageSize::Page2M);
+    EXPECT_EQ(t.placement, mem::NumaPlacement::Unbound);
+}
+
+TEST(Vm, NestedTranslationAndVirtTax)
+{
+    const auto be = makeVm();
+    const ExecTax t = be->tax(hw::emr1(), llamaRequest());
+    EXPECT_EQ(t.xlate, mem::TranslationMode::Nested);
+    EXPECT_LT(t.computeFactor, 1.0);
+    EXPECT_GT(t.computeFactor, 0.95);
+    EXPECT_EQ(t.encBwFactor, 1.0); // no encryption in a plain VM
+    EXPECT_EQ(be->name(), "VM");
+}
+
+TEST(Vm, HugepagePolicySelectsBacking)
+{
+    VmConfig th;
+    th.hugepages1G = false;
+    EXPECT_EQ(makeVm(th)->tax(hw::emr1(), llamaRequest()).effectivePage,
+              mem::PageSize::Page2M);
+    EXPECT_EQ(makeVm()->tax(hw::emr1(), llamaRequest()).effectivePage,
+              mem::PageSize::Page1G);
+    EXPECT_EQ(makeVm(th)->name(), "VM TH");
+}
+
+TEST(Vm, GuestCannotExceedHostBacking)
+{
+    TeeRequest r = llamaRequest();
+    r.requestedPage = mem::PageSize::Page4K;
+    EXPECT_EQ(makeVm()->tax(hw::emr1(), r).effectivePage,
+              mem::PageSize::Page4K);
+}
+
+TEST(Vm, UnboundConfigLosesPlacement)
+{
+    VmConfig nb;
+    nb.numaBound = false;
+    const ExecTax t = makeVm(nb)->tax(hw::emr1(), llamaRequest(2));
+    EXPECT_EQ(t.placement, mem::NumaPlacement::Unbound);
+    EXPECT_EQ(makeVm(nb)->name(), "VM NB");
+}
+
+TEST(Tdx, ForcesTwoMegPages)
+{
+    // Insight 7: TDX ignores reserved 1 GiB pages.
+    TeeRequest r = llamaRequest();
+    r.requestedPage = mem::PageSize::Page1G;
+    const ExecTax t = makeTdx()->tax(hw::emr1(), r);
+    EXPECT_EQ(t.effectivePage, mem::PageSize::Page2M);
+}
+
+TEST(Tdx, IgnoresNumaBindingsOnTwoSockets)
+{
+    // Insight 6: bindings ignored; first-touch leaves traffic striped
+    // across the sockets.
+    const ExecTax t = makeTdx()->tax(hw::emr1(), llamaRequest(2));
+    EXPECT_EQ(t.placement, mem::NumaPlacement::Striped);
+    EXPECT_TRUE(t.upiEncrypted);
+}
+
+TEST(Tdx, SingleSocketStaysLocal)
+{
+    const ExecTax t = makeTdx()->tax(hw::emr1(), llamaRequest(1));
+    EXPECT_EQ(t.placement, mem::NumaPlacement::Local);
+}
+
+TEST(Tdx, MemoryEncryptionTaxPresent)
+{
+    const ExecTax t = makeTdx()->tax(hw::emr1(), llamaRequest());
+    EXPECT_LT(t.encBwFactor, 1.0);
+    EXPECT_GT(t.encBwFactor, 0.90);
+    EXPECT_EQ(t.xlate, mem::TranslationMode::NestedTdx);
+}
+
+TEST(Tdx, SncMultipliesPenalty)
+{
+    TeeRequest snc = llamaRequest();
+    snc.sncEnabled = true;
+    const double with_snc =
+        makeTdx()->tax(hw::emr1(), snc).encBwFactor;
+    const double without =
+        makeTdx()->tax(hw::emr1(), llamaRequest()).encBwFactor;
+    EXPECT_LT(with_snc, 0.8 * without);
+}
+
+TEST(Tdx, NoiseAndOutliersConfigured)
+{
+    const ExecTax t = makeTdx()->tax(hw::emr1(), llamaRequest());
+    EXPECT_GT(t.noiseSigma, 0.0);
+    EXPECT_NEAR(t.outlierProb, 0.0064, 1e-6); // paper's ~0.64%
+    EXPECT_GT(t.outlierScale, 1.0);
+}
+
+TEST(Sgx, NativeTranslationUnifiedNuma)
+{
+    const ExecTax t1 = makeSgx()->tax(hw::emr1(), llamaRequest(1));
+    EXPECT_EQ(t1.xlate, mem::TranslationMode::Native);
+    EXPECT_EQ(t1.placement, mem::NumaPlacement::Local);
+
+    const ExecTax t2 = makeSgx()->tax(hw::emr1(), llamaRequest(2));
+    EXPECT_EQ(t2.placement, mem::NumaPlacement::SingleNode);
+}
+
+TEST(Sgx, MeeTaxAndTransitions)
+{
+    const ExecTax t = makeSgx()->tax(hw::emr1(), llamaRequest());
+    EXPECT_LT(t.encBwFactor, 1.0);
+    EXPECT_GT(t.perTokenFixedSec, 0.0); // enclave exits
+}
+
+TEST(Sgx, EpcPagingKicksInBeyondEpc)
+{
+    TeeRequest big = llamaRequest();
+    big.workingSetBytes = 300ULL * GiB; // above one socket's 256 GiB
+    const ExecTax fits = makeSgx()->tax(hw::emr1(), llamaRequest());
+    const ExecTax paged = makeSgx()->tax(hw::emr1(), big);
+    EXPECT_EQ(fits.extraSecPerByte, 0.0);
+    EXPECT_GT(paged.extraSecPerByte, 0.0);
+}
+
+TEST(Sgx, LargerConfiguredEpcAvoidsPaging)
+{
+    SgxConfig cfg;
+    cfg.epcBytes = 512ULL << 30;
+    TeeRequest big = llamaRequest();
+    big.workingSetBytes = 100ULL * GiB;
+    hw::CpuSpec cpu = hw::emr1();
+    cpu.epcBytesPerSocket = 512ULL << 30;
+    EXPECT_EQ(makeSgx(cfg)->tax(cpu, big).extraSecPerByte, 0.0);
+}
+
+TEST(Security, ProfilesMatchTableOne)
+{
+    const SecurityProfile sgx = makeSgx()->security();
+    const SecurityProfile tdx = makeTdx()->security();
+    const SecurityProfile gpu = cgpuSecurity();
+
+    EXPECT_TRUE(sgx.memoryEncrypted);
+    EXPECT_TRUE(tdx.memoryEncrypted);
+    EXPECT_FALSE(gpu.memoryEncrypted); // H100 HBM in the clear
+
+    EXPECT_TRUE(sgx.interconnectProtected);
+    EXPECT_FALSE(gpu.interconnectProtected); // NVLINK unprotected
+
+    EXPECT_TRUE(sgx.protectsFromHost);
+    EXPECT_TRUE(tdx.protectsFromHost);
+    EXPECT_TRUE(gpu.protectsFromHost);
+
+    // Trust boundary ordering: SGX < TDX (Insight 5's trade-off).
+    EXPECT_NE(sgx.trustBoundary, tdx.trustBoundary);
+}
+
+TEST(Cgpu, TaxMatchesSpec)
+{
+    const hw::GpuSpec g = hw::h100Nvl();
+    const GpuTax t = cgpuTax(g);
+    EXPECT_NEAR(t.launchExtraSec, g.ccLaunchExtraUs * 1e-6, 1e-12);
+    EXPECT_EQ(t.hostLinkBwBytes, g.ccBounceBwBytes);
+    EXPECT_EQ(t.hbmBwFactor, 1.0); // unencrypted HBM -> no tax
+}
+
+TEST(Cgpu, EncryptedHbmWouldCost)
+{
+    hw::GpuSpec g = hw::h100Nvl();
+    g.hbmEncrypted = true; // B100-style
+    EXPECT_LT(cgpuTax(g).hbmBwFactor, 1.0);
+}
