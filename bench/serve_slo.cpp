@@ -6,12 +6,23 @@
  * and continuous batching, reporting TTFT/TPOT percentiles, SLO
  * attainment (200 ms/token, the paper's reading-speed bar), and
  * sustained tokens/s.
+ *
+ * With `--faults [seed]`, instead runs the resilience experiment: a
+ * seeded fault schedule (attestation failures, enclave restarts, EPC
+ * paging storms, KV exhaustion) is injected into a TDX deployment
+ * under a retry/timeout/shedding policy, reporting availability,
+ * retries, sheds, and downtime, plus the JSON event timeline.
  */
 
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <memory>
+#include <string>
 
+#include "fault/schedule.hh"
 #include "serve/serving.hh"
+#include "util/json.hh"
 #include "util/table.hh"
 
 using namespace cllm;
@@ -25,11 +36,97 @@ shared(std::unique_ptr<tee::TeeBackend> p)
     return std::shared_ptr<const tee::TeeBackend>(std::move(p));
 }
 
+int
+runFaultMode(std::uint64_t fault_seed)
+{
+    std::cout << "=== Serving under faults: resilience of a TDX "
+                 "deployment ===\n";
+    std::cout << "fault seed " << fault_seed
+              << "; attestation failures, enclave restarts, EPC "
+                 "storms, KV exhaustion\n\n";
+
+    const hw::CpuSpec cpu = hw::emr2();
+    const llm::ModelConfig model = llm::llama2_7b();
+    llm::RunParams deploy;
+    deploy.inLen = 1024;
+    deploy.outLen = 256;
+    deploy.batch = 32;
+    deploy.sockets = 1;
+    deploy.cores = cpu.coresPerSocket;
+
+    WorkloadConfig load;
+    load.arrivalRate = 0.45;
+    load.numRequests = 250;
+    load.meanInLen = 512;
+    load.meanOutLen = 128;
+    load.seed = 99;
+
+    fault::FaultScheduleConfig fs;
+    fs.seed = fault_seed;
+    fs.horizon = 700.0;
+    fs.attestFail = {1.0 / 120.0, 4.0, 0.0};
+    fs.enclaveRestart = {1.0 / 250.0, 0.0, 0.0};
+    fs.epcStorm = {1.0 / 90.0, 10.0,
+                   fault::epcStormSlowdown(6ULL << 30, 4ULL << 30,
+                                           0.5)};
+    fs.kvExhaustion = {1.0 / 150.0, 15.0, 0.5};
+
+    ServerConfig cfg;
+    cfg.policy = BatchPolicy::Continuous;
+    cfg.kvBlocks = 4096;
+    cfg.kvBlockTokens = 16;
+    cfg.faults = fault::FaultSchedule::generate(fs);
+    cfg.weightBytes = model.weightBytes(hw::Dtype::Bf16);
+    cfg.resilience.requestTimeout = 120.0;
+    cfg.resilience.maxRetries = 3;
+    cfg.resilience.retryBackoff = 0.5;
+    cfg.resilience.shedOnKvPressure = true;
+    cfg.resilience.shedThreshold = 0.95;
+    cfg.resilience.degradedMaxBatch = 8;
+
+    ServerConfig baseline = cfg;
+    baseline.faults = {};
+
+    Table t({"run", "avail", "tok/s", "TTFT p95 [s]", "retries",
+             "shed", "timeout", "restarts", "downtime [s]"});
+    ServeMetrics faulty;
+    for (bool with_faults : {false, true}) {
+        Server server(
+            makeCpuStepModel(cpu, shared(tee::makeTdx()), model,
+                             deploy),
+            with_faults ? cfg : baseline);
+        const ServeMetrics m = server.run(generateWorkload(load));
+        if (with_faults)
+            faulty = m;
+        t.addRow({with_faults ? "TDX + faults" : "TDX fault-free",
+                  fmtPct(100.0 * m.availability),
+                  fmt(m.tokensPerSecond), fmt(m.ttft.p95, 2),
+                  fmtInt(m.retries), fmtInt(m.shed),
+                  fmtInt(m.timedOut), fmtInt(m.restarts),
+                  fmt(m.faultDowntime, 2)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nfault timeline (JSON):\n";
+    JsonWriter json(std::cout);
+    writeMetrics(json, faulty);
+    std::cout << "\n";
+    return 0;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--faults") == 0) {
+            std::uint64_t seed = 1;
+            if (i + 1 < argc)
+                seed = std::strtoull(argv[i + 1], nullptr, 10);
+            return runFaultMode(seed);
+        }
+    }
     std::cout << "=== Serving extension: SLO attainment under TEEs "
                  "===\n";
     std::cout << "Llama2-7B bf16; Poisson arrivals; TTFT SLO 2 s, "

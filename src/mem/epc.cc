@@ -73,4 +73,12 @@ EpcCostModel::extraSecondsPerByte(std::uint64_t working_set_bytes,
     return miss * (pageFaultUs * 1e-6) / page;
 }
 
+double
+EpcCostModel::passSeconds(std::uint64_t working_set_bytes,
+                          std::uint64_t epc_bytes) const
+{
+    return extraSecondsPerByte(working_set_bytes, epc_bytes) *
+           static_cast<double>(working_set_bytes);
+}
+
 } // namespace cllm::mem

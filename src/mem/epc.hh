@@ -76,6 +76,14 @@ struct EpcCostModel
     /** Extra seconds per byte of enclave traffic due to paging. */
     double extraSecondsPerByte(std::uint64_t working_set_bytes,
                                std::uint64_t epc_bytes) const;
+
+    /**
+     * Total extra seconds for one pass over the working set — the
+     * per-pass penalty of a paging storm, used by the fault layer to
+     * turn an EPC squeeze into a step-time slowdown.
+     */
+    double passSeconds(std::uint64_t working_set_bytes,
+                       std::uint64_t epc_bytes) const;
 };
 
 } // namespace cllm::mem

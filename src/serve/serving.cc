@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <optional>
+#include <queue>
 
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -160,6 +161,27 @@ struct Active
 {
     Request *req;
     unsigned produced = 0; //!< output tokens so far
+    unsigned attempts = 0; //!< retries consumed getting admitted
+};
+
+/** A request waiting for admission (fresh arrival or retry). */
+struct Pending
+{
+    Request *req;
+    double readyAt;
+    unsigned attempts;
+};
+
+/** Min-heap order: earliest readyAt first, ties by request id. */
+struct PendingLater
+{
+    bool
+    operator()(const Pending &a, const Pending &b) const
+    {
+        if (a.readyAt != b.readyAt)
+            return a.readyAt > b.readyAt;
+        return a.req->id > b.req->id;
+    }
 };
 
 } // namespace
@@ -183,16 +205,38 @@ makeGpuStepModel(const hw::GpuSpec &gpu, bool confidential,
 }
 
 Server::Server(std::unique_ptr<StepModel> step, ServerConfig cfg)
-    : step_(std::move(step)), cfg_(cfg)
+    : step_(std::move(step)), cfg_(std::move(cfg))
 {
     if (!step_)
         cllm_fatal("Server requires a step model");
     if (cfg_.maxBatch == 0)
         cllm_fatal("Server: zero batch capacity");
+    if (!cfg_.faults.empty()) {
+        if (cfg_.policy == BatchPolicy::Static)
+            cllm_fatal("Server: fault injection requires continuous "
+                       "batching");
+        if (cfg_.resilience.retryBackoff <= 0.0)
+            cllm_fatal("Server: fault injection requires a positive "
+                       "retry backoff");
+    }
+    if (cfg_.resilience.backoffMultiplier < 1.0)
+        cllm_fatal("Server: backoff multiplier below 1");
+    if (cfg_.resilience.shedOnKvPressure &&
+        (cfg_.resilience.shedThreshold <= 0.0 ||
+         cfg_.resilience.shedThreshold > 1.0))
+        cllm_fatal("Server: shed threshold outside (0, 1]");
 }
 
 ServeMetrics
 Server::run(std::vector<Request> trace) const
+{
+    std::vector<Request> annotated;
+    return run(std::move(trace), annotated);
+}
+
+ServeMetrics
+Server::run(std::vector<Request> trace,
+            std::vector<Request> &annotated) const
 {
     if (trace.empty())
         cllm_fatal("Server::run: empty trace");
@@ -200,8 +244,11 @@ Server::run(std::vector<Request> trace) const
               [](const Request &a, const Request &b) {
                   return a.arrival < b.arrival;
               });
-    return cfg_.policy == BatchPolicy::Static ? runStatic(trace)
-                                              : runContinuous(trace);
+    ServeMetrics m = cfg_.policy == BatchPolicy::Static
+                         ? runStatic(trace)
+                         : runContinuous(trace);
+    annotated = std::move(trace);
+    return m;
 }
 
 ServeMetrics
@@ -251,7 +298,7 @@ Server::runStatic(std::vector<Request> &trace) const
             }
         }
     }
-    return finalize(trace, clock, occupancy_sum, steps);
+    return finalize(trace, clock, occupancy_sum, steps, Tally{});
 }
 
 ServeMetrics
@@ -261,56 +308,161 @@ Server::runContinuous(std::vector<Request> &trace) const
     double occupancy_sum = 0.0;
     double kv_peak = 0.0;
     std::size_t steps = 0;
-    std::size_t next = 0;
     std::vector<Active> active;
+    Tally tally;
+
+    const ResiliencePolicy &rp = cfg_.resilience;
+    fault::FaultInjector inj(cfg_.faults);
+
+    std::priority_queue<Pending, std::vector<Pending>, PendingLater>
+        pending;
+    for (Request &r : trace)
+        pending.push({&r, r.arrival, 0});
 
     std::optional<KvBlockPool> pool;
     if (cfg_.kvBlocks)
         pool.emplace(KvPoolConfig{cfg_.kvBlocks, cfg_.kvBlockTokens});
-    auto can_admit = [&](const Request &r) {
-        return !pool || pool->canAdmit(r.inLen + r.outLen);
+
+    // Admission check, optionally against a pool whose usable share
+    // has been shrunk by an active KvExhaustion window.
+    auto can_admit = [&](const Request &r, double factor) {
+        if (!pool)
+            return true;
+        if (!pool->canAdmit(r.inLen + r.outLen))
+            return false;
+        if (factor >= 1.0)
+            return true;
+        const std::uint64_t need =
+            (r.inLen + r.outLen + cfg_.kvBlockTokens - 1) /
+            cfg_.kvBlockTokens;
+        const std::uint64_t used = cfg_.kvBlocks - pool->freeBlocks();
+        const auto usable = static_cast<std::uint64_t>(
+            factor * static_cast<double>(cfg_.kvBlocks));
+        return used + need <= usable;
     };
 
-    while (next < trace.size() || !active.empty()) {
+    // Bounded retry with exponential backoff; a request that spends
+    // its budget is dropped for good.
+    auto requeue = [&](Request *r, unsigned attempts) {
+        if (attempts > rp.maxRetries) {
+            ++tally.failed;
+            return;
+        }
+        ++tally.retries;
+        double backoff = rp.retryBackoff;
+        for (unsigned i = 1; i < attempts; ++i)
+            backoff *= rp.backoffMultiplier;
+        pending.push({r, clock + backoff, attempts});
+    };
+
+    while (!pending.empty() || !active.empty()) {
+        // Enclave/TD restarts wipe everything in secure memory: the
+        // KV pool, the weights, the attested session state. Pay the
+        // re-provisioning downtime and retry what was in flight.
+        if (inj.enabled()) {
+            const unsigned crossed = inj.consumeRestarts(
+                clock, static_cast<unsigned>(active.size()));
+            if (crossed) {
+                const double down =
+                    crossed *
+                    cfg_.reprovision.seconds(cfg_.weightBytes);
+                clock += down;
+                tally.faultDowntime += down;
+                tally.restarts += crossed;
+                for (Active &a : active) {
+                    if (pool)
+                        pool->release(a.req->id);
+                    requeue(a.req, a.attempts + 1);
+                }
+                active.clear();
+            }
+        }
+
+        const double kv_factor =
+            inj.enabled() ? inj.kvCapacityFactor(clock) : 1.0;
+        unsigned max_batch = cfg_.maxBatch;
+        if (rp.degradedMaxBatch && inj.enabled() &&
+            inj.anyWindowActive(clock)) {
+            max_batch = std::max(
+                1u, std::min(max_batch, rp.degradedMaxBatch));
+        }
+
         // Admit arrivals up to batch and KV capacity; prefill on
         // admission, reserving the full context worth of blocks.
-        while (next < trace.size() &&
-               active.size() < cfg_.maxBatch &&
-               trace[next].arrival <= clock &&
-               can_admit(trace[next])) {
-            Request *r = &trace[next];
+        while (!pending.empty() && active.size() < max_batch &&
+               pending.top().readyAt <= clock) {
+            const Pending p = pending.top();
+            // Deadline: reject queued work already past its budget.
+            if (rp.requestTimeout > 0.0 &&
+                clock - p.req->arrival > rp.requestTimeout) {
+                pending.pop();
+                ++tally.timedOut;
+                continue;
+            }
+            // Admission shedding under KV pressure.
+            if (rp.shedOnKvPressure && pool &&
+                pool->utilization() >= rp.shedThreshold) {
+                pending.pop();
+                ++tally.shed;
+                continue;
+            }
+            // Attestation gate: no verified handshake, no admission;
+            // the client backs off and retries.
+            if (inj.enabled() && inj.attestationFails(clock)) {
+                pending.pop();
+                ++tally.attestRejections;
+                requeue(p.req, p.attempts + 1);
+                continue;
+            }
+            if (!can_admit(*p.req, kv_factor))
+                break;
+            pending.pop();
+            Request *r = p.req;
             if (pool)
                 pool->addSequence(r->id, r->inLen + r->outLen);
-            clock += step_->prefill(r->inLen);
-            r->firstToken = clock;
-            active.push_back({r, 0});
-            ++next;
+            double pf = step_->prefill(r->inLen);
+            if (inj.enabled())
+                pf *= inj.slowdown(clock);
+            clock += pf;
+            if (r->firstToken < 0.0)
+                r->firstToken = clock;
+            active.push_back({r, 0, p.attempts});
         }
         if (pool)
             kv_peak = std::max(kv_peak, pool->utilization());
         // If KV capacity blocks the head of the queue while nothing
-        // runs, time must still advance to the next completion or
-        // arrival; with full-reservation admission an empty active
-        // set means the head simply has not arrived yet OR is too
-        // big; skip oversized requests outright.
-        if (active.empty() && next < trace.size() &&
-            trace[next].arrival <= clock && !can_admit(trace[next])) {
-            // Request larger than the whole pool: drop it.
-            ++next;
+        // runs, time must still advance: to the end of a transient
+        // exhaustion window, or past a request too big to ever fit.
+        if (active.empty() && !pending.empty()) {
+            const Pending head = pending.top();
+            if (head.readyAt <= clock &&
+                !can_admit(*head.req, kv_factor)) {
+                if (can_admit(*head.req, 1.0)) {
+                    // Transient KvExhaustion window: wait it out.
+                    clock = inj.nextWindowEnd(clock);
+                } else {
+                    // Request larger than the whole pool: drop it.
+                    pending.pop();
+                    ++tally.shed;
+                }
+                continue;
+            }
+            clock = std::max(clock, head.readyAt);
             continue;
         }
-        if (active.empty()) {
-            clock = std::max(clock, trace[next].arrival);
-            continue;
-        }
+        if (active.empty())
+            break; // everything remaining was dropped
 
         // One decode step for everyone currently active.
         double avg_pos = 0.0;
         for (const Active &a : active)
             avg_pos += a.req->inLen + a.produced;
         avg_pos /= active.size();
-        clock += step_->decodeStep(static_cast<double>(active.size()),
-                                   avg_pos);
+        double step_sec = step_->decodeStep(
+            static_cast<double>(active.size()), avg_pos);
+        if (inj.enabled())
+            step_sec *= inj.slowdown(clock);
+        clock += step_sec;
         occupancy_sum += static_cast<double>(active.size());
         ++steps;
 
@@ -321,19 +473,29 @@ Server::runContinuous(std::vector<Request> &trace) const
                 if (pool)
                     pool->release(it->req->id);
                 it = active.erase(it);
+            } else if (rp.requestTimeout > 0.0 &&
+                       clock - it->req->arrival > rp.requestTimeout) {
+                // Deadline blown mid-generation: abort and release.
+                ++tally.timedOut;
+                if (pool)
+                    pool->release(it->req->id);
+                it = active.erase(it);
             } else {
                 ++it;
             }
         }
     }
-    ServeMetrics m = finalize(trace, clock, occupancy_sum, steps);
+    ServeMetrics m = finalize(trace, clock, occupancy_sum, steps,
+                              tally);
     m.kvUtilizationPeak = kv_peak;
+    m.faultTimeline = inj.timeline();
     return m;
 }
 
 ServeMetrics
 Server::finalize(const std::vector<Request> &trace, double makespan,
-                 double occupancy_sum, std::size_t steps) const
+                 double occupancy_sum, std::size_t steps,
+                 const Tally &tally) const
 {
     ServeMetrics m;
     m.makespan = makespan;
@@ -356,17 +518,70 @@ Server::finalize(const std::vector<Request> &trace, double makespan,
             (r.outLen <= 1 || per_tok <= cfg_.tpotSlo))
             ++slo_ok;
     }
-    if (m.completed == 0)
+    const bool dropped_any =
+        tally.shed || tally.timedOut || tally.failed;
+    if (m.completed == 0 && !dropped_any)
         cllm_panic("serving simulation completed no requests");
-    m.tokensPerSecond = tokens / makespan;
+    m.tokensPerSecond =
+        makespan > 0.0 ? tokens / makespan : 0.0;
     m.ttft = summarize(ttft, 0.0);
     if (!tpot.empty())
         m.tpot = summarize(tpot, 0.0);
     m.sloAttainment =
-        static_cast<double>(slo_ok) / static_cast<double>(m.completed);
+        m.completed ? static_cast<double>(slo_ok) /
+                          static_cast<double>(m.completed)
+                    : 0.0;
     m.meanBatchOccupancy =
         steps ? occupancy_sum / static_cast<double>(steps) : 0.0;
+
+    m.submitted = trace.size();
+    m.outputTokens = tokens;
+    m.availability = m.submitted
+                         ? static_cast<double>(m.completed) /
+                               static_cast<double>(m.submitted)
+                         : 0.0;
+    m.retries = tally.retries;
+    m.shed = tally.shed;
+    m.timedOut = tally.timedOut;
+    m.failed = tally.failed;
+    m.restarts = tally.restarts;
+    m.attestRejections = tally.attestRejections;
+    m.faultDowntime = tally.faultDowntime;
     return m;
+}
+
+void
+writeMetrics(JsonWriter &json, const ServeMetrics &m)
+{
+    json.beginObject();
+    json.key("completed").value(
+        static_cast<std::int64_t>(m.completed));
+    json.key("submitted").value(
+        static_cast<std::int64_t>(m.submitted));
+    json.key("availability").value(m.availability);
+    json.key("makespan_s").value(m.makespan);
+    json.key("tokens_per_s").value(m.tokensPerSecond);
+    json.key("output_tokens").value(
+        static_cast<std::int64_t>(m.outputTokens));
+    json.key("ttft_p50_s").value(m.ttft.p50);
+    json.key("ttft_p95_s").value(m.ttft.p95);
+    json.key("tpot_p95_s").value(m.tpot.p95);
+    json.key("slo_attainment").value(m.sloAttainment);
+    json.key("mean_batch_occupancy").value(m.meanBatchOccupancy);
+    json.key("kv_utilization_peak").value(m.kvUtilizationPeak);
+    json.key("retries").value(static_cast<std::int64_t>(m.retries));
+    json.key("shed").value(static_cast<std::int64_t>(m.shed));
+    json.key("timed_out").value(
+        static_cast<std::int64_t>(m.timedOut));
+    json.key("failed").value(static_cast<std::int64_t>(m.failed));
+    json.key("restarts").value(
+        static_cast<std::int64_t>(m.restarts));
+    json.key("attest_rejections").value(
+        static_cast<std::int64_t>(m.attestRejections));
+    json.key("fault_downtime_s").value(m.faultDowntime);
+    json.key("fault_timeline");
+    fault::writeTimeline(json, m.faultTimeline);
+    json.endObject();
 }
 
 } // namespace cllm::serve

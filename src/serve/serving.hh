@@ -16,12 +16,15 @@
 #include <memory>
 #include <vector>
 
+#include "fault/injector.hh"
+#include "fault/schedule.hh"
 #include "hw/cpu.hh"
 #include "hw/gpu.hh"
 #include "llm/model_config.hh"
 #include "llm/perf_cpu.hh"
 #include "llm/perf_gpu.hh"
 #include "tee/backend.hh"
+#include "tee/session.hh"
 #include "serve/kv_pool.hh"
 #include "util/stats.hh"
 
@@ -64,6 +67,42 @@ enum class BatchPolicy
 /** Printable policy name. */
 const char *batchPolicyName(BatchPolicy p);
 
+/**
+ * How the server responds to faults and overload. Every knob defaults
+ * to "off", so a default-constructed policy leaves the simulation
+ * byte-identical to a server without one.
+ */
+struct ResiliencePolicy
+{
+    /**
+     * Per-request deadline in seconds, measured from the original
+     * arrival across every retry (0 disables). Queued requests past
+     * the deadline are rejected at admission; running requests are
+     * aborted after the step that overruns it.
+     */
+    double requestTimeout = 0.0;
+
+    /** Retry budget for attestation failures and enclave restarts. */
+    unsigned maxRetries = 2;
+
+    /** First retry backoff in seconds; grows by backoffMultiplier. */
+    double retryBackoff = 0.05;
+    double backoffMultiplier = 2.0;
+
+    /**
+     * Shed (reject without retry) new admissions while KV-pool
+     * occupancy is at or above shedThreshold.
+     */
+    bool shedOnKvPressure = false;
+    double shedThreshold = 0.95;
+
+    /**
+     * Graceful degradation: while any fault window is active, cap the
+     * batch at this size instead of maxBatch (0 disables).
+     */
+    unsigned degradedMaxBatch = 0;
+};
+
 /** Server configuration. */
 struct ServerConfig
 {
@@ -80,6 +119,22 @@ struct ServerConfig
      */
     std::uint64_t kvBlocks = 0;
     unsigned kvBlockTokens = 16;
+
+    /** Fault/overload response; defaults are all off. */
+    ResiliencePolicy resilience{};
+
+    /**
+     * Faults to inject (empty = fault-free). Requires continuous
+     * batching: a static-batch server cannot react at step
+     * granularity.
+     */
+    fault::FaultSchedule faults{};
+
+    /** Downtime charged per enclave restart. */
+    tee::ReprovisionCostModel reprovision{};
+
+    /** Model bytes re-decrypted into secure memory per restart. */
+    std::uint64_t weightBytes = 0;
 };
 
 /** Outcome of serving a trace. */
@@ -93,7 +148,26 @@ struct ServeMetrics
     SampleSummary tpot{};             //!< time per output token
     double sloAttainment = 0.0;       //!< fraction meeting both SLOs
     double meanBatchOccupancy = 0.0;  //!< sequences per decode step
+
+    // Resilience accounting (all zero in a fault-free default run,
+    // except submitted/outputTokens/availability which describe it).
+    std::size_t submitted = 0;        //!< requests in the trace
+    std::uint64_t outputTokens = 0;   //!< tokens of completed requests
+    double availability = 0.0;        //!< completed / submitted
+    std::size_t retries = 0;          //!< re-queued admissions
+    std::size_t shed = 0;             //!< rejected under KV pressure
+    std::size_t timedOut = 0;         //!< dropped past their deadline
+    std::size_t failed = 0;           //!< dropped: retry budget spent
+    std::size_t restarts = 0;         //!< enclave restarts survived
+    std::size_t attestRejections = 0; //!< failed admission handshakes
+    double faultDowntime = 0.0;       //!< seconds re-provisioning
+
+    /** Per-event fault timeline (empty without a schedule). */
+    std::vector<fault::FaultRecord> faultTimeline;
 };
+
+/** Export a ServeMetrics (including its fault timeline) as JSON. */
+void writeMetrics(JsonWriter &json, const ServeMetrics &m);
 
 /**
  * Abstract per-step cost model so CPU and GPU deployments share the
@@ -136,14 +210,35 @@ class Server
     /** Simulate; the trace is copied and annotated internally. */
     ServeMetrics run(std::vector<Request> trace) const;
 
+    /**
+     * Simulate and hand back the annotated per-request trace
+     * (firstToken/finish filled in; finish < 0 marks a request that
+     * was shed, timed out, or dropped).
+     */
+    ServeMetrics run(std::vector<Request> trace,
+                     std::vector<Request> &annotated) const;
+
     const ServerConfig &config() const { return cfg_; }
 
   private:
+    /** Resilience counters threaded through a run. */
+    struct Tally
+    {
+        std::size_t retries = 0;
+        std::size_t shed = 0;
+        std::size_t timedOut = 0;
+        std::size_t failed = 0;
+        std::size_t restarts = 0;
+        std::size_t attestRejections = 0;
+        double faultDowntime = 0.0;
+    };
+
     ServeMetrics runStatic(std::vector<Request> &trace) const;
     ServeMetrics runContinuous(std::vector<Request> &trace) const;
     ServeMetrics finalize(const std::vector<Request> &trace,
                           double makespan, double occupancy_sum,
-                          std::size_t steps) const;
+                          std::size_t steps,
+                          const Tally &tally) const;
 
     std::unique_ptr<StepModel> step_;
     ServerConfig cfg_;

@@ -90,6 +90,18 @@ completeHandshake(const QuoteVerifier &verifier, const ServerHello &hello,
     return result;
 }
 
+double
+ReprovisionCostModel::seconds(std::uint64_t weight_bytes) const
+{
+    if (weightDecryptBytesPerSec <= 0.0)
+        cllm_fatal("ReprovisionCostModel: non-positive decrypt rate");
+    const double attest =
+        1e-3 * (enclaveBuildMs + quoteGenerateMs + quoteVerifyMs +
+                networkRttMs * roundTrips);
+    return attest + static_cast<double>(weight_bytes) /
+                        weightDecryptBytesPerSec;
+}
+
 SecureChannel::SecureChannel(const crypto::Digest256 &key)
     : cipher_(crypto::toAesKey(crypto::deriveKey(key, "channel-enc")))
 {

@@ -96,6 +96,28 @@ HandshakeResult completeHandshake(const QuoteVerifier &verifier,
                                   const ServerHello &hello,
                                   const DhKeyPair &client_keys);
 
+/**
+ * Cost of re-establishing a confidential serving instance after an
+ * enclave/TD restart: rebuilding and measuring the enclave, the
+ * attestation round-trips a client needs before it will share secrets
+ * again (quote generation + verification, as in the handshake above),
+ * and streaming re-decryption of the model weights into secure
+ * memory. The serving simulator charges this as downtime per restart
+ * fault.
+ */
+struct ReprovisionCostModel
+{
+    double enclaveBuildMs = 180.0; //!< EADD/EEXTEND or TD build+measure
+    double quoteGenerateMs = 35.0; //!< quote generation (DCAP-like)
+    double quoteVerifyMs = 12.0;   //!< relying-party verification
+    double networkRttMs = 1.0;     //!< per attestation round-trip
+    unsigned roundTrips = 2;       //!< hello + secret provisioning
+    double weightDecryptBytesPerSec = 4.0e9; //!< AES-GCM streaming
+
+    /** Total downtime to re-provision `weight_bytes` of model. */
+    double seconds(std::uint64_t weight_bytes) const;
+};
+
 /** A sealed message on the wire. */
 struct SealedMessage
 {

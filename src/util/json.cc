@@ -1,5 +1,6 @@
 #include "util/json.hh"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 
@@ -179,6 +180,117 @@ JsonWriter::null()
     beforeValue();
     os_ << "null";
     return *this;
+}
+
+namespace {
+
+/** Cursor over flat-JSON text with fatal diagnostics. */
+struct FlatCursor
+{
+    const std::string &text;
+    std::size_t pos = 0;
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        if (pos >= text.size())
+            cllm_fatal("flat JSON: unexpected end of input");
+        return text[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            cllm_fatal("flat JSON: expected '", c, "' at offset ",
+                       pos, ", got '", text[pos], "'");
+        ++pos;
+    }
+
+    std::string
+    parseKey()
+    {
+        expect('"');
+        std::string key;
+        while (pos < text.size() && text[pos] != '"') {
+            if (text[pos] == '\\') {
+                ++pos;
+                if (pos >= text.size() ||
+                    (text[pos] != '"' && text[pos] != '\\'))
+                    cllm_fatal("flat JSON: unsupported escape in key");
+            }
+            key.push_back(text[pos]);
+            ++pos;
+        }
+        if (pos >= text.size())
+            cllm_fatal("flat JSON: unterminated key");
+        ++pos; // closing quote
+        return key;
+    }
+
+    double
+    parseNumber()
+    {
+        skipSpace();
+        const std::size_t start = pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '-' || text[pos] == '+' ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E'))
+            ++pos;
+        if (pos == start)
+            cllm_fatal("flat JSON: expected a number at offset ", pos);
+        std::size_t used = 0;
+        const std::string token = text.substr(start, pos - start);
+        double v = 0.0;
+        try {
+            v = std::stod(token, &used);
+        } catch (...) {
+            cllm_fatal("flat JSON: malformed number '", token, "'");
+        }
+        if (used != token.size())
+            cllm_fatal("flat JSON: malformed number '", token, "'");
+        return v;
+    }
+};
+
+} // namespace
+
+std::map<std::string, double>
+parseFlatJsonNumbers(const std::string &text)
+{
+    std::map<std::string, double> out;
+    FlatCursor c{text};
+    c.expect('{');
+    if (c.peek() == '}') {
+        ++c.pos;
+        return out;
+    }
+    for (;;) {
+        const std::string key = c.parseKey();
+        c.expect(':');
+        if (!out.emplace(key, c.parseNumber()).second)
+            cllm_fatal("flat JSON: duplicate key '", key, "'");
+        const char next = c.peek();
+        if (next == ',') {
+            ++c.pos;
+            continue;
+        }
+        c.expect('}');
+        break;
+    }
+    return out;
 }
 
 } // namespace cllm

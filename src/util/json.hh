@@ -9,6 +9,7 @@
 #define CLLM_UTIL_JSON_HH
 
 #include <cstdint>
+#include <map>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -67,6 +68,16 @@ class JsonWriter
     bool pendingKey_ = false;
     bool wroteRoot_ = false;
 };
+
+/**
+ * Parse a flat JSON object of numeric values — `{"a.b": 1.5, ...}` —
+ * as written by JsonWriter for golden expectation files. Escapes
+ * beyond `\"` and `\\` in keys, nesting, and non-numeric values are
+ * rejected. Fatal on malformed input (golden files are checked in,
+ * so damage is a repo bug, not a runtime condition).
+ */
+std::map<std::string, double> parseFlatJsonNumbers(
+    const std::string &text);
 
 } // namespace cllm
 

@@ -1,12 +1,19 @@
 /**
  * @file
  * Tests for the paged KV-cache block pool: allocation, growth,
- * copy-on-write forking, exhaustion, and accounting.
+ * copy-on-write forking, exhaustion, and accounting — plus
+ * parameterized property sweeps over pool geometries (no double-free,
+ * monotone occupancy, admission reservations cover the full context).
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
 #include "serve/kv_pool.hh"
+#include "util/rng.hh"
 
 using namespace cllm::serve;
 
@@ -158,3 +165,150 @@ TEST(KvPoolDeath, DegenerateConfigFatal)
     cfg.totalBlocks = 0;
     EXPECT_DEATH(KvBlockPool{cfg}, "degenerate");
 }
+
+// ---- Property sweeps over pool geometries -----------------------------
+//
+// Parameterized over (totalBlocks, blockTokens, seed): the invariants
+// the serving simulator leans on must hold for any pool shape, not
+// just the hand-picked cases above.
+
+class KvPoolProperty
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, unsigned, std::uint64_t>>
+{
+  protected:
+    KvPoolConfig
+    cfg() const
+    {
+        KvPoolConfig c;
+        c.totalBlocks = std::get<0>(GetParam());
+        c.blockTokens = std::get<1>(GetParam());
+        return c;
+    }
+
+    std::uint64_t
+    seed() const
+    {
+        return std::get<2>(GetParam());
+    }
+};
+
+TEST_P(KvPoolProperty, ChurnNeverLeaksOrDoubleFrees)
+{
+    // Random admit/append/fork/release churn. A double-free would trip
+    // the pool's refcount panic; a leak shows up as missing free
+    // blocks once every survivor is released. Along the way, free
+    // blocks can never exceed the pool size.
+    KvBlockPool pool(cfg());
+    cllm::Rng rng(seed());
+    std::vector<SeqId> live;
+    SeqId next_id = 1;
+    for (int op = 0; op < 400; ++op) {
+        const double dice = rng.uniform();
+        if (dice < 0.4) {
+            const auto toks = static_cast<unsigned>(
+                rng.uniformInt(1, 3 * cfg().blockTokens));
+            if (pool.addSequence(next_id, toks))
+                live.push_back(next_id);
+            ++next_id;
+        } else if (dice < 0.7 && !live.empty()) {
+            const SeqId id = live[rng.uniformInt(0, live.size() - 1)];
+            pool.appendToken(id); // allowed to fail when full
+        } else if (dice < 0.8 && !live.empty()) {
+            const SeqId parent =
+                live[rng.uniformInt(0, live.size() - 1)];
+            if (pool.fork(parent, next_id))
+                live.push_back(next_id);
+            ++next_id;
+        } else if (!live.empty()) {
+            const std::size_t at = rng.uniformInt(0, live.size() - 1);
+            pool.release(live[at]);
+            live.erase(live.begin() + at);
+        }
+        ASSERT_LE(pool.freeBlocks(), cfg().totalBlocks);
+        ASSERT_GE(pool.utilization(), 0.0);
+        ASSERT_LE(pool.utilization(), 1.0);
+    }
+    for (SeqId id : live)
+        pool.release(id);
+    EXPECT_EQ(pool.freeBlocks(), cfg().totalBlocks);
+    EXPECT_EQ(pool.utilization(), 0.0);
+}
+
+TEST_P(KvPoolProperty, OccupancyMonotoneUnderAllocation)
+{
+    // Admitting and growing sequences (no releases) can only raise
+    // occupancy; peak utilization is non-decreasing.
+    KvBlockPool pool(cfg());
+    cllm::Rng rng(seed());
+    double peak = 0.0;
+    std::vector<SeqId> live;
+    SeqId id = 1;
+    for (int op = 0; op < 200; ++op) {
+        const double before = pool.utilization();
+        if (rng.chance(0.5) || live.empty()) {
+            if (pool.addSequence(id, static_cast<unsigned>(
+                                         rng.uniformInt(
+                                             1, 2 * cfg().blockTokens))))
+                live.push_back(id);
+            ++id;
+        } else {
+            pool.appendToken(live[rng.uniformInt(0, live.size() - 1)]);
+        }
+        const double after = pool.utilization();
+        ASSERT_GE(after, before); // failed ops allocate nothing
+        ASSERT_GE(after, 0.0);
+        ASSERT_LE(after, 1.0);
+        peak = std::max(peak, after);
+        ASSERT_EQ(peak, after); // monotone: the latest IS the peak
+    }
+}
+
+TEST_P(KvPoolProperty, AdmissionReservationCoversFullContext)
+{
+    // The serving loop admits with canAdmit(inLen + outLen) and then
+    // reserves that whole context up front. The property the decode
+    // loop relies on: a successful reservation owns enough block
+    // capacity for every future token, so decode can never fail on KV
+    // exhaustion mid-request.
+    KvBlockPool pool(cfg());
+    cllm::Rng rng(seed());
+    std::vector<SeqId> live;
+    SeqId id = 1;
+    for (int trial = 0; trial < 100; ++trial) {
+        const auto in_len = static_cast<unsigned>(
+            rng.uniformInt(1, 4 * cfg().blockTokens));
+        const auto out_len = static_cast<unsigned>(
+            rng.uniformInt(1, 2 * cfg().blockTokens));
+        const unsigned context = in_len + out_len;
+        if (!pool.canAdmit(context)) {
+            // Rejection must be honest: the blocks really are scarce.
+            const std::uint64_t need =
+                (context + cfg().blockTokens - 1) / cfg().blockTokens;
+            EXPECT_GT(need, pool.freeBlocks());
+            if (!live.empty()) { // make room, as preemption would
+                const std::size_t at =
+                    rng.uniformInt(0, live.size() - 1);
+                pool.release(live[at]);
+                live.erase(live.begin() + at);
+            }
+            continue;
+        }
+        ASSERT_TRUE(pool.addSequence(id, context));
+        EXPECT_GE(pool.blocksOf(id) * cfg().blockTokens, context);
+        EXPECT_EQ(pool.tokens(id), context);
+        live.push_back(id);
+        ++id;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, KvPoolProperty,
+    ::testing::Combine(::testing::Values<std::uint64_t>(8, 64, 257),
+                       ::testing::Values<unsigned>(1, 4, 16),
+                       ::testing::Values<std::uint64_t>(1, 42)),
+    [](const auto &info) {
+        return "blocks" + std::to_string(std::get<0>(info.param)) +
+               "_tok" + std::to_string(std::get<1>(info.param)) +
+               "_seed" + std::to_string(std::get<2>(info.param));
+    });

@@ -1,12 +1,16 @@
 /**
  * @file
  * Tests for the confidential-serving simulator: workload generation,
- * batching policies, SLO accounting, and TEE-induced capacity loss.
+ * batching policies, SLO accounting, TEE-induced capacity loss, and
+ * the per-request timeline invariants that must hold for every
+ * (batching policy x deployment backend) combination.
  */
 
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <tuple>
 
 #include "serve/serving.hh"
 
@@ -296,4 +300,195 @@ TEST(ServerKv, OversizedRequestIsDroppedNotDeadlocked)
 
     const auto m = s.run(trace);
     EXPECT_EQ(m.completed, 1u); // the small one; no deadlock
+}
+
+// ---- Invariants across every (policy x backend) combination -----------
+
+namespace {
+
+/** Deployment backends the serving loop must behave under. */
+enum class DeployKind
+{
+    CpuBare,
+    CpuTdx,
+    GpuRaw,
+    GpuConfidential,
+};
+
+const char *
+deployName(DeployKind k)
+{
+    switch (k) {
+      case DeployKind::CpuBare:
+        return "CpuBare";
+      case DeployKind::CpuTdx:
+        return "CpuTdx";
+      case DeployKind::GpuRaw:
+        return "GpuRaw";
+      case DeployKind::GpuConfidential:
+        return "GpuCc";
+    }
+    return "?";
+}
+
+std::unique_ptr<StepModel>
+makeDeploy(DeployKind k)
+{
+    switch (k) {
+      case DeployKind::CpuBare:
+        return cpuModel(tee::makeBareMetal());
+      case DeployKind::CpuTdx:
+        return cpuModel(tee::makeTdx());
+      case DeployKind::GpuRaw:
+        return makeGpuStepModel(hw::h100Nvl(), false, llm::llama2_7b(),
+                                hw::Dtype::Bf16);
+      case DeployKind::GpuConfidential:
+        return makeGpuStepModel(hw::h100Nvl(), true, llm::llama2_7b(),
+                                hw::Dtype::Bf16);
+    }
+    return nullptr;
+}
+
+} // namespace
+
+class ServingInvariants
+    : public ::testing::TestWithParam<
+          std::tuple<BatchPolicy, DeployKind>>
+{
+};
+
+TEST_P(ServingInvariants, TimelineAndAccountingHold)
+{
+    const auto [policy, deploy] = GetParam();
+    ServerConfig cfg;
+    cfg.policy = policy;
+    cfg.maxBatch = 16;
+    Server server(makeDeploy(deploy), cfg);
+
+    std::vector<Request> annotated;
+    const auto m =
+        server.run(generateWorkload(lightLoad()), annotated);
+
+    // Per-request timeline: arrival <= firstToken <= finish.
+    ASSERT_EQ(annotated.size(), 60u);
+    std::uint64_t tokens = 0;
+    for (const Request &r : annotated) {
+        ASSERT_GE(r.finish, 0.0) << "request " << r.id << " dropped "
+                                 << "in a fault-free run";
+        EXPECT_GE(r.firstToken, r.arrival) << "request " << r.id;
+        EXPECT_GE(r.finish, r.firstToken) << "request " << r.id;
+        EXPECT_LE(r.finish, m.makespan) << "request " << r.id;
+        tokens += r.outLen;
+    }
+
+    // Aggregate accounting.
+    EXPECT_EQ(m.submitted, 60u);
+    EXPECT_LE(m.completed, m.submitted);
+    EXPECT_EQ(m.completed, 60u);
+    EXPECT_EQ(m.outputTokens, tokens);
+    EXPECT_GE(m.sloAttainment, 0.0);
+    EXPECT_LE(m.sloAttainment, 1.0);
+    EXPECT_GE(m.availability, 0.0);
+    EXPECT_LE(m.availability, 1.0);
+    EXPECT_GE(m.ttft.min, 0.0);
+    EXPECT_LE(m.ttft.p50, m.ttft.p95);
+    EXPECT_GT(m.meanBatchOccupancy, 0.0);
+    EXPECT_LE(m.meanBatchOccupancy, 16.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyByBackend, ServingInvariants,
+    ::testing::Combine(::testing::Values(BatchPolicy::Static,
+                                         BatchPolicy::Continuous),
+                       ::testing::Values(DeployKind::CpuBare,
+                                         DeployKind::CpuTdx,
+                                         DeployKind::GpuRaw,
+                                         DeployKind::GpuConfidential)),
+    [](const auto &info) {
+        return std::string(std::get<0>(info.param) ==
+                                   BatchPolicy::Static
+                               ? "Static"
+                               : "Continuous") +
+               deployName(std::get<1>(info.param));
+    });
+
+TEST(ServingInvariants, StaticAndContinuousAgreeOnTotalTokens)
+{
+    // Batching policy changes latency, never the work: with unbounded
+    // KV both policies complete every request, so the total output
+    // token count must agree exactly.
+    for (DeployKind deploy :
+         {DeployKind::CpuTdx, DeployKind::GpuConfidential}) {
+        ServerConfig stat;
+        stat.policy = BatchPolicy::Static;
+        ServerConfig cont;
+        cont.policy = BatchPolicy::Continuous;
+        const auto ms = Server(makeDeploy(deploy), stat)
+                            .run(generateWorkload(lightLoad()));
+        const auto mc = Server(makeDeploy(deploy), cont)
+                            .run(generateWorkload(lightLoad()));
+        EXPECT_EQ(ms.outputTokens, mc.outputTokens)
+            << deployName(deploy);
+        EXPECT_EQ(ms.completed, mc.completed) << deployName(deploy);
+    }
+}
+
+// ---- Resilience policy without faults ---------------------------------
+
+TEST(ServerResilience, TimeoutDropsLateRequestsUnderOverload)
+{
+    WorkloadConfig w = lightLoad();
+    w.arrivalRate = 50.0; // a burst far beyond capacity
+    w.numRequests = 120;
+
+    ServerConfig cfg;
+    cfg.resilience.requestTimeout = 30.0;
+    Server server(cpuModel(tee::makeTdx()), cfg);
+    std::vector<Request> annotated;
+    const auto m = server.run(generateWorkload(w), annotated);
+
+    EXPECT_GT(m.timedOut, 0u);
+    EXPECT_LT(m.completed, m.submitted);
+    EXPECT_EQ(m.completed + m.timedOut, m.submitted);
+    EXPECT_LT(m.availability, 1.0);
+    // Every completed request met its deadline at admission time.
+    for (const Request &r : annotated) {
+        if (r.finish >= 0.0)
+            EXPECT_LE(r.firstToken - r.arrival, 30.0 + 60.0)
+                << "request " << r.id;
+    }
+}
+
+TEST(ServerResilience, SheddingKicksInUnderKvPressure)
+{
+    WorkloadConfig w = lightLoad();
+    w.arrivalRate = 30.0;
+    w.numRequests = 80;
+
+    ServerConfig cfg;
+    cfg.kvBlocks = 64; // 1024 tokens of KV: heavily contended
+    cfg.kvBlockTokens = 16;
+    cfg.resilience.shedOnKvPressure = true;
+    cfg.resilience.shedThreshold = 0.5;
+    Server server(cpuModel(tee::makeTdx()), cfg);
+    const auto m = server.run(generateWorkload(w));
+
+    EXPECT_GT(m.shed, 0u);
+    EXPECT_EQ(m.completed + m.shed, m.submitted);
+    EXPECT_DOUBLE_EQ(
+        m.availability,
+        static_cast<double>(m.completed) /
+            static_cast<double>(m.submitted));
+}
+
+TEST(ServerResilienceDeath, BadPolicyFatal)
+{
+    ServerConfig cfg;
+    cfg.resilience.backoffMultiplier = 0.5;
+    EXPECT_DEATH(Server(cpuModel(tee::makeTdx()), cfg), "multiplier");
+
+    ServerConfig shed;
+    shed.resilience.shedOnKvPressure = true;
+    shed.resilience.shedThreshold = 1.5;
+    EXPECT_DEATH(Server(cpuModel(tee::makeTdx()), shed), "threshold");
 }
