@@ -7,9 +7,12 @@
 #define CLLM_BENCH_BENCH_UTIL_HH
 
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "core/experiment.hh"
+#include "llm/perf_cluster.hh"
+#include "serve/serving.hh"
 #include "util/table.hh"
 
 namespace cllm::bench {
@@ -46,6 +49,67 @@ latencyParams(const hw::CpuSpec &cpu, unsigned sockets = 1)
     llm::RunParams p = throughputParams(cpu, sockets);
     p.batch = 1;
     p.beam = 1;
+    return p;
+}
+
+/** Shared-ownership wrapper around a freshly built TEE backend. */
+inline std::shared_ptr<const tee::TeeBackend>
+sharedBackend(std::unique_ptr<tee::TeeBackend> p)
+{
+    return std::shared_ptr<const tee::TeeBackend>(std::move(p));
+}
+
+/** Deployment shape of the serving studies: 1024 in / 256 out,
+ *  batch 32, one socket. */
+inline llm::RunParams
+serveDeployParams(const hw::CpuSpec &cpu)
+{
+    llm::RunParams p;
+    p.inLen = 1024;
+    p.outLen = 256;
+    p.batch = 32;
+    p.sockets = 1;
+    p.cores = cpu.coresPerSocket;
+    return p;
+}
+
+/** The seed-99 trace replayed by the serving and fleet studies:
+ *  Poisson 0.45 req/s, 250 requests, 512 in / 128 out tokens. */
+inline serve::WorkloadConfig
+serveSeedWorkload()
+{
+    serve::WorkloadConfig load;
+    load.arrivalRate = 0.45;
+    load.numRequests = 250;
+    load.meanInLen = 512;
+    load.meanOutLen = 128;
+    load.seed = 99;
+    return load;
+}
+
+/** Scale-out request shape (Section V-D4): batch 4, 512 in /
+ *  128 out. */
+inline llm::ClusterRunParams
+scaleoutClusterParams()
+{
+    llm::ClusterRunParams p;
+    p.batch = 4;
+    p.inLen = 512;
+    p.outLen = 128;
+    return p;
+}
+
+/** The CPU counterpart of the scale-out shape: two sockets, all
+ *  cores. */
+inline llm::RunParams
+scaleoutCpuParams(const hw::CpuSpec &cpu)
+{
+    llm::RunParams p;
+    p.batch = 4;
+    p.inLen = 512;
+    p.outLen = 128;
+    p.sockets = 2;
+    p.cores = cpu.totalCores();
     return p;
 }
 

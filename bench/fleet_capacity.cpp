@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Fleet-composition cost sweep: the Figs. 12-13 cost crossover
+ * re-asked at fleet scale. For a range of offered loads, size a pure
+ * CPU-TDX fleet, a pure confidential-GPU fleet, and a mixed fleet
+ * (cost-aware router spilling from cheap TDX nodes to cGPU nodes on
+ * projected TTFT breach), replay the same seeded trace through each,
+ * and report $/1k generated tokens plus p99 TTFT and SLO attainment.
+ *
+ * Expected shape: at low request rates the CPU-TEE fleet is cheapest
+ * (a mostly idle cGPU instance burns ~24x the $/hr of a TDX slice);
+ * as load grows the GPU's throughput advantage amortises its price
+ * and the crossover appears, and tightening the TTFT target moves the
+ * crossover toward lower rates because queueing on CPU prefill is
+ * what breaches first.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "cost/pricing.hh"
+#include "fleet/presets.hh"
+#include "fleet/simulator.hh"
+#include "util/table.hh"
+
+using namespace cllm;
+
+namespace {
+
+/** Sustainable request rate of one node at full batch, from its own
+ *  step model: decode tokens/s divided by the mean output length. */
+double
+nodeReqRate(const fleet::NodeTemplate &t,
+            const serve::WorkloadConfig &load)
+{
+    const auto step = t.makeStep();
+    const double step_s = step->decodeStep(
+        t.server.maxBatch, load.meanInLen + load.meanOutLen / 2);
+    const double tok_s =
+        static_cast<double>(t.server.maxBatch) / step_s;
+    return tok_s / static_cast<double>(load.meanOutLen);
+}
+
+struct SizedRun
+{
+    fleet::FleetMetrics m;
+    std::size_t nodes = 0;
+    bool eligible = false;
+};
+
+/**
+ * Smallest fleet of the given composition meeting the SLO bar, found
+ * by growing the CPU node count (a pure GPU fleet grows GPU nodes).
+ * Returns the last attempt when even the cap cannot meet the bar.
+ */
+SizedRun
+sizeFleet(fleet::FleetConfig cfg,
+          const std::vector<fleet::NodeTemplate> &templates,
+          std::size_t grow_template,
+          const std::vector<serve::Request> &trace)
+{
+    constexpr std::size_t kMaxNodes = 32;
+    SizedRun best;
+    for (;;) {
+        fleet::FleetSimulator sim(cfg, templates);
+        best.m = sim.run(trace);
+        best.nodes = cfg.initialNodes.size();
+        best.eligible = best.m.sloAttainment >= 0.9;
+        if (best.eligible || best.nodes >= kMaxNodes)
+            return best;
+        cfg.initialNodes.push_back(grow_template);
+    }
+}
+
+void
+sweep(double ttft_slo, const std::vector<double> &rates)
+{
+    const fleet::NodeTemplate cpu = fleet::cpuTdxNode();
+    const fleet::NodeTemplate gpu = fleet::cgpuH100Node();
+
+    serve::WorkloadConfig base = bench::serveSeedWorkload();
+    const double cpu_rate = nodeReqRate(cpu, base);
+    const double gpu_rate = nodeReqRate(gpu, base);
+    std::cout << "per-node decode capacity: " << cpu.name << " "
+              << fmt(cpu_rate, 2) << " req/s ($"
+              << fmt(cpu.pricePerHour, 3) << "/hr), " << gpu.name
+              << " " << fmt(gpu_rate, 2) << " req/s ($"
+              << fmt(gpu.pricePerHour, 2) << "/hr)\n";
+    std::cout << "TTFT SLO " << fmt(ttft_slo, 2) << " s; each fleet "
+                 "grown until attainment >= 90% (cap 32 nodes)\n\n";
+
+    Table t({"rate [req/s]", "fleet", "nodes", "$/1k tok",
+             "TTFT p99 [s]", "SLO", "cheapest@SLO"});
+    for (double rate : rates) {
+        serve::WorkloadConfig load = base;
+        load.arrivalRate = rate;
+        load.numRequests = static_cast<std::size_t>(
+            std::min(1200.0, std::max(200.0, 240.0 * rate)));
+        const auto trace = serve::generateWorkload(load);
+
+        std::vector<std::string> names = {
+            "cpu-tdx only", "cgpu only", "mixed cost-aware"};
+        std::vector<SizedRun> results;
+        {
+            fleet::FleetConfig cfg;
+            cfg.ttftSlo = ttft_slo;
+            cfg.policy = fleet::RouterPolicy::LeastOutstanding;
+            cfg.initialNodes = {0};
+            results.push_back(sizeFleet(cfg, {cpu}, 0, trace));
+        }
+        {
+            fleet::FleetConfig cfg;
+            cfg.ttftSlo = ttft_slo;
+            cfg.policy = fleet::RouterPolicy::LeastOutstanding;
+            cfg.initialNodes = {0};
+            results.push_back(sizeFleet(cfg, {gpu}, 0, trace));
+        }
+        {
+            // One cGPU spill target plus as many cheap TDX nodes as
+            // the SLO demands, under the cost-aware router.
+            fleet::FleetConfig cfg;
+            cfg.ttftSlo = ttft_slo;
+            cfg.policy = fleet::RouterPolicy::CostAware;
+            cfg.initialNodes = {0, 1};
+            results.push_back(sizeFleet(cfg, {cpu, gpu}, 0, trace));
+        }
+
+        int best = -1;
+        for (std::size_t i = 0; i < results.size(); ++i)
+            if (results[i].eligible &&
+                (best < 0 ||
+                 results[i].m.costPer1kTokens <
+                     results[static_cast<std::size_t>(best)]
+                         .m.costPer1kTokens))
+                best = static_cast<int>(i);
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const fleet::FleetMetrics &m = results[i].m;
+            t.addRow({fmt(rate, 2), names[i],
+                      fmtInt(results[i].nodes),
+                      fmt(m.costPer1kTokens, 4), fmt(m.ttft.p99, 2),
+                      fmtPct(100.0 * m.sloAttainment),
+                      static_cast<int>(i) == best ? "<== cheapest"
+                                                  : ""});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Fleet capacity", "cost crossover as fleet composition",
+        "CPU TEEs cheapest at low utilisation; GPU-CC amortises at "
+        "high rates (Figs. 12-13 at fleet scale)");
+
+    const std::vector<double> rates = {0.25, 0.5, 1.0, 2.0,
+                                       4.0, 8.0};
+    std::cout << "--- paper SLO: TTFT 2 s ---\n";
+    sweep(2.0, rates);
+    std::cout << "--- tightened SLO: TTFT 0.5 s (crossover moves "
+                 "toward the GPU) ---\n";
+    sweep(0.5, rates);
+    return 0;
+}

@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "bench_util.hh"
 #include "core/experiment.hh"
 #include "llm/perf_cluster.hh"
 #include "util/table.hh"
@@ -18,10 +19,9 @@ using namespace cllm;
 int
 main()
 {
-    std::cout << "=== Section V-D4: scaling models beyond one device "
-                 "===\n";
-    std::cout << "paper reports: confidential scale-out capped at "
-                 "~3 GB/s (vs 40), IPsec adds up to 90% on links\n\n";
+    bench::banner("Section V-D4", "scaling models beyond one device",
+                  "confidential scale-out capped at ~3 GB/s (vs 40), "
+                  "IPsec adds up to 90% on links");
 
     const llm::ModelConfig model = llm::llama2_70b();
     llm::GpuClusterPerfModel cluster;
@@ -29,10 +29,7 @@ main()
     Table t({"deployment", "fits?", "latency [ms/tok]", "tput [tok/s]",
              "vs raw 4-GPU"});
 
-    llm::ClusterRunParams p;
-    p.batch = 4;
-    p.inLen = 512;
-    p.outLen = 128;
+    llm::ClusterRunParams p = bench::scaleoutClusterParams();
 
     p.gpus = 4;
     p.confidential = false;
@@ -64,12 +61,7 @@ main()
     // The CPU alternative: two-socket TDX (Insight 11).
     core::Experiment exp;
     const hw::CpuSpec cpu = hw::emr1();
-    llm::RunParams cp;
-    cp.batch = 4;
-    cp.inLen = 512;
-    cp.outLen = 128;
-    cp.sockets = 2;
-    cp.cores = cpu.totalCores();
+    const llm::RunParams cp = bench::scaleoutCpuParams(cpu);
     const auto tdx = exp.runCpu(cpu, core::Backend::Tdx, model, cp);
     t.addRow({"2-socket CPU TDX", "yes",
               fmt(1e3 * tdx.timing.meanTokenLatency),

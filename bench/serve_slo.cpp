@@ -20,6 +20,7 @@
 #include <memory>
 #include <string>
 
+#include "bench_util.hh"
 #include "fault/schedule.hh"
 #include "serve/serving.hh"
 #include "util/json.hh"
@@ -27,14 +28,11 @@
 
 using namespace cllm;
 using namespace cllm::serve;
+using bench::serveDeployParams;
+using bench::serveSeedWorkload;
+using bench::sharedBackend;
 
 namespace {
-
-std::shared_ptr<const tee::TeeBackend>
-shared(std::unique_ptr<tee::TeeBackend> p)
-{
-    return std::shared_ptr<const tee::TeeBackend>(std::move(p));
-}
 
 int
 runFaultMode(std::uint64_t fault_seed)
@@ -47,19 +45,8 @@ runFaultMode(std::uint64_t fault_seed)
 
     const hw::CpuSpec cpu = hw::emr2();
     const llm::ModelConfig model = llm::llama2_7b();
-    llm::RunParams deploy;
-    deploy.inLen = 1024;
-    deploy.outLen = 256;
-    deploy.batch = 32;
-    deploy.sockets = 1;
-    deploy.cores = cpu.coresPerSocket;
-
-    WorkloadConfig load;
-    load.arrivalRate = 0.45;
-    load.numRequests = 250;
-    load.meanInLen = 512;
-    load.meanOutLen = 128;
-    load.seed = 99;
+    const llm::RunParams deploy = serveDeployParams(cpu);
+    const WorkloadConfig load = serveSeedWorkload();
 
     fault::FaultScheduleConfig fs;
     fs.seed = fault_seed;
@@ -92,7 +79,7 @@ runFaultMode(std::uint64_t fault_seed)
     ServeMetrics faulty;
     for (bool with_faults : {false, true}) {
         Server server(
-            makeCpuStepModel(cpu, shared(tee::makeTdx()), model,
+            makeCpuStepModel(cpu, sharedBackend(tee::makeTdx()), model,
                              deploy),
             with_faults ? cfg : baseline);
         const ServeMetrics m = server.run(generateWorkload(load));
@@ -134,19 +121,8 @@ main(int argc, char **argv)
 
     const hw::CpuSpec cpu = hw::emr2();
     const llm::ModelConfig model = llm::llama2_7b();
-    llm::RunParams deploy;
-    deploy.inLen = 1024;
-    deploy.outLen = 256;
-    deploy.batch = 32;
-    deploy.sockets = 1;
-    deploy.cores = cpu.coresPerSocket;
-
-    WorkloadConfig load;
-    load.arrivalRate = 0.45;
-    load.numRequests = 250;
-    load.meanInLen = 512;
-    load.meanOutLen = 128;
-    load.seed = 99;
+    const llm::RunParams deploy = serveDeployParams(cpu);
+    const WorkloadConfig load = serveSeedWorkload();
 
     struct Deployment
     {
@@ -155,10 +131,10 @@ main(int argc, char **argv)
     };
     std::vector<Deployment> deployments;
     deployments.push_back(
-        {"CPU bare", makeCpuStepModel(cpu, shared(tee::makeBareMetal()),
+        {"CPU bare", makeCpuStepModel(cpu, sharedBackend(tee::makeBareMetal()),
                                       model, deploy)});
     deployments.push_back(
-        {"CPU TDX", makeCpuStepModel(cpu, shared(tee::makeTdx()), model,
+        {"CPU TDX", makeCpuStepModel(cpu, sharedBackend(tee::makeTdx()), model,
                                      deploy)});
     deployments.push_back(
         {"GPU raw", makeGpuStepModel(hw::h100Nvl(), false, model,
@@ -182,7 +158,7 @@ main(int argc, char **argv)
                 d.name.rfind("CPU", 0) == 0
                     ? makeCpuStepModel(
                           cpu,
-                          shared(d.name == "CPU TDX"
+                          sharedBackend(d.name == "CPU TDX"
                                      ? tee::makeTdx()
                                      : tee::makeBareMetal()),
                           model, deploy)

@@ -46,4 +46,28 @@ costPerMTokens(double tokens_per_s, double instance_hr)
     return instance_hr * seconds / 3600.0;
 }
 
+double
+perSecondUsd(double instance_hr)
+{
+    if (instance_hr < 0.0)
+        cllm_fatal("perSecondUsd: negative price");
+    return instance_hr / 3600.0;
+}
+
+double
+nodeSecondsUsd(double instance_hr, double seconds)
+{
+    if (seconds < 0.0)
+        cllm_fatal("nodeSecondsUsd: negative duration");
+    return perSecondUsd(instance_hr) * seconds;
+}
+
+double
+costPer1kTokens(std::uint64_t tokens, double total_usd)
+{
+    if (tokens == 0)
+        cllm_fatal("costPer1kTokens: no tokens generated");
+    return total_usd * 1000.0 / static_cast<double>(tokens);
+}
+
 } // namespace cllm::cost

@@ -52,6 +52,22 @@ double cpuInstanceHr(const CpuPricing &p, unsigned vcpus,
  */
 double costPerMTokens(double tokens_per_s, double instance_hr);
 
+/** Per-hour price converted to per-second (fleet node-second rate). */
+double perSecondUsd(double instance_hr);
+
+/**
+ * USD charged for keeping one instance up for `seconds` at an hourly
+ * price — the fleet simulator's node-second meter, applied to busy,
+ * idle, and cold-start provisioning time alike.
+ */
+double nodeSecondsUsd(double instance_hr, double seconds);
+
+/**
+ * USD per 1000 generated tokens given a total bill — the fleet-level
+ * figure of merit (Figs. 12-13 normalised to a fleet run).
+ */
+double costPer1kTokens(std::uint64_t tokens, double total_usd);
+
 } // namespace cllm::cost
 
 #endif // CLLM_COST_PRICING_HH

@@ -1,0 +1,83 @@
+#include "fleet/autoscaler.hh"
+
+#include "util/logging.hh"
+
+namespace cllm::fleet {
+
+Autoscaler::Autoscaler(AutoscalerConfig cfg) : cfg_(cfg)
+{
+    if (!cfg_.enabled)
+        return;
+    if (cfg_.intervalSec <= 0.0)
+        cllm_fatal("Autoscaler: non-positive interval");
+    if (cfg_.minNodes == 0 || cfg_.maxNodes < cfg_.minNodes)
+        cllm_fatal("Autoscaler: bad node bounds");
+    if (cfg_.queueLowPerNode >= cfg_.queueHighPerNode)
+        cllm_fatal("Autoscaler: low watermark above high");
+}
+
+ScaleDecision
+Autoscaler::tick(const std::vector<std::unique_ptr<Node>> &nodes,
+                 std::size_t backlog, double now)
+{
+    // Live = commissioned or still provisioning, not draining. A
+    // provisioning node counts toward capacity so one burst does not
+    // trigger an add per tick while the first replacement cold-starts.
+    std::size_t live = 0;
+    std::size_t outstanding = backlog;
+    for (const auto &n : nodes) {
+        if (n->decommissioned() || n->draining())
+            continue;
+        ++live;
+        outstanding += n->engine().outstanding();
+    }
+    if (live == 0)
+        return {};
+    const double per_node = static_cast<double>(outstanding) /
+                            static_cast<double>(live);
+    const bool cooled = now - lastActionAt_ >= cfg_.cooldownSec;
+
+    if (per_node >= cfg_.queueHighPerNode) {
+        lowTicks_ = 0;
+        if (live < cfg_.maxNodes && cooled) {
+            lastActionAt_ = now;
+            return {ScaleDecision::Kind::Add, -1};
+        }
+        return {};
+    }
+
+    if (per_node <= cfg_.queueLowPerNode) {
+        ++lowTicks_;
+        if (lowTicks_ >= cfg_.drainAfterTicks && live > cfg_.minNodes &&
+            cooled) {
+            // Drain the priciest of the least-loaded routable nodes:
+            // frees the most spend for the least disruption.
+            int pick = -1;
+            for (std::size_t i = 0; i < nodes.size(); ++i) {
+                const auto &n = nodes[i];
+                if (!n->routable(now))
+                    continue;
+                if (pick < 0)
+                    pick = static_cast<int>(i);
+                const auto &b = nodes[pick];
+                const std::size_t oi = n->engine().outstanding();
+                const std::size_t ob = b->engine().outstanding();
+                if (oi < ob ||
+                    (oi == ob &&
+                     n->pricePerHour() > b->pricePerHour()))
+                    pick = static_cast<int>(i);
+            }
+            if (pick >= 0) {
+                lowTicks_ = 0;
+                lastActionAt_ = now;
+                return {ScaleDecision::Kind::Drain, pick};
+            }
+        }
+        return {};
+    }
+
+    lowTicks_ = 0;
+    return {};
+}
+
+} // namespace cllm::fleet

@@ -1,0 +1,77 @@
+#include "fleet/metrics.hh"
+
+#include "util/json.hh"
+
+namespace cllm::fleet {
+
+void
+writeFleetMetrics(JsonWriter &json, const FleetMetrics &m)
+{
+    json.beginObject();
+    json.key("submitted").value(
+        static_cast<std::int64_t>(m.submitted));
+    json.key("completed").value(
+        static_cast<std::int64_t>(m.completed));
+    json.key("availability").value(m.availability);
+    json.key("makespan_s").value(m.makespan);
+    json.key("output_tokens").value(
+        static_cast<std::int64_t>(m.outputTokens));
+    json.key("tokens_per_s").value(m.tokensPerSecond);
+    json.key("ttft_p50_s").value(m.ttft.p50);
+    json.key("ttft_p99_s").value(m.ttft.p99);
+    json.key("tpot_p50_s").value(m.tpot.p50);
+    json.key("tpot_p99_s").value(m.tpot.p99);
+    json.key("slo_attainment").value(m.sloAttainment);
+    json.key("kv_utilization_peak").value(m.kvUtilizationPeak);
+    json.key("mean_batch_occupancy").value(m.meanBatchOccupancy);
+    json.key("total_cost_usd").value(m.totalCostUsd);
+    json.key("cost_per_1k_tokens_usd").value(m.costPer1kTokens);
+    json.key("peak_nodes").value(
+        static_cast<std::int64_t>(m.peakNodes));
+    json.key("mean_live_nodes").value(m.meanLiveNodes);
+    json.key("scale_ups").value(
+        static_cast<std::int64_t>(m.scaleUps));
+    json.key("drains").value(static_cast<std::int64_t>(m.drains));
+    json.key("backlogged").value(
+        static_cast<std::int64_t>(m.backlogged));
+    json.key("retries").value(static_cast<std::int64_t>(m.retries));
+    json.key("shed").value(static_cast<std::int64_t>(m.shed));
+    json.key("timed_out").value(
+        static_cast<std::int64_t>(m.timedOut));
+    json.key("failed").value(static_cast<std::int64_t>(m.failed));
+    json.key("restarts").value(
+        static_cast<std::int64_t>(m.restarts));
+    json.key("fault_downtime_s").value(m.faultDowntime);
+
+    json.key("node_timeline");
+    json.beginArray();
+    for (const auto &[t, count] : m.nodeTimeline) {
+        json.beginObject();
+        json.key("t_s").value(t);
+        json.key("live_nodes").value(count);
+        json.endObject();
+    }
+    json.endArray();
+
+    json.key("nodes");
+    json.beginArray();
+    for (const NodeSummary &n : m.nodes) {
+        json.beginObject();
+        json.key("id").value(n.id);
+        json.key("name").value(n.name);
+        json.key("template").value(
+            static_cast<std::int64_t>(n.templateIndex));
+        json.key("provision_start_s").value(n.provisionStart);
+        json.key("available_at_s").value(n.availableAt);
+        json.key("billed_until_s").value(n.billedUntil);
+        json.key("billed_seconds").value(n.billedSeconds);
+        json.key("cost_usd").value(n.costUsd);
+        json.key("serve");
+        serve::writeMetrics(json, n.serve);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+}
+
+} // namespace cllm::fleet

@@ -1,0 +1,95 @@
+#include "fleet/node.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace cllm::fleet {
+
+fault::FaultSchedule
+nodeFaultSchedule(const fault::FaultScheduleConfig &cfg,
+                  std::uint64_t fleet_seed, unsigned node_id,
+                  double t0)
+{
+    fault::FaultScheduleConfig node_cfg = cfg;
+    node_cfg.seed = splitSeed(fleet_seed, node_id);
+    const fault::FaultSchedule raw =
+        fault::FaultSchedule::generate(node_cfg);
+    if (t0 == 0.0)
+        return raw;
+    fault::FaultSchedule shifted;
+    for (fault::FaultEvent e : raw.events()) {
+        e.time += t0;
+        shifted.add(e);
+    }
+    return shifted;
+}
+
+Node::Node(unsigned id, std::size_t template_index,
+           const NodeTemplate &tmpl, std::uint64_t fleet_seed,
+           double provision_start, double available_at)
+    : id_(id), tmplIndex_(template_index), name_(tmpl.name),
+      pricePerHour_(tmpl.pricePerHour),
+      provisionStart_(provision_start), availableAt_(available_at)
+{
+    if (!tmpl.makeStep)
+        cllm_fatal("fleet::Node: template has no step-model factory");
+    if (tmpl.pricePerHour < 0.0)
+        cllm_fatal("fleet::Node: negative price");
+    step_ = tmpl.makeStep();
+    cfg_ = tmpl.server;
+    cfg_.policy = serve::BatchPolicy::Continuous;
+    cfg_.faults = nodeFaultSchedule(tmpl.faults, fleet_seed, id,
+                                    availableAt_);
+    engine_ = std::make_unique<serve::ContinuousEngine>(*step_, cfg_);
+    estPrefill_ = step_->prefill(tmpl.meanInLenHint);
+}
+
+void
+Node::startDrain(double now)
+{
+    if (draining_ || decommissioned())
+        return;
+    draining_ = true;
+    drainStart_ = now;
+}
+
+void
+Node::finishDrain()
+{
+    if (!draining_ || decommissioned())
+        cllm_fatal("fleet::Node: finishDrain on a non-draining node");
+    decommissionTime_ = std::max(drainStart_, engine_->clock());
+}
+
+double
+Node::projectedTtft(double now, unsigned in_len) const
+{
+    const double lag = std::max(0.0, engine_->clock() - now);
+    return lag +
+           static_cast<double>(engine_->outstanding()) * estPrefill_ +
+           step_->prefill(in_len);
+}
+
+double
+Node::billedSeconds(double fleet_end) const
+{
+    const double end =
+        decommissioned() ? decommissionTime_ : fleet_end;
+    return std::max(0.0, end - provisionStart_);
+}
+
+serve::ServeMetrics
+Node::metrics() const
+{
+    serve::ServeMetrics m = serve::finalizeRequests(
+        engine_->submitted(), engine_->clock(),
+        engine_->occupancySum(), engine_->steps(), engine_->tally(),
+        cfg_.ttftSlo, cfg_.tpotSlo);
+    m.kvUtilizationPeak = engine_->kvPeak();
+    m.faultTimeline = engine_->timeline();
+    return m;
+}
+
+} // namespace cllm::fleet

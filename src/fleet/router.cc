@@ -1,0 +1,120 @@
+#include "fleet/router.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cllm::fleet {
+
+const char *
+routerPolicyName(RouterPolicy p)
+{
+    switch (p) {
+      case RouterPolicy::Null:
+        return "null";
+      case RouterPolicy::RoundRobin:
+        return "round-robin";
+      case RouterPolicy::LeastOutstanding:
+        return "least-outstanding";
+      case RouterPolicy::KvHeadroom:
+        return "kv-headroom";
+      case RouterPolicy::CostAware:
+        return "cost-aware";
+    }
+    return "?";
+}
+
+Router::Router(RouterPolicy policy, double ttft_slo)
+    : policy_(policy), ttftSlo_(ttft_slo)
+{
+    if (ttft_slo <= 0.0)
+        cllm_fatal("Router: non-positive TTFT SLO");
+}
+
+namespace {
+
+/** Least outstanding work among `idxs`, ties to the lowest id. */
+int
+leastOutstanding(const std::vector<std::unique_ptr<Node>> &nodes,
+                 const std::vector<int> &idxs)
+{
+    int best = -1;
+    for (int i : idxs) {
+        if (best < 0 || nodes[i]->engine().outstanding() <
+                            nodes[best]->engine().outstanding())
+            best = i;
+    }
+    return best;
+}
+
+} // namespace
+
+int
+Router::route(const std::vector<std::unique_ptr<Node>> &nodes,
+              const serve::Request &r, double now)
+{
+    std::vector<int> routable;
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        if (nodes[i]->routable(now))
+            routable.push_back(static_cast<int>(i));
+    if (routable.empty())
+        return -1;
+
+    switch (policy_) {
+      case RouterPolicy::Null:
+        return routable.front();
+
+      case RouterPolicy::RoundRobin: {
+        const int pick =
+            routable[rrCursor_ % routable.size()];
+        ++rrCursor_;
+        return pick;
+      }
+
+      case RouterPolicy::LeastOutstanding:
+        return leastOutstanding(nodes, routable);
+
+      case RouterPolicy::KvHeadroom: {
+        // Most free KV blocks first; headroom ties (e.g. two empty
+        // nodes, or unbounded pools) fall back to load, then id.
+        int best = routable.front();
+        for (int i : routable) {
+            const double hi = nodes[i]->engine().kvHeadroom();
+            const double hb = nodes[best]->engine().kvHeadroom();
+            if (hi > hb ||
+                (hi == hb && nodes[i]->engine().outstanding() <
+                                 nodes[best]->engine().outstanding()))
+                best = i;
+        }
+        return best;
+      }
+
+      case RouterPolicy::CostAware: {
+        // Walk price tiers from cheapest up; within a tier take the
+        // least-loaded node, and accept the tier only if that node's
+        // TTFT projection holds the SLO. If every tier would breach
+        // it, the fleet is saturated — fall back to least loaded
+        // overall so overload degrades gracefully instead of pinning
+        // the cheapest tier.
+        std::vector<double> prices;
+        for (int i : routable)
+            prices.push_back(nodes[i]->pricePerHour());
+        std::sort(prices.begin(), prices.end());
+        prices.erase(std::unique(prices.begin(), prices.end()),
+                     prices.end());
+        for (double price : prices) {
+            std::vector<int> tier;
+            for (int i : routable)
+                if (nodes[i]->pricePerHour() == price)
+                    tier.push_back(i);
+            const int cand = leastOutstanding(nodes, tier);
+            if (nodes[cand]->projectedTtft(now, r.inLen) <= ttftSlo_)
+                return cand;
+        }
+        return leastOutstanding(nodes, routable);
+      }
+    }
+    return routable.front();
+}
+
+} // namespace cllm::fleet

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Request routing across a heterogeneous TEE fleet. Policies range
+ * from the degenerate Null router (everything to the lowest-id live
+ * node — the single-node equivalence baseline) through classic
+ * load-balancing (round-robin, least-outstanding, KV-headroom-aware)
+ * to the cost-weighted policy that operationalises the paper's
+ * Insight 11: keep traffic on cheap CPU-TEE nodes until their
+ * projected TTFT would breach the SLO, then spill to CC-GPU capacity.
+ */
+
+#ifndef CLLM_FLEET_ROUTER_HH
+#define CLLM_FLEET_ROUTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "fleet/node.hh"
+
+namespace cllm::fleet {
+
+/** Dispatch policies. */
+enum class RouterPolicy
+{
+    Null,             //!< lowest-id routable node, always
+    RoundRobin,       //!< cycle over routable nodes
+    LeastOutstanding, //!< fewest active+queued requests
+    KvHeadroom,       //!< most free KV blocks, then least loaded
+    CostAware,        //!< cheapest price tier whose TTFT projection
+                      //!< holds the SLO; spill upward otherwise
+};
+
+/** Printable policy name. */
+const char *routerPolicyName(RouterPolicy p);
+
+/**
+ * Stateful dispatcher. All decisions are deterministic functions of
+ * the policy, the node states, and (for round-robin) the dispatch
+ * count so far.
+ */
+class Router
+{
+  public:
+    Router(RouterPolicy policy, double ttft_slo);
+
+    /**
+     * Choose a node for `r` arriving at `now`. Returns the node index
+     * or -1 when no node is routable (the simulator backlogs).
+     */
+    int route(const std::vector<std::unique_ptr<Node>> &nodes,
+              const serve::Request &r, double now);
+
+  private:
+    RouterPolicy policy_;
+    double ttftSlo_;
+    std::size_t rrCursor_ = 0;
+};
+
+} // namespace cllm::fleet
+
+#endif // CLLM_FLEET_ROUTER_HH

@@ -1,0 +1,289 @@
+#include "fleet/simulator.hh"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "cost/pricing.hh"
+#include "util/logging.hh"
+
+namespace cllm::fleet {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+FleetSimulator::FleetSimulator(FleetConfig cfg,
+                               std::vector<NodeTemplate> templates)
+    : cfg_(std::move(cfg)), templates_(std::move(templates))
+{
+    if (templates_.empty())
+        cllm_fatal("FleetSimulator: no node templates");
+    if (cfg_.initialNodes.empty())
+        cllm_fatal("FleetSimulator: empty initial fleet");
+    for (std::size_t idx : cfg_.initialNodes)
+        if (idx >= templates_.size())
+            cllm_fatal("FleetSimulator: initial node template out of "
+                       "range");
+    if (cfg_.autoscaler.enabled &&
+        cfg_.autoscaler.addTemplate >= templates_.size())
+        cllm_fatal("FleetSimulator: autoscaler template out of range");
+}
+
+void
+FleetSimulator::addNode(std::size_t template_index,
+                        double provision_start, double available_at)
+{
+    const auto id = static_cast<unsigned>(nodes_.size());
+    nodes_.push_back(std::make_unique<Node>(
+        id, template_index, templates_[template_index], cfg_.seed,
+        provision_start, available_at));
+}
+
+FleetMetrics
+FleetSimulator::run(std::vector<serve::Request> trace)
+{
+    if (trace.empty())
+        cllm_fatal("FleetSimulator::run: empty trace");
+    std::sort(trace.begin(), trace.end(),
+              [](const serve::Request &a, const serve::Request &b) {
+                  return a.arrival < b.arrival;
+              });
+
+    nodes_.clear();
+    scaleUps_ = 0;
+    drains_ = 0;
+    for (std::size_t idx : cfg_.initialNodes)
+        addNode(idx, 0.0, 0.0);
+
+    Router router(cfg_.policy, cfg_.ttftSlo);
+    Autoscaler scaler(cfg_.autoscaler);
+
+    std::deque<serve::Request *> backlog;
+    std::size_t backlogged_total = 0;
+    std::size_t next_arrival = 0;
+    double fleet_now = 0.0;
+    double next_tick =
+        cfg_.autoscaler.enabled ? cfg_.autoscaler.intervalSec : kInf;
+
+    // Route a request at `now`; readyAt can never precede the node's
+    // own provisioning.
+    auto route_one = [&](serve::Request *r, double now) {
+        const int pick = router.route(nodes_, *r, now);
+        if (pick < 0)
+            return false;
+        Node &n = *nodes_[pick];
+        n.engine().submit(r, std::max(r->arrival, n.availableAt()));
+        return true;
+    };
+    auto flush_backlog = [&](double now) {
+        while (!backlog.empty() && route_one(backlog.front(), now))
+            backlog.pop_front();
+    };
+
+    for (;;) {
+        // Draining nodes decommission the moment they go idle; their
+        // meter stops at whichever is later, the drain order or the
+        // last work they finished.
+        for (auto &n : nodes_)
+            if (n->draining() && !n->decommissioned() &&
+                n->engine().idle())
+                n->finishDrain();
+
+        const double t_arrival = next_arrival < trace.size()
+                                     ? trace[next_arrival].arrival
+                                     : kInf;
+
+        int node_idx = -1;
+        double t_node = kInf;
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+            if (nodes_[i]->decommissioned())
+                continue;
+            const double t = nodes_[i]->engine().nextReadyTime();
+            if (t < t_node) {
+                t_node = t;
+                node_idx = static_cast<int>(i);
+            }
+        }
+
+        // A pending commission only matters while arrivals are
+        // backlogged: it is the instant the backlog can drain.
+        double t_commission = kInf;
+        if (!backlog.empty())
+            for (const auto &n : nodes_)
+                if (!n->decommissioned() && !n->draining() &&
+                    n->availableAt() > fleet_now)
+                    t_commission =
+                        std::min(t_commission, n->availableAt());
+
+        if (t_arrival == kInf && backlog.empty() && t_node == kInf)
+            break; // trace drained, every engine idle
+
+        // Fixed tie order keeps runs deterministic: commission,
+        // arrival, autoscaler tick, node iteration.
+        const double t_next = std::min(
+            std::min(t_commission, t_arrival),
+            std::min(next_tick, t_node));
+
+        if (t_commission == t_next) {
+            fleet_now = t_commission;
+            flush_backlog(fleet_now);
+            continue;
+        }
+        if (t_arrival == t_next) {
+            fleet_now = t_arrival;
+            flush_backlog(fleet_now);
+            serve::Request *r = &trace[next_arrival++];
+            // FIFO: never jump the queue past an existing backlog.
+            if (!backlog.empty() || !route_one(r, fleet_now)) {
+                backlog.push_back(r);
+                ++backlogged_total;
+            }
+            continue;
+        }
+        if (next_tick == t_next) {
+            fleet_now = next_tick;
+            flush_backlog(fleet_now);
+            const ScaleDecision d =
+                scaler.tick(nodes_, backlog.size(), fleet_now);
+            if (d.kind == ScaleDecision::Kind::Add) {
+                const NodeTemplate &tmpl =
+                    templates_[cfg_.autoscaler.addTemplate];
+                const double cold =
+                    tmpl.provisionDelaySec +
+                    tmpl.server.reprovision.seconds(
+                        tmpl.server.weightBytes);
+                addNode(cfg_.autoscaler.addTemplate, fleet_now,
+                        fleet_now + cold);
+                ++scaleUps_;
+            } else if (d.kind == ScaleDecision::Kind::Drain) {
+                nodes_[d.node]->startDrain(fleet_now);
+                ++drains_;
+            }
+            next_tick += cfg_.autoscaler.intervalSec;
+            continue;
+        }
+
+        fleet_now = std::max(fleet_now, t_node);
+        // The engine pauses its admission loop if its clock crosses
+        // the next event that could feed it work, so admissions stay
+        // in the exact (readyAt, id) order of a pre-submitted run.
+        nodes_[node_idx]->engine().iterate(
+            std::min(t_arrival, t_commission));
+    }
+
+    return finalize(trace, backlogged_total);
+}
+
+FleetMetrics
+FleetSimulator::finalize(const std::vector<serve::Request> &trace,
+                         std::size_t backlogged_total)
+{
+    double makespan = trace.back().arrival;
+    serve::ServeTally tally{};
+    double occupancy_sum = 0.0;
+    std::size_t steps = 0;
+    double kv_peak = 0.0;
+    for (const auto &n : nodes_) {
+        const serve::ContinuousEngine &e = n->engine();
+        makespan = std::max(makespan, e.clock());
+        const serve::ServeTally &t = e.tally();
+        tally.retries += t.retries;
+        tally.shed += t.shed;
+        tally.timedOut += t.timedOut;
+        tally.failed += t.failed;
+        tally.restarts += t.restarts;
+        tally.attestRejections += t.attestRejections;
+        tally.faultDowntime += t.faultDowntime;
+        occupancy_sum += e.occupancySum();
+        steps += e.steps();
+        kv_peak = std::max(kv_peak, e.kvPeak());
+    }
+
+    std::vector<const serve::Request *> reqs;
+    reqs.reserve(trace.size());
+    for (const serve::Request &r : trace)
+        reqs.push_back(&r);
+    const serve::ServeMetrics agg = serve::finalizeRequests(
+        reqs, makespan, occupancy_sum, steps, tally, cfg_.ttftSlo,
+        cfg_.tpotSlo);
+
+    FleetMetrics m;
+    m.submitted = agg.submitted;
+    m.completed = agg.completed;
+    m.availability = agg.availability;
+    m.makespan = makespan;
+    m.outputTokens = agg.outputTokens;
+    m.tokensPerSecond = agg.tokensPerSecond;
+    m.ttft = agg.ttft;
+    m.tpot = agg.tpot;
+    m.sloAttainment = agg.sloAttainment;
+    m.kvUtilizationPeak = kv_peak;
+    m.meanBatchOccupancy = agg.meanBatchOccupancy;
+    m.retries = tally.retries;
+    m.shed = tally.shed;
+    m.timedOut = tally.timedOut;
+    m.failed = tally.failed;
+    m.restarts = tally.restarts;
+    m.faultDowntime = tally.faultDowntime;
+    m.scaleUps = scaleUps_;
+    m.drains = drains_;
+    m.backlogged = backlogged_total;
+
+    // Billing and per-node summaries.
+    for (const auto &n : nodes_) {
+        NodeSummary s;
+        s.id = n->id();
+        s.name = n->name();
+        s.templateIndex = n->templateIndex();
+        s.provisionStart = n->provisionStart();
+        s.availableAt = n->availableAt();
+        s.billedUntil = n->decommissioned() ? n->decommissionTime()
+                                            : makespan;
+        s.billedSeconds = n->billedSeconds(makespan);
+        s.costUsd = cost::nodeSecondsUsd(n->pricePerHour(),
+                                         s.billedSeconds);
+        s.serve = n->metrics();
+        m.totalCostUsd += s.costUsd;
+        m.nodes.push_back(std::move(s));
+    }
+    m.costPer1kTokens =
+        m.outputTokens
+            ? cost::costPer1kTokens(m.outputTokens, m.totalCostUsd)
+            : 0.0;
+
+    // Live-node timeline: +1 at each commission, -1 at each
+    // decommission, integrated for the time-weighted mean.
+    std::vector<std::pair<double, int>> deltas;
+    for (const auto &n : nodes_) {
+        if (n->availableAt() <= makespan)
+            deltas.emplace_back(n->availableAt(), +1);
+        if (n->decommissioned())
+            deltas.emplace_back(n->decommissionTime(), -1);
+    }
+    std::sort(deltas.begin(), deltas.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.first != b.first)
+                      return a.first < b.first;
+                  return a.second > b.second;
+              });
+    unsigned live = 0;
+    double prev_t = 0.0;
+    double weighted = 0.0;
+    for (const auto &[t, d] : deltas) {
+        weighted += live * (t - prev_t);
+        prev_t = t;
+        live = static_cast<unsigned>(static_cast<int>(live) + d);
+        if (m.nodeTimeline.empty() ||
+            m.nodeTimeline.back().first != t)
+            m.nodeTimeline.emplace_back(t, live);
+        else
+            m.nodeTimeline.back().second = live;
+        m.peakNodes = std::max<std::size_t>(m.peakNodes, live);
+    }
+    weighted += live * (makespan - prev_t);
+    m.meanLiveNodes = makespan > 0.0 ? weighted / makespan : 0.0;
+    return m;
+}
+
+} // namespace cllm::fleet

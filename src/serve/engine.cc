@@ -1,0 +1,322 @@
+#include "serve/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace cllm::serve {
+
+ContinuousEngine::ContinuousEngine(const StepModel &step,
+                                   const ServerConfig &cfg)
+    : step_(&step), cfg_(cfg), inj_(cfg_.faults)
+{
+    if (cfg_.maxBatch == 0)
+        cllm_fatal("ContinuousEngine: zero batch capacity");
+    if (cfg_.policy != BatchPolicy::Continuous)
+        cllm_fatal("ContinuousEngine: requires continuous batching");
+    if (!cfg_.faults.empty() && cfg_.resilience.retryBackoff <= 0.0)
+        cllm_fatal("ContinuousEngine: fault injection requires a "
+                   "positive retry backoff");
+    if (cfg_.resilience.backoffMultiplier < 1.0)
+        cllm_fatal("ContinuousEngine: backoff multiplier below 1");
+    if (cfg_.resilience.shedOnKvPressure &&
+        (cfg_.resilience.shedThreshold <= 0.0 ||
+         cfg_.resilience.shedThreshold > 1.0))
+        cllm_fatal("ContinuousEngine: shed threshold outside (0, 1]");
+    if (cfg_.kvBlocks)
+        pool_.emplace(KvPoolConfig{cfg_.kvBlocks, cfg_.kvBlockTokens});
+}
+
+void
+ContinuousEngine::submit(Request *r, double ready_at, unsigned attempts)
+{
+    pending_.push({r, ready_at, attempts});
+    submitted_.push_back(r);
+}
+
+double
+ContinuousEngine::nextReadyTime() const
+{
+    if (!active_.empty())
+        return clock_;
+    if (!pending_.empty())
+        return std::max(clock_, pending_.top().readyAt);
+    return std::numeric_limits<double>::infinity();
+}
+
+double
+ContinuousEngine::kvHeadroom() const
+{
+    return pool_ ? 1.0 - pool_->utilization() : 1.0;
+}
+
+const std::vector<fault::FaultRecord> &
+ContinuousEngine::timeline() const
+{
+    return inj_.timeline();
+}
+
+std::vector<const Request *>
+ContinuousEngine::drainFinished()
+{
+    std::vector<const Request *> out;
+    out.swap(finished_);
+    return out;
+}
+
+// Admission check, optionally against a pool whose usable share has
+// been shrunk by an active KvExhaustion window.
+bool
+ContinuousEngine::canAdmit(const Request &r, double factor) const
+{
+    if (!pool_)
+        return true;
+    if (!pool_->canAdmit(r.inLen + r.outLen))
+        return false;
+    if (factor >= 1.0)
+        return true;
+    const std::uint64_t need =
+        (r.inLen + r.outLen + cfg_.kvBlockTokens - 1) /
+        cfg_.kvBlockTokens;
+    const std::uint64_t used = cfg_.kvBlocks - pool_->freeBlocks();
+    const auto usable = static_cast<std::uint64_t>(
+        factor * static_cast<double>(cfg_.kvBlocks));
+    return used + need <= usable;
+}
+
+// Bounded retry with exponential backoff; a request that spends its
+// budget is dropped for good.
+void
+ContinuousEngine::requeue(Request *r, unsigned attempts)
+{
+    const ResiliencePolicy &rp = cfg_.resilience;
+    if (attempts > rp.maxRetries) {
+        ++tally_.failed;
+        return;
+    }
+    ++tally_.retries;
+    double backoff = rp.retryBackoff;
+    for (unsigned i = 1; i < attempts; ++i)
+        backoff *= rp.backoffMultiplier;
+    pending_.push({r, clock_ + backoff, attempts});
+}
+
+void
+ContinuousEngine::iterate(double admit_horizon)
+{
+    if (idle())
+        return;
+
+    const ResiliencePolicy &rp = cfg_.resilience;
+
+    double kv_factor = 1.0;
+    unsigned max_batch = cfg_.maxBatch;
+    if (inAdmission_) {
+        // Resuming a horizon-paused admission loop: keep the fault
+        // snapshot sampled when this iteration started.
+        inAdmission_ = false;
+        kv_factor = admitKvFactor_;
+        max_batch = admitMaxBatch_;
+    } else {
+        // Enclave/TD restarts wipe everything in secure memory: the
+        // KV pool, the weights, the attested session state. Pay the
+        // re-provisioning downtime and retry what was in flight.
+        if (inj_.enabled()) {
+            const unsigned crossed = inj_.consumeRestarts(
+                clock_, static_cast<unsigned>(active_.size()));
+            if (crossed) {
+                const double down =
+                    crossed *
+                    cfg_.reprovision.seconds(cfg_.weightBytes);
+                clock_ += down;
+                tally_.faultDowntime += down;
+                tally_.restarts += crossed;
+                for (ActiveSeq &a : active_) {
+                    if (pool_)
+                        pool_->release(a.req->id);
+                    requeue(a.req, a.attempts + 1);
+                }
+                active_.clear();
+            }
+        }
+
+        if (inj_.enabled())
+            kv_factor = inj_.kvCapacityFactor(clock_);
+        if (rp.degradedMaxBatch && inj_.enabled() &&
+            inj_.anyWindowActive(clock_)) {
+            max_batch = std::max(
+                1u, std::min(max_batch, rp.degradedMaxBatch));
+        }
+    }
+
+    // Admit arrivals up to batch and KV capacity; prefill on
+    // admission, reserving the full context worth of blocks. Pause
+    // (without stepping) once the clock reaches the caller's horizon:
+    // a not-yet-submitted request has become eligible and must enter
+    // the queue before any later-ready request is admitted.
+    while (active_.size() < max_batch) {
+        if (clock_ >= admit_horizon) {
+            inAdmission_ = true;
+            admitKvFactor_ = kv_factor;
+            admitMaxBatch_ = max_batch;
+            return;
+        }
+        if (pending_.empty() || pending_.top().readyAt > clock_)
+            break;
+        const PendingReq p = pending_.top();
+        // Deadline: reject queued work already past its budget.
+        if (rp.requestTimeout > 0.0 &&
+            clock_ - p.req->arrival > rp.requestTimeout) {
+            pending_.pop();
+            ++tally_.timedOut;
+            continue;
+        }
+        // Admission shedding under KV pressure.
+        if (rp.shedOnKvPressure && pool_ &&
+            pool_->utilization() >= rp.shedThreshold) {
+            pending_.pop();
+            ++tally_.shed;
+            continue;
+        }
+        // Attestation gate: no verified handshake, no admission; the
+        // client backs off and retries.
+        if (inj_.enabled() && inj_.attestationFails(clock_)) {
+            pending_.pop();
+            ++tally_.attestRejections;
+            requeue(p.req, p.attempts + 1);
+            continue;
+        }
+        if (!canAdmit(*p.req, kv_factor))
+            break;
+        pending_.pop();
+        Request *r = p.req;
+        if (pool_)
+            pool_->addSequence(r->id, r->inLen + r->outLen);
+        double pf = step_->prefill(r->inLen);
+        if (inj_.enabled())
+            pf *= inj_.slowdown(clock_);
+        clock_ += pf;
+        if (r->firstToken < 0.0)
+            r->firstToken = clock_;
+        active_.push_back({r, 0, p.attempts});
+    }
+    if (pool_)
+        kvPeak_ = std::max(kvPeak_, pool_->utilization());
+    // If KV capacity blocks the head of the queue while nothing runs,
+    // time must still advance: to the end of a transient exhaustion
+    // window, or past a request too big to ever fit.
+    if (active_.empty() && !pending_.empty()) {
+        const PendingReq head = pending_.top();
+        if (head.readyAt <= clock_ && !canAdmit(*head.req, kv_factor)) {
+            if (canAdmit(*head.req, 1.0)) {
+                // Transient KvExhaustion window: wait it out.
+                clock_ = inj_.nextWindowEnd(clock_);
+            } else {
+                // Request larger than the whole pool: drop it.
+                pending_.pop();
+                ++tally_.shed;
+            }
+            return;
+        }
+        clock_ = std::max(clock_, head.readyAt);
+        return;
+    }
+    if (active_.empty())
+        return; // everything remaining was dropped
+
+    // One decode step for everyone currently active.
+    double avg_pos = 0.0;
+    for (const ActiveSeq &a : active_)
+        avg_pos += a.req->inLen + a.produced;
+    avg_pos /= active_.size();
+    double step_sec = step_->decodeStep(
+        static_cast<double>(active_.size()), avg_pos);
+    if (inj_.enabled())
+        step_sec *= inj_.slowdown(clock_);
+    clock_ += step_sec;
+    occupancySum_ += static_cast<double>(active_.size());
+    ++steps_;
+
+    for (auto it = active_.begin(); it != active_.end();) {
+        ++it->produced;
+        if (it->produced >= it->req->outLen) {
+            it->req->finish = clock_;
+            finished_.push_back(it->req);
+            if (pool_)
+                pool_->release(it->req->id);
+            it = active_.erase(it);
+        } else if (rp.requestTimeout > 0.0 &&
+                   clock_ - it->req->arrival > rp.requestTimeout) {
+            // Deadline blown mid-generation: abort and release.
+            ++tally_.timedOut;
+            if (pool_)
+                pool_->release(it->req->id);
+            it = active_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+ServeMetrics
+finalizeRequests(const std::vector<const Request *> &reqs,
+                 double makespan, double occupancy_sum,
+                 std::size_t steps, const ServeTally &tally,
+                 double ttft_slo, double tpot_slo)
+{
+    ServeMetrics m;
+    m.makespan = makespan;
+    std::vector<double> ttft, tpot;
+    std::uint64_t tokens = 0;
+    std::size_t slo_ok = 0;
+    for (const Request *r : reqs) {
+        if (r->finish < 0.0)
+            continue;
+        ++m.completed;
+        tokens += r->outLen;
+        const double first = r->firstToken - r->arrival;
+        const double per_tok =
+            r->outLen > 1
+                ? (r->finish - r->firstToken) / (r->outLen - 1)
+                : 0.0;
+        ttft.push_back(first);
+        if (r->outLen > 1)
+            tpot.push_back(per_tok);
+        if (first <= ttft_slo &&
+            (r->outLen <= 1 || per_tok <= tpot_slo))
+            ++slo_ok;
+    }
+    const bool dropped_any =
+        tally.shed || tally.timedOut || tally.failed;
+    if (!reqs.empty() && m.completed == 0 && !dropped_any)
+        cllm_panic("serving simulation completed no requests");
+    m.tokensPerSecond = makespan > 0.0 ? tokens / makespan : 0.0;
+    m.ttft = summarize(ttft, 0.0);
+    if (!tpot.empty())
+        m.tpot = summarize(tpot, 0.0);
+    m.sloAttainment =
+        m.completed ? static_cast<double>(slo_ok) /
+                          static_cast<double>(m.completed)
+                    : 0.0;
+    m.meanBatchOccupancy =
+        steps ? occupancy_sum / static_cast<double>(steps) : 0.0;
+
+    m.submitted = reqs.size();
+    m.outputTokens = tokens;
+    m.availability = m.submitted
+                         ? static_cast<double>(m.completed) /
+                               static_cast<double>(m.submitted)
+                         : 0.0;
+    m.retries = tally.retries;
+    m.shed = tally.shed;
+    m.timedOut = tally.timedOut;
+    m.failed = tally.failed;
+    m.restarts = tally.restarts;
+    m.attestRejections = tally.attestRejections;
+    m.faultDowntime = tally.faultDowntime;
+    return m;
+}
+
+} // namespace cllm::serve

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Incremental continuous-batching engine: the core simulation loop of
+ * `serve::Server`, restructured so callers drive it one iteration at a
+ * time instead of replaying a whole trace in one call. `Server` keeps
+ * its exact batch-granularity semantics (it submits the full trace and
+ * iterates to quiescence — bit-identical to the pre-refactor loop),
+ * while the fleet simulator (`src/fleet`) feeds requests in as a
+ * router dispatches them and interleaves many engines under one
+ * discrete-event clock.
+ */
+
+#ifndef CLLM_SERVE_ENGINE_HH
+#define CLLM_SERVE_ENGINE_HH
+
+#include <limits>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "serve/serving.hh"
+
+namespace cllm::serve {
+
+/**
+ * One continuous-batching server simulation, driven iteration by
+ * iteration. Construction validates the config the same way Server
+ * does; `submit` enqueues a request for admission at `ready_at`;
+ * `iterate` performs one loop iteration (restart handling, admission,
+ * then either a time advance or one decode step).
+ */
+class ContinuousEngine
+{
+  public:
+    ContinuousEngine(const StepModel &step, const ServerConfig &cfg);
+
+    /** Offer a request for admission no earlier than `ready_at`. */
+    void submit(Request *r, double ready_at, unsigned attempts = 0);
+
+    /** True when nothing is pending or active. */
+    bool idle() const { return pending_.empty() && active_.empty(); }
+
+    /**
+     * Earliest simulation time the next `iterate` could act at: the
+     * current clock while a batch is running, the head-of-queue ready
+     * time when idle with queued work, +infinity when fully idle.
+     */
+    double nextReadyTime() const;
+
+    /**
+     * One loop iteration; no-op when idle.
+     *
+     * `admit_horizon` is the time of the earliest request the caller
+     * knows about but has not submitted yet (a fleet driver's next
+     * unrouted arrival). Once the clock reaches it the admission loop
+     * pauses and returns without stepping, so the caller can submit
+     * the newcomer and re-enter; admission then resumes in the same
+     * (readyAt, id) order a fully pre-submitted run would have used.
+     * With everything submitted up front (Server::run) the default
+     * horizon never pauses anything.
+     */
+    void iterate(double admit_horizon =
+                     std::numeric_limits<double>::infinity());
+
+    // -- Live state signals (router / autoscaler inputs) -------------
+    double clock() const { return clock_; }
+    std::size_t activeCount() const { return active_.size(); }
+    std::size_t pendingCount() const { return pending_.size(); }
+    std::size_t outstanding() const
+    {
+        return active_.size() + pending_.size();
+    }
+    /** Free fraction of the KV pool (1.0 when unbounded). */
+    double kvHeadroom() const;
+    const StepModel &stepModel() const { return *step_; }
+
+    // -- Run outcome --------------------------------------------------
+    const ServeTally &tally() const { return tally_; }
+    double occupancySum() const { return occupancySum_; }
+    std::size_t steps() const { return steps_; }
+    double kvPeak() const { return kvPeak_; }
+    const std::vector<fault::FaultRecord> &timeline() const;
+
+    /** Every request ever submitted, in submission order. */
+    const std::vector<const Request *> &submitted() const
+    {
+        return submitted_;
+    }
+
+    /**
+     * Requests that finished since the last call, in completion
+     * order; the internal log is cleared.
+     */
+    std::vector<const Request *> drainFinished();
+
+  private:
+    struct ActiveSeq
+    {
+        Request *req;
+        unsigned produced = 0;
+        unsigned attempts = 0;
+    };
+
+    struct PendingReq
+    {
+        Request *req;
+        double readyAt;
+        unsigned attempts;
+    };
+
+    /** Min-heap order: earliest readyAt first, ties by request id. */
+    struct PendingLater
+    {
+        bool
+        operator()(const PendingReq &a, const PendingReq &b) const
+        {
+            if (a.readyAt != b.readyAt)
+                return a.readyAt > b.readyAt;
+            return a.req->id > b.req->id;
+        }
+    };
+
+    bool canAdmit(const Request &r, double factor) const;
+    void requeue(Request *r, unsigned attempts);
+
+    const StepModel *step_;
+    ServerConfig cfg_;
+    fault::FaultInjector inj_;
+    std::optional<KvBlockPool> pool_;
+
+    double clock_ = 0.0;
+    double occupancySum_ = 0.0;
+    double kvPeak_ = 0.0;
+    std::size_t steps_ = 0;
+    ServeTally tally_{};
+
+    // Admission-pause state: a horizon pause must resume the SAME
+    // loop iteration, so the fault snapshot taken at iteration start
+    // (restart sweep, KV capacity factor, degraded batch cap) carries
+    // over instead of being re-sampled mid-iteration.
+    bool inAdmission_ = false;
+    double admitKvFactor_ = 1.0;
+    unsigned admitMaxBatch_ = 0;
+
+    std::vector<ActiveSeq> active_;
+    std::priority_queue<PendingReq, std::vector<PendingReq>,
+                        PendingLater>
+        pending_;
+    std::vector<const Request *> submitted_;
+    std::vector<const Request *> finished_;
+};
+
+/**
+ * Build a ServeMetrics from annotated requests — the shared tail of a
+ * Server run and a fleet node. Panics only when a non-empty request
+ * set completed nothing without any being dropped (a simulation bug).
+ */
+ServeMetrics finalizeRequests(const std::vector<const Request *> &reqs,
+                              double makespan, double occupancy_sum,
+                              std::size_t steps,
+                              const ServeTally &tally, double ttft_slo,
+                              double tpot_slo);
+
+} // namespace cllm::serve
+
+#endif // CLLM_SERVE_ENGINE_HH

@@ -2,30 +2,84 @@
 
 #include <algorithm>
 #include <cmath>
-#include <optional>
-#include <queue>
 
+#include "serve/engine.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
 namespace cllm::serve {
 
+const char *
+arrivalProcessName(ArrivalProcess p)
+{
+    switch (p) {
+      case ArrivalProcess::Poisson:
+        return "poisson";
+      case ArrivalProcess::Deterministic:
+        return "deterministic";
+      case ArrivalProcess::BurstyOnOff:
+        return "bursty";
+    }
+    return "?";
+}
+
 std::vector<Request>
 generateWorkload(const WorkloadConfig &cfg)
 {
     if (cfg.arrivalRate <= 0.0 || cfg.numRequests == 0)
         cllm_fatal("generateWorkload: degenerate workload");
+    if (cfg.process == ArrivalProcess::BurstyOnOff &&
+        (cfg.burstRateFactor <= 0.0 || cfg.idleRateFactor <= 0.0 ||
+         cfg.meanOnSec <= 0.0 || cfg.meanOffSec <= 0.0))
+        cllm_fatal("generateWorkload: degenerate bursty phases");
     Rng rng(cfg.seed);
-    std::vector<Request> out;
-    out.reserve(cfg.numRequests);
-    double clock = 0.0;
-    for (unsigned i = 0; i < cfg.numRequests; ++i) {
-        // Poisson arrivals: exponential inter-arrival gaps.
+    // Exponential gap at `rate`; the rejection loop and draw order
+    // match the original Poisson-only generator exactly, which keeps
+    // seeded Poisson traces stable across the arrival-process seam.
+    auto exp_gap = [&rng](double rate) {
         double u = 0.0;
         while (u == 0.0)
             u = rng.uniform();
-        clock += -std::log(u) / cfg.arrivalRate;
+        return -std::log(u) / rate;
+    };
+    std::vector<Request> out;
+    out.reserve(cfg.numRequests);
+    double clock = 0.0;
+    bool on = true;
+    double phase_end =
+        cfg.process == ArrivalProcess::BurstyOnOff
+            ? exp_gap(1.0 / cfg.meanOnSec)
+            : 0.0;
+    for (unsigned i = 0; i < cfg.numRequests; ++i) {
+        switch (cfg.process) {
+          case ArrivalProcess::Poisson:
+            clock += exp_gap(cfg.arrivalRate);
+            break;
+          case ArrivalProcess::Deterministic:
+            clock += 1.0 / cfg.arrivalRate;
+            break;
+          case ArrivalProcess::BurstyOnOff:
+            // Modulated Poisson: draw at the current phase's rate;
+            // a gap crossing the phase boundary is redrawn from the
+            // boundary at the next phase's rate (memorylessness).
+            for (;;) {
+                const double rate =
+                    cfg.arrivalRate * (on ? cfg.burstRateFactor
+                                          : cfg.idleRateFactor);
+                const double gap = exp_gap(rate);
+                if (clock + gap <= phase_end) {
+                    clock += gap;
+                    break;
+                }
+                clock = phase_end;
+                on = !on;
+                phase_end =
+                    clock + exp_gap(1.0 / (on ? cfg.meanOnSec
+                                              : cfg.meanOffSec));
+            }
+            break;
+        }
         Request r;
         r.id = i;
         r.arrival = clock;
@@ -156,34 +210,6 @@ class GpuStepModel : public StepModel
     llm::GpuPerfModel perf_;
 };
 
-/** A sequence active in the decode batch. */
-struct Active
-{
-    Request *req;
-    unsigned produced = 0; //!< output tokens so far
-    unsigned attempts = 0; //!< retries consumed getting admitted
-};
-
-/** A request waiting for admission (fresh arrival or retry). */
-struct Pending
-{
-    Request *req;
-    double readyAt;
-    unsigned attempts;
-};
-
-/** Min-heap order: earliest readyAt first, ties by request id. */
-struct PendingLater
-{
-    bool
-    operator()(const Pending &a, const Pending &b) const
-    {
-        if (a.readyAt != b.readyAt)
-            return a.readyAt > b.readyAt;
-        return a.req->id > b.req->id;
-    }
-};
-
 } // namespace
 
 std::unique_ptr<StepModel>
@@ -298,257 +324,41 @@ Server::runStatic(std::vector<Request> &trace) const
             }
         }
     }
-    return finalize(trace, clock, occupancy_sum, steps, Tally{});
+    return finalize(trace, clock, occupancy_sum, steps, ServeTally{});
 }
 
 ServeMetrics
 Server::runContinuous(std::vector<Request> &trace) const
 {
-    double clock = 0.0;
-    double occupancy_sum = 0.0;
-    double kv_peak = 0.0;
-    std::size_t steps = 0;
-    std::vector<Active> active;
-    Tally tally;
-
-    const ResiliencePolicy &rp = cfg_.resilience;
-    fault::FaultInjector inj(cfg_.faults);
-
-    std::priority_queue<Pending, std::vector<Pending>, PendingLater>
-        pending;
+    // The loop itself lives in ContinuousEngine so the fleet layer
+    // can drive the identical simulation incrementally; submitting
+    // the whole trace up front and iterating to quiescence is
+    // bit-identical to the historical in-place loop.
+    ContinuousEngine eng(*step_, cfg_);
     for (Request &r : trace)
-        pending.push({&r, r.arrival, 0});
-
-    std::optional<KvBlockPool> pool;
-    if (cfg_.kvBlocks)
-        pool.emplace(KvPoolConfig{cfg_.kvBlocks, cfg_.kvBlockTokens});
-
-    // Admission check, optionally against a pool whose usable share
-    // has been shrunk by an active KvExhaustion window.
-    auto can_admit = [&](const Request &r, double factor) {
-        if (!pool)
-            return true;
-        if (!pool->canAdmit(r.inLen + r.outLen))
-            return false;
-        if (factor >= 1.0)
-            return true;
-        const std::uint64_t need =
-            (r.inLen + r.outLen + cfg_.kvBlockTokens - 1) /
-            cfg_.kvBlockTokens;
-        const std::uint64_t used = cfg_.kvBlocks - pool->freeBlocks();
-        const auto usable = static_cast<std::uint64_t>(
-            factor * static_cast<double>(cfg_.kvBlocks));
-        return used + need <= usable;
-    };
-
-    // Bounded retry with exponential backoff; a request that spends
-    // its budget is dropped for good.
-    auto requeue = [&](Request *r, unsigned attempts) {
-        if (attempts > rp.maxRetries) {
-            ++tally.failed;
-            return;
-        }
-        ++tally.retries;
-        double backoff = rp.retryBackoff;
-        for (unsigned i = 1; i < attempts; ++i)
-            backoff *= rp.backoffMultiplier;
-        pending.push({r, clock + backoff, attempts});
-    };
-
-    while (!pending.empty() || !active.empty()) {
-        // Enclave/TD restarts wipe everything in secure memory: the
-        // KV pool, the weights, the attested session state. Pay the
-        // re-provisioning downtime and retry what was in flight.
-        if (inj.enabled()) {
-            const unsigned crossed = inj.consumeRestarts(
-                clock, static_cast<unsigned>(active.size()));
-            if (crossed) {
-                const double down =
-                    crossed *
-                    cfg_.reprovision.seconds(cfg_.weightBytes);
-                clock += down;
-                tally.faultDowntime += down;
-                tally.restarts += crossed;
-                for (Active &a : active) {
-                    if (pool)
-                        pool->release(a.req->id);
-                    requeue(a.req, a.attempts + 1);
-                }
-                active.clear();
-            }
-        }
-
-        const double kv_factor =
-            inj.enabled() ? inj.kvCapacityFactor(clock) : 1.0;
-        unsigned max_batch = cfg_.maxBatch;
-        if (rp.degradedMaxBatch && inj.enabled() &&
-            inj.anyWindowActive(clock)) {
-            max_batch = std::max(
-                1u, std::min(max_batch, rp.degradedMaxBatch));
-        }
-
-        // Admit arrivals up to batch and KV capacity; prefill on
-        // admission, reserving the full context worth of blocks.
-        while (!pending.empty() && active.size() < max_batch &&
-               pending.top().readyAt <= clock) {
-            const Pending p = pending.top();
-            // Deadline: reject queued work already past its budget.
-            if (rp.requestTimeout > 0.0 &&
-                clock - p.req->arrival > rp.requestTimeout) {
-                pending.pop();
-                ++tally.timedOut;
-                continue;
-            }
-            // Admission shedding under KV pressure.
-            if (rp.shedOnKvPressure && pool &&
-                pool->utilization() >= rp.shedThreshold) {
-                pending.pop();
-                ++tally.shed;
-                continue;
-            }
-            // Attestation gate: no verified handshake, no admission;
-            // the client backs off and retries.
-            if (inj.enabled() && inj.attestationFails(clock)) {
-                pending.pop();
-                ++tally.attestRejections;
-                requeue(p.req, p.attempts + 1);
-                continue;
-            }
-            if (!can_admit(*p.req, kv_factor))
-                break;
-            pending.pop();
-            Request *r = p.req;
-            if (pool)
-                pool->addSequence(r->id, r->inLen + r->outLen);
-            double pf = step_->prefill(r->inLen);
-            if (inj.enabled())
-                pf *= inj.slowdown(clock);
-            clock += pf;
-            if (r->firstToken < 0.0)
-                r->firstToken = clock;
-            active.push_back({r, 0, p.attempts});
-        }
-        if (pool)
-            kv_peak = std::max(kv_peak, pool->utilization());
-        // If KV capacity blocks the head of the queue while nothing
-        // runs, time must still advance: to the end of a transient
-        // exhaustion window, or past a request too big to ever fit.
-        if (active.empty() && !pending.empty()) {
-            const Pending head = pending.top();
-            if (head.readyAt <= clock &&
-                !can_admit(*head.req, kv_factor)) {
-                if (can_admit(*head.req, 1.0)) {
-                    // Transient KvExhaustion window: wait it out.
-                    clock = inj.nextWindowEnd(clock);
-                } else {
-                    // Request larger than the whole pool: drop it.
-                    pending.pop();
-                    ++tally.shed;
-                }
-                continue;
-            }
-            clock = std::max(clock, head.readyAt);
-            continue;
-        }
-        if (active.empty())
-            break; // everything remaining was dropped
-
-        // One decode step for everyone currently active.
-        double avg_pos = 0.0;
-        for (const Active &a : active)
-            avg_pos += a.req->inLen + a.produced;
-        avg_pos /= active.size();
-        double step_sec = step_->decodeStep(
-            static_cast<double>(active.size()), avg_pos);
-        if (inj.enabled())
-            step_sec *= inj.slowdown(clock);
-        clock += step_sec;
-        occupancy_sum += static_cast<double>(active.size());
-        ++steps;
-
-        for (auto it = active.begin(); it != active.end();) {
-            ++it->produced;
-            if (it->produced >= it->req->outLen) {
-                it->req->finish = clock;
-                if (pool)
-                    pool->release(it->req->id);
-                it = active.erase(it);
-            } else if (rp.requestTimeout > 0.0 &&
-                       clock - it->req->arrival > rp.requestTimeout) {
-                // Deadline blown mid-generation: abort and release.
-                ++tally.timedOut;
-                if (pool)
-                    pool->release(it->req->id);
-                it = active.erase(it);
-            } else {
-                ++it;
-            }
-        }
-    }
-    ServeMetrics m = finalize(trace, clock, occupancy_sum, steps,
-                              tally);
-    m.kvUtilizationPeak = kv_peak;
-    m.faultTimeline = inj.timeline();
+        eng.submit(&r, r.arrival, 0);
+    while (!eng.idle())
+        eng.iterate();
+    ServeMetrics m = finalize(trace, eng.clock(), eng.occupancySum(),
+                              eng.steps(), eng.tally());
+    m.kvUtilizationPeak = eng.kvPeak();
+    m.faultTimeline = eng.timeline();
     return m;
 }
 
 ServeMetrics
 Server::finalize(const std::vector<Request> &trace, double makespan,
                  double occupancy_sum, std::size_t steps,
-                 const Tally &tally) const
+                 const ServeTally &tally) const
 {
-    ServeMetrics m;
-    m.makespan = makespan;
-    std::vector<double> ttft, tpot;
-    std::uint64_t tokens = 0;
-    std::size_t slo_ok = 0;
-    for (const Request &r : trace) {
-        if (r.finish < 0.0)
-            continue;
-        ++m.completed;
-        tokens += r.outLen;
-        const double first = r.firstToken - r.arrival;
-        const double per_tok =
-            r.outLen > 1 ? (r.finish - r.firstToken) / (r.outLen - 1)
-                         : 0.0;
-        ttft.push_back(first);
-        if (r.outLen > 1)
-            tpot.push_back(per_tok);
-        if (first <= cfg_.ttftSlo &&
-            (r.outLen <= 1 || per_tok <= cfg_.tpotSlo))
-            ++slo_ok;
-    }
-    const bool dropped_any =
-        tally.shed || tally.timedOut || tally.failed;
-    if (m.completed == 0 && !dropped_any)
-        cllm_panic("serving simulation completed no requests");
-    m.tokensPerSecond =
-        makespan > 0.0 ? tokens / makespan : 0.0;
-    m.ttft = summarize(ttft, 0.0);
-    if (!tpot.empty())
-        m.tpot = summarize(tpot, 0.0);
-    m.sloAttainment =
-        m.completed ? static_cast<double>(slo_ok) /
-                          static_cast<double>(m.completed)
-                    : 0.0;
-    m.meanBatchOccupancy =
-        steps ? occupancy_sum / static_cast<double>(steps) : 0.0;
-
-    m.submitted = trace.size();
-    m.outputTokens = tokens;
-    m.availability = m.submitted
-                         ? static_cast<double>(m.completed) /
-                               static_cast<double>(m.submitted)
-                         : 0.0;
-    m.retries = tally.retries;
-    m.shed = tally.shed;
-    m.timedOut = tally.timedOut;
-    m.failed = tally.failed;
-    m.restarts = tally.restarts;
-    m.attestRejections = tally.attestRejections;
-    m.faultDowntime = tally.faultDowntime;
-    return m;
+    std::vector<const Request *> reqs;
+    reqs.reserve(trace.size());
+    for (const Request &r : trace)
+        reqs.push_back(&r);
+    return finalizeRequests(reqs, makespan, occupancy_sum, steps,
+                            tally, cfg_.ttftSlo, cfg_.tpotSlo);
 }
+
 
 void
 writeMetrics(JsonWriter &json, const ServeMetrics &m)

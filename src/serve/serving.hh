@@ -43,18 +43,49 @@ struct Request
     double finish = -1.0;
 };
 
+/**
+ * Arrival process shaping the request trace. Poisson is the paper's
+ * open-loop default; Deterministic spaces arrivals exactly 1/rate
+ * apart (a pessimal-jitter-free baseline); BurstyOnOff modulates a
+ * Poisson process with alternating exponential on/off phases (an
+ * MMPP-2), the workload that makes autoscaling non-trivial.
+ */
+enum class ArrivalProcess
+{
+    Poisson,
+    Deterministic,
+    BurstyOnOff,
+};
+
+/** Printable arrival-process name. */
+const char *arrivalProcessName(ArrivalProcess p);
+
 /** Open-loop workload description. */
 struct WorkloadConfig
 {
-    double arrivalRate = 2.0;      //!< requests per second (Poisson)
+    ArrivalProcess process = ArrivalProcess::Poisson;
+    double arrivalRate = 2.0;      //!< requests per second (mean)
     unsigned numRequests = 200;
     unsigned meanInLen = 512;
     unsigned meanOutLen = 128;
     double lengthSigma = 0.4;      //!< lognormal length spread
     std::uint64_t seed = 7;
+
+    // BurstyOnOff knobs (ignored by the other processes): the on
+    // phase arrives at burstRateFactor * arrivalRate, the off phase
+    // at idleRateFactor * arrivalRate, with exponential phase
+    // lengths of the given means. The trace starts in an on phase.
+    double burstRateFactor = 4.0;
+    double idleRateFactor = 0.25;
+    double meanOnSec = 20.0;
+    double meanOffSec = 40.0;
 };
 
-/** Draw a reproducible request trace. */
+/**
+ * Draw a reproducible request trace. The Poisson path consumes the
+ * seed's RNG stream exactly as it always has (draw-for-draw), so
+ * existing seeded traces are stable across the arrival-process seam.
+ */
 std::vector<Request> generateWorkload(const WorkloadConfig &cfg);
 
 /** Batching policies. */
@@ -135,6 +166,21 @@ struct ServerConfig
 
     /** Model bytes re-decrypted into secure memory per restart. */
     std::uint64_t weightBytes = 0;
+};
+
+/**
+ * Resilience counters threaded through a run (shared between the
+ * Server facade and the incremental ContinuousEngine).
+ */
+struct ServeTally
+{
+    std::size_t retries = 0;
+    std::size_t shed = 0;
+    std::size_t timedOut = 0;
+    std::size_t failed = 0;
+    std::size_t restarts = 0;
+    std::size_t attestRejections = 0;
+    double faultDowntime = 0.0;
 };
 
 /** Outcome of serving a trace. */
@@ -221,24 +267,12 @@ class Server
     const ServerConfig &config() const { return cfg_; }
 
   private:
-    /** Resilience counters threaded through a run. */
-    struct Tally
-    {
-        std::size_t retries = 0;
-        std::size_t shed = 0;
-        std::size_t timedOut = 0;
-        std::size_t failed = 0;
-        std::size_t restarts = 0;
-        std::size_t attestRejections = 0;
-        double faultDowntime = 0.0;
-    };
-
     ServeMetrics runStatic(std::vector<Request> &trace) const;
     ServeMetrics runContinuous(std::vector<Request> &trace) const;
     ServeMetrics finalize(const std::vector<Request> &trace,
                           double makespan, double occupancy_sum,
                           std::size_t steps,
-                          const Tally &tally) const;
+                          const ServeTally &tally) const;
 
     std::unique_ptr<StepModel> step_;
     ServerConfig cfg_;

@@ -15,6 +15,17 @@ splitmix64(std::uint64_t &state)
     return z ^ (z >> 31);
 }
 
+std::uint64_t
+splitSeed(std::uint64_t root, std::uint64_t stream)
+{
+    // Two SplitMix64 steps over a state mixing root and stream:
+    // one step alone leaves the (root, stream) lattice too regular.
+    std::uint64_t state =
+        root ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+    splitmix64(state);
+    return splitmix64(state);
+}
+
 namespace {
 
 inline std::uint64_t

@@ -20,6 +20,15 @@ namespace cllm {
 std::uint64_t splitmix64(std::uint64_t &state);
 
 /**
+ * Derive an independent child seed from a root seed and a stream
+ * index. The child depends only on (root, stream), never on how many
+ * other streams exist — the property the fleet simulator relies on so
+ * that adding a node cannot perturb any other node's fault or
+ * workload draws.
+ */
+std::uint64_t splitSeed(std::uint64_t root, std::uint64_t stream);
+
+/**
  * xoshiro256** pseudo-random generator with convenience distributions.
  *
  * Deterministic across platforms; not cryptographically secure (the

@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Fleet simulator tests: determinism (same fleet seed → bit-identical
+ * FleetMetrics JSON), the split-seed independence property (adding a
+ * node changes no other node's fault or workload draws), exact
+ * equivalence of a 1-node Null-router fleet with a bare
+ * `serve::Server` run, router policy behaviour, autoscaler dynamics,
+ * and a golden regression over a mixed fleet under faults
+ * (`CLLM_REGEN_GOLDEN=1` regenerates).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "fleet/presets.hh"
+#include "fleet/simulator.hh"
+#include "golden_util.hh"
+#include "util/json.hh"
+
+using namespace cllm;
+using namespace cllm::fleet;
+
+namespace {
+
+fault::FaultScheduleConfig
+faultConfig()
+{
+    fault::FaultScheduleConfig fs;
+    fs.horizon = 700.0;
+    fs.attestFail = {1.0 / 120.0, 4.0, 0.0};
+    fs.enclaveRestart = {1.0 / 250.0, 0.0, 0.0};
+    fs.epcStorm = {1.0 / 90.0, 10.0, 1.7};
+    fs.kvExhaustion = {1.0 / 150.0, 15.0, 0.5};
+    return fs;
+}
+
+NodeTemplate
+faultyCpuTemplate()
+{
+    NodeTemplate t = cpuTdxNode();
+    t.faults = faultConfig();
+    t.server.resilience.requestTimeout = 120.0;
+    t.server.resilience.maxRetries = 3;
+    t.server.resilience.retryBackoff = 0.5;
+    t.server.resilience.shedOnKvPressure = true;
+    t.server.resilience.shedThreshold = 0.95;
+    t.server.resilience.degradedMaxBatch = 8;
+    return t;
+}
+
+/** The canonical mixed fleet the determinism and golden tests run:
+ *  faulty TDX nodes + one cGPU spill target, cost-aware routing,
+ *  autoscaler adding TDX nodes on queue pressure. */
+FleetConfig
+mixedFleetConfig()
+{
+    FleetConfig cfg;
+    cfg.seed = 42;
+    cfg.policy = RouterPolicy::CostAware;
+    cfg.ttftSlo = 2.0;
+    cfg.initialNodes = {0, 1};
+    cfg.autoscaler.enabled = true;
+    cfg.autoscaler.intervalSec = 10.0;
+    cfg.autoscaler.queueHighPerNode = 4.0;
+    cfg.autoscaler.queueLowPerNode = 0.5;
+    cfg.autoscaler.drainAfterTicks = 3;
+    cfg.autoscaler.minNodes = 2;
+    cfg.autoscaler.maxNodes = 6;
+    cfg.autoscaler.addTemplate = 0;
+    cfg.autoscaler.cooldownSec = 20.0;
+    return cfg;
+}
+
+std::vector<serve::Request>
+burstyTrace(double rate = 2.0, std::size_t n = 300)
+{
+    serve::WorkloadConfig load = bench::serveSeedWorkload();
+    load.process = serve::ArrivalProcess::BurstyOnOff;
+    load.arrivalRate = rate;
+    load.numRequests = n;
+    return serve::generateWorkload(load);
+}
+
+std::string
+fleetJson(const FleetMetrics &m)
+{
+    std::ostringstream os;
+    JsonWriter json(os);
+    writeFleetMetrics(json, m);
+    return os.str();
+}
+
+std::string
+serveJson(const serve::ServeMetrics &m)
+{
+    std::ostringstream os;
+    JsonWriter json(os);
+    serve::writeMetrics(json, m);
+    return os.str();
+}
+
+void
+flattenFleet(std::map<std::string, double> &out,
+             const std::string &prefix, const FleetMetrics &m)
+{
+    out[prefix + ".submitted"] = static_cast<double>(m.submitted);
+    out[prefix + ".completed"] = static_cast<double>(m.completed);
+    out[prefix + ".availability"] = m.availability;
+    out[prefix + ".makespan"] = m.makespan;
+    out[prefix + ".outputTokens"] =
+        static_cast<double>(m.outputTokens);
+    out[prefix + ".tokensPerSecond"] = m.tokensPerSecond;
+    out[prefix + ".ttft.p50"] = m.ttft.p50;
+    out[prefix + ".ttft.p99"] = m.ttft.p99;
+    out[prefix + ".tpot.p50"] = m.tpot.p50;
+    out[prefix + ".tpot.p99"] = m.tpot.p99;
+    out[prefix + ".sloAttainment"] = m.sloAttainment;
+    out[prefix + ".kvUtilizationPeak"] = m.kvUtilizationPeak;
+    out[prefix + ".meanBatchOccupancy"] = m.meanBatchOccupancy;
+    out[prefix + ".totalCostUsd"] = m.totalCostUsd;
+    out[prefix + ".costPer1kTokens"] = m.costPer1kTokens;
+    out[prefix + ".peakNodes"] = static_cast<double>(m.peakNodes);
+    out[prefix + ".meanLiveNodes"] = m.meanLiveNodes;
+    out[prefix + ".scaleUps"] = static_cast<double>(m.scaleUps);
+    out[prefix + ".drains"] = static_cast<double>(m.drains);
+    out[prefix + ".backlogged"] = static_cast<double>(m.backlogged);
+    out[prefix + ".retries"] = static_cast<double>(m.retries);
+    out[prefix + ".shed"] = static_cast<double>(m.shed);
+    out[prefix + ".restarts"] = static_cast<double>(m.restarts);
+    out[prefix + ".faultDowntime"] = m.faultDowntime;
+    for (const NodeSummary &n : m.nodes) {
+        const std::string np =
+            prefix + ".node" + std::to_string(n.id);
+        out[np + ".billedSeconds"] = n.billedSeconds;
+        out[np + ".costUsd"] = n.costUsd;
+        out[np + ".completed"] =
+            static_cast<double>(n.serve.completed);
+        out[np + ".tokensPerSecond"] = n.serve.tokensPerSecond;
+    }
+}
+
+} // namespace
+
+TEST(FleetDeterminism, SameSeedBitIdenticalJson)
+{
+    const auto trace = burstyTrace();
+    const std::vector<NodeTemplate> templates = {faultyCpuTemplate(),
+                                                 cgpuH100Node()};
+    FleetSimulator a(mixedFleetConfig(), templates);
+    FleetSimulator b(mixedFleetConfig(), templates);
+    const std::string ja = fleetJson(a.run(trace));
+    const std::string jb = fleetJson(b.run(trace));
+    EXPECT_EQ(ja, jb);
+    EXPECT_GT(ja.size(), 100u);
+}
+
+TEST(FleetDeterminism, DifferentSeedDifferentFaultDraws)
+{
+    const auto trace = burstyTrace();
+    const std::vector<NodeTemplate> templates = {faultyCpuTemplate(),
+                                                 cgpuH100Node()};
+    FleetConfig cfg = mixedFleetConfig();
+    FleetSimulator a(cfg, templates);
+    cfg.seed = 43;
+    FleetSimulator b(cfg, templates);
+    EXPECT_NE(fleetJson(a.run(trace)), fleetJson(b.run(trace)));
+}
+
+TEST(FleetSplitSeed, ScheduleDependsOnlyOnSeedAndId)
+{
+    const fault::FaultScheduleConfig fs = faultConfig();
+    const auto s1 = nodeFaultSchedule(fs, 42, 3, 0.0);
+    const auto s2 = nodeFaultSchedule(fs, 42, 3, 0.0);
+    ASSERT_EQ(s1.size(), s2.size());
+    for (std::size_t i = 0; i < s1.size(); ++i) {
+        EXPECT_EQ(s1.events()[i].kind, s2.events()[i].kind);
+        EXPECT_EQ(s1.events()[i].time, s2.events()[i].time);
+        EXPECT_EQ(s1.events()[i].duration, s2.events()[i].duration);
+    }
+    // Sibling nodes draw from decorrelated streams.
+    const auto other = nodeFaultSchedule(fs, 42, 4, 0.0);
+    bool differs = other.size() != s1.size();
+    for (std::size_t i = 0; !differs && i < s1.size(); ++i)
+        differs = s1.events()[i].time != other.events()[i].time;
+    EXPECT_TRUE(differs);
+}
+
+TEST(FleetSplitSeed, CommissionTimeShiftsSchedule)
+{
+    const fault::FaultScheduleConfig fs = faultConfig();
+    const auto base = nodeFaultSchedule(fs, 7, 0, 0.0);
+    const auto late = nodeFaultSchedule(fs, 7, 0, 100.0);
+    ASSERT_EQ(base.size(), late.size());
+    ASSERT_FALSE(base.empty());
+    for (std::size_t i = 0; i < base.size(); ++i)
+        EXPECT_DOUBLE_EQ(base.events()[i].time + 100.0,
+                         late.events()[i].time);
+}
+
+// The acceptance property: growing the fleet must not perturb any
+// existing node's fault or workload draws. Under a Null router all
+// traffic lands on node 0, so node 0's per-node metrics must be
+// bit-identical whether or not a second node exists.
+TEST(FleetSplitSeed, AddingANodeLeavesOthersUnchanged)
+{
+    const auto trace = burstyTrace(1.0, 150);
+    const std::vector<NodeTemplate> templates = {faultyCpuTemplate()};
+
+    FleetConfig cfg;
+    cfg.seed = 42;
+    cfg.policy = RouterPolicy::Null;
+    cfg.initialNodes = {0};
+    FleetSimulator solo(cfg, templates);
+    const FleetMetrics ms = solo.run(trace);
+
+    cfg.initialNodes = {0, 0};
+    FleetSimulator duo(cfg, templates);
+    const FleetMetrics md = duo.run(trace);
+
+    ASSERT_EQ(md.nodes.size(), 2u);
+    EXPECT_EQ(serveJson(ms.nodes[0].serve),
+              serveJson(md.nodes[0].serve));
+    EXPECT_EQ(md.nodes[1].serve.completed, 0u);
+}
+
+TEST(FleetEquivalence, OneNodeNullFleetMatchesBareServer)
+{
+    const serve::WorkloadConfig load = bench::serveSeedWorkload();
+    const NodeTemplate tmpl = cpuTdxNode();
+
+    serve::Server server(tmpl.makeStep(), tmpl.server);
+    const serve::ServeMetrics direct =
+        server.run(serve::generateWorkload(load));
+
+    FleetConfig cfg;
+    cfg.seed = 1;
+    cfg.policy = RouterPolicy::Null;
+    cfg.initialNodes = {0};
+    FleetSimulator sim(cfg, {tmpl});
+    const FleetMetrics m = sim.run(serve::generateWorkload(load));
+
+    ASSERT_EQ(m.nodes.size(), 1u);
+    EXPECT_EQ(serveJson(direct), serveJson(m.nodes[0].serve));
+    EXPECT_EQ(m.completed, direct.completed);
+    EXPECT_EQ(m.ttft.p99, direct.ttft.p99);
+    EXPECT_EQ(m.tpot.p99, direct.tpot.p99);
+    EXPECT_EQ(m.makespan, direct.makespan);
+}
+
+TEST(FleetEquivalence, OneNodeNullFleetMatchesBareServerUnderFaults)
+{
+    const serve::WorkloadConfig load = bench::serveSeedWorkload();
+    const NodeTemplate tmpl = faultyCpuTemplate();
+    const std::uint64_t fleet_seed = 42;
+
+    // Feed the bare server the exact schedule the fleet derives for
+    // node 0 under this fleet seed.
+    serve::ServerConfig direct_cfg = tmpl.server;
+    direct_cfg.faults =
+        nodeFaultSchedule(tmpl.faults, fleet_seed, 0, 0.0);
+    serve::Server server(tmpl.makeStep(), direct_cfg);
+    const serve::ServeMetrics direct =
+        server.run(serve::generateWorkload(load));
+
+    FleetConfig cfg;
+    cfg.seed = fleet_seed;
+    cfg.policy = RouterPolicy::Null;
+    cfg.initialNodes = {0};
+    FleetSimulator sim(cfg, {tmpl});
+    const FleetMetrics m = sim.run(serve::generateWorkload(load));
+
+    ASSERT_EQ(m.nodes.size(), 1u);
+    EXPECT_EQ(serveJson(direct), serveJson(m.nodes[0].serve));
+    EXPECT_GT(m.restarts + m.retries + m.shed, 0u);
+}
+
+TEST(FleetRouter, RoundRobinSpreadsEvenly)
+{
+    const auto trace = burstyTrace(1.0, 200);
+    NodeTemplate tmpl = cpuTdxNode();
+    FleetConfig cfg;
+    cfg.policy = RouterPolicy::RoundRobin;
+    cfg.initialNodes = {0, 0, 0, 0};
+    FleetSimulator sim(cfg, {tmpl});
+    const FleetMetrics m = sim.run(trace);
+    ASSERT_EQ(m.nodes.size(), 4u);
+    for (const NodeSummary &n : m.nodes)
+        EXPECT_EQ(n.serve.submitted, 50u);
+}
+
+TEST(FleetRouter, CostAwarePrefersCheapUntilSloPressure)
+{
+    // At a trickle the cost-aware router should keep everything on
+    // the cheap TDX node and leave the cGPU idle.
+    serve::WorkloadConfig load = bench::serveSeedWorkload();
+    load.arrivalRate = 0.05;
+    load.numRequests = 40;
+    FleetConfig cfg;
+    cfg.policy = RouterPolicy::CostAware;
+    cfg.ttftSlo = 30.0;
+    cfg.initialNodes = {0, 1};
+    FleetSimulator sim(cfg, {cpuTdxNode(), cgpuH100Node()});
+    const FleetMetrics m = sim.run(serve::generateWorkload(load));
+    ASSERT_EQ(m.nodes.size(), 2u);
+    EXPECT_EQ(m.nodes[0].serve.submitted, 40u);
+    EXPECT_EQ(m.nodes[1].serve.submitted, 0u);
+
+    // Under heavy load with a tight SLO it must spill to the GPU.
+    load.arrivalRate = 4.0;
+    load.numRequests = 400;
+    cfg.ttftSlo = 2.0;
+    FleetSimulator pressured(cfg, {cpuTdxNode(), cgpuH100Node()});
+    const FleetMetrics p =
+        pressured.run(serve::generateWorkload(load));
+    EXPECT_GT(p.nodes[1].serve.submitted, 0u);
+    EXPECT_GT(p.nodes[0].serve.submitted, 0u);
+}
+
+TEST(FleetAutoscaler, AddsNodesUnderPressureAndBillsThem)
+{
+    const auto trace = burstyTrace(3.0, 400);
+    NodeTemplate tmpl = cpuTdxNode();
+    FleetConfig cfg = mixedFleetConfig();
+    cfg.policy = RouterPolicy::LeastOutstanding;
+    cfg.initialNodes = {0};
+    cfg.autoscaler.minNodes = 1;
+    FleetSimulator sim(cfg, {tmpl});
+    const FleetMetrics m = sim.run(trace);
+    EXPECT_GT(m.scaleUps, 0u);
+    EXPECT_GT(m.peakNodes, 1u);
+    EXPECT_EQ(m.nodes.size(), 1 + m.scaleUps);
+    double total = 0.0;
+    for (const NodeSummary &n : m.nodes) {
+        EXPECT_GT(n.billedSeconds, 0.0);
+        total += n.costUsd;
+    }
+    EXPECT_DOUBLE_EQ(total, m.totalCostUsd);
+    // Autoscaled nodes pay the cold start: commission lags the
+    // provisioning decision by delay + TEE re-provisioning.
+    for (std::size_t i = 1; i < m.nodes.size(); ++i) {
+        const NodeSummary &n = m.nodes[i];
+        EXPECT_GE(n.availableAt - n.provisionStart,
+                  tmpl.provisionDelaySec);
+    }
+}
+
+TEST(FleetMetricsJson, TimelineAndCostsAreCoherent)
+{
+    const auto trace = burstyTrace();
+    FleetSimulator sim(mixedFleetConfig(),
+                       {faultyCpuTemplate(), cgpuH100Node()});
+    const FleetMetrics m = sim.run(trace);
+    EXPECT_EQ(m.submitted, trace.size());
+    EXPECT_GT(m.completed, 0u);
+    EXPECT_GT(m.totalCostUsd, 0.0);
+    EXPECT_GT(m.costPer1kTokens, 0.0);
+    EXPECT_GE(m.peakNodes, 2u);
+    EXPECT_GE(m.meanLiveNodes, 1.0);
+    ASSERT_FALSE(m.nodeTimeline.empty());
+    EXPECT_EQ(m.nodeTimeline.front().first, 0.0);
+    EXPECT_EQ(m.nodeTimeline.front().second, 2u);
+    const std::string js = fleetJson(m);
+    EXPECT_NE(js.find("\"node_timeline\""), std::string::npos);
+    EXPECT_NE(js.find("\"cost_per_1k_tokens_usd\""),
+              std::string::npos);
+}
+
+TEST(FleetGolden, MixedFleetMatchesGolden)
+{
+    std::map<std::string, double> out;
+    {
+        FleetSimulator sim(mixedFleetConfig(),
+                           {faultyCpuTemplate(), cgpuH100Node()});
+        flattenFleet(out, "fleet.mixed", sim.run(burstyTrace()));
+    }
+    cllm::testing::checkAgainstGolden("fleet_mixed.json", out);
+}
+
+// Golden proof of the equivalence property: the 1-node Null-router
+// fleet numbers are pinned to the same values a bare serve::Server
+// produced when the serving goldens were captured.
+TEST(FleetGolden, SingleNodeNullRouterMatchesGolden)
+{
+    std::map<std::string, double> out;
+    {
+        FleetConfig cfg;
+        cfg.policy = RouterPolicy::Null;
+        cfg.initialNodes = {0};
+        FleetSimulator sim(cfg, {cpuTdxNode()});
+        const FleetMetrics m = sim.run(
+            serve::generateWorkload(bench::serveSeedWorkload()));
+        flattenFleet(out, "fleet.single", m);
+    }
+    cllm::testing::checkAgainstGolden("fleet_single_node.json", out);
+}

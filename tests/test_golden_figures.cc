@@ -27,6 +27,8 @@
 #include <sstream>
 #include <string>
 
+#include "bench/bench_util.hh"
+#include "golden_util.hh"
 #include "core/experiment.hh"
 #include "serve/serving.hh"
 #include "util/json.hh"
@@ -34,19 +36,7 @@
 using namespace cllm;
 using namespace cllm::serve;
 
-#ifndef CLLM_GOLDEN_DIR
-#error "CLLM_GOLDEN_DIR must point at tests/golden"
-#endif
-
 namespace {
-
-constexpr double kRelTol = 1e-9;
-
-std::shared_ptr<const tee::TeeBackend>
-shared(std::unique_ptr<tee::TeeBackend> p)
-{
-    return std::shared_ptr<const tee::TeeBackend>(std::move(p));
-}
 
 void
 dumpServe(std::map<std::string, double> &out, const std::string &name,
@@ -71,25 +61,14 @@ collectServe()
 {
     const hw::CpuSpec cpu = hw::emr2();
     const llm::ModelConfig model = llm::llama2_7b();
-    llm::RunParams deploy;
-    deploy.inLen = 1024;
-    deploy.outLen = 256;
-    deploy.batch = 32;
-    deploy.sockets = 1;
-    deploy.cores = cpu.coresPerSocket;
-
-    WorkloadConfig load;
-    load.arrivalRate = 0.45;
-    load.numRequests = 250;
-    load.meanInLen = 512;
-    load.meanOutLen = 128;
-    load.seed = 99;
+    const llm::RunParams deploy = bench::serveDeployParams(cpu);
+    const WorkloadConfig load = bench::serveSeedWorkload();
 
     std::map<std::string, double> out;
     {
         ServerConfig cfg;
         cfg.policy = BatchPolicy::Continuous;
-        Server s(makeCpuStepModel(cpu, shared(tee::makeTdx()), model,
+        Server s(makeCpuStepModel(cpu, bench::sharedBackend(tee::makeTdx()), model,
                                   deploy),
                  cfg);
         dumpServe(out, "serve.tdx.continuous",
@@ -98,7 +77,7 @@ collectServe()
     {
         ServerConfig cfg;
         cfg.policy = BatchPolicy::Static;
-        Server s(makeCpuStepModel(cpu, shared(tee::makeTdx()), model,
+        Server s(makeCpuStepModel(cpu, bench::sharedBackend(tee::makeTdx()), model,
                                   deploy),
                  cfg);
         dumpServe(out, "serve.tdx.static",
@@ -109,7 +88,7 @@ collectServe()
         cfg.policy = BatchPolicy::Continuous;
         cfg.kvBlocks = 2048;
         cfg.kvBlockTokens = 16;
-        Server s(makeCpuStepModel(cpu, shared(tee::makeTdx()), model,
+        Server s(makeCpuStepModel(cpu, bench::sharedBackend(tee::makeTdx()), model,
                                   deploy),
                  cfg);
         dumpServe(out, "serve.tdx.kv2048",
@@ -158,75 +137,6 @@ collectFigures()
     return out;
 }
 
-bool
-regenRequested()
-{
-    const char *env = std::getenv("CLLM_REGEN_GOLDEN");
-    return env && *env && std::string(env) != "0";
-}
-
-void
-writeGolden(const std::string &path,
-            const std::map<std::string, double> &values)
-{
-    std::ofstream os(path);
-    ASSERT_TRUE(os.good()) << "cannot write " << path;
-    os << "{\n";
-    std::size_t i = 0;
-    for (const auto &[key, val] : values) {
-        char buf[64];
-        std::snprintf(buf, sizeof buf, "%.17g", val);
-        os << "  \"" << key << "\": " << buf
-           << (++i == values.size() ? "\n" : ",\n");
-    }
-    os << "}\n";
-}
-
-std::map<std::string, double>
-loadGolden(const std::string &path)
-{
-    std::ifstream is(path);
-    if (!is.good())
-        ADD_FAILURE() << "missing golden file " << path
-                      << " (run with CLLM_REGEN_GOLDEN=1 to create)";
-    std::ostringstream text;
-    text << is.rdbuf();
-    return parseFlatJsonNumbers(text.str());
-}
-
-void
-checkAgainstGolden(const std::string &file,
-                   const std::map<std::string, double> &actual)
-{
-    const std::string path = std::string(CLLM_GOLDEN_DIR) + "/" + file;
-    if (regenRequested()) {
-        writeGolden(path, actual);
-        GTEST_SKIP() << "regenerated " << path;
-    }
-    const auto expected = loadGolden(path);
-    ASSERT_FALSE(expected.empty());
-    // Both directions: a key that vanished from the experiment grid is
-    // as much a regression as one that changed value.
-    for (const auto &[key, val] : actual)
-        EXPECT_TRUE(expected.count(key))
-            << "key " << key << " missing from " << file
-            << " (regenerate goldens?)";
-    for (const auto &[key, want] : expected) {
-        const auto it = actual.find(key);
-        if (it == actual.end()) {
-            ADD_FAILURE() << "golden key " << key
-                          << " no longer produced";
-            continue;
-        }
-        const double got = it->second;
-        const double scale = std::max(std::abs(want), std::abs(got));
-        const double rel =
-            scale > 0.0 ? std::abs(got - want) / scale : 0.0;
-        EXPECT_LE(rel, kRelTol)
-            << key << ": expected " << want << ", got " << got;
-    }
-}
-
 } // namespace
 
 TEST(GoldenFigures, ServeSeedTraceMatchesGolden)
@@ -234,7 +144,7 @@ TEST(GoldenFigures, ServeSeedTraceMatchesGolden)
     // These numbers predate the fault-injection layer; matching them
     // is the proof that the default (fault-free) serving path kept its
     // exact behaviour through the resilience refactor.
-    checkAgainstGolden("serve_seed.json", collectServe());
+    cllm::testing::checkAgainstGolden("serve_seed.json", collectServe());
 }
 
 TEST(GoldenFigures, Fig01BackendGridMatchesGolden)
@@ -244,7 +154,7 @@ TEST(GoldenFigures, Fig01BackendGridMatchesGolden)
     for (const auto &[k, v] : figs)
         if (k.rfind("fig01.", 0) == 0)
             fig01[k] = v;
-    checkAgainstGolden("fig01_backends.json", fig01);
+    cllm::testing::checkAgainstGolden("fig01_backends.json", fig01);
 }
 
 TEST(GoldenFigures, Fig09BatchScalingMatchesGolden)
@@ -254,5 +164,5 @@ TEST(GoldenFigures, Fig09BatchScalingMatchesGolden)
     for (const auto &[k, v] : figs)
         if (k.rfind("fig09.", 0) == 0)
             fig09[k] = v;
-    checkAgainstGolden("fig09_batch_scaling.json", fig09);
+    cllm::testing::checkAgainstGolden("fig09_batch_scaling.json", fig09);
 }

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <tuple>
@@ -71,6 +72,92 @@ TEST(Workload, DeterministicAndOrdered)
             EXPECT_GE(a[i].arrival, a[i - 1].arrival);
         }
     }
+}
+
+// Pins the exact doubles the seed-99 Poisson generator produced
+// before the arrival-process seam existed. Any change to the draw
+// order (an extra uniform, a reordered rejection loop) shifts every
+// seeded trace in the repo and breaks this first.
+TEST(Workload, PoissonDrawsPinnedAcrossSeam)
+{
+    WorkloadConfig w;
+    w.arrivalRate = 0.45;
+    w.numRequests = 250;
+    w.meanInLen = 512;
+    w.meanOutLen = 128;
+    w.seed = 99;
+    const auto t = generateWorkload(w);
+    ASSERT_EQ(t.size(), 250u);
+    EXPECT_DOUBLE_EQ(t[0].arrival, 2.3411828131693633);
+    EXPECT_DOUBLE_EQ(t[1].arrival, 2.6876707034671834);
+    EXPECT_DOUBLE_EQ(t[2].arrival, 5.533455224026782);
+    EXPECT_DOUBLE_EQ(t[3].arrival, 6.7281300946823768);
+    EXPECT_EQ(t[0].inLen, 375u);
+    EXPECT_EQ(t[0].outLen, 172u);
+    EXPECT_EQ(t[1].inLen, 552u);
+    EXPECT_EQ(t[2].outLen, 58u);
+    EXPECT_DOUBLE_EQ(t.back().arrival, 578.42735198247067);
+}
+
+TEST(Workload, DeterministicSpacingIsExact)
+{
+    WorkloadConfig w = lightLoad();
+    w.process = ArrivalProcess::Deterministic;
+    w.arrivalRate = 1.25;
+    const auto t = generateWorkload(w);
+    double expected = 0.0;
+    for (const auto &r : t) {
+        expected += 1.0 / w.arrivalRate;
+        EXPECT_DOUBLE_EQ(r.arrival, expected);
+    }
+    // Lengths still come off the seeded RNG stream.
+    const auto again = generateWorkload(w);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(t[i].inLen, again[i].inLen);
+        EXPECT_EQ(t[i].outLen, again[i].outLen);
+    }
+}
+
+TEST(Workload, BurstyIsDeterministicAndDistinctFromPoisson)
+{
+    WorkloadConfig w = lightLoad();
+    w.process = ArrivalProcess::BurstyOnOff;
+    w.numRequests = 400;
+    const auto a = generateWorkload(w);
+    const auto b = generateWorkload(w);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].arrival, b[i].arrival);
+        if (i)
+            EXPECT_GE(a[i].arrival, a[i - 1].arrival);
+    }
+    WorkloadConfig p = w;
+    p.process = ArrivalProcess::Poisson;
+    const auto pois = generateWorkload(p);
+    EXPECT_NE(a[0].arrival, pois[0].arrival);
+    // The on phase runs burstRateFactor times hotter than the mean,
+    // so the shortest gaps are far tighter than Poisson's and the
+    // off phase stretches the longest ones; compare spreads.
+    auto gap_spread = [](const std::vector<Request> &t) {
+        double lo = 1e300, hi = 0.0;
+        for (std::size_t i = 1; i < t.size(); ++i) {
+            const double g = t[i].arrival - t[i - 1].arrival;
+            lo = std::min(lo, g);
+            hi = std::max(hi, g);
+        }
+        return hi / std::max(lo, 1e-12);
+    };
+    EXPECT_GT(gap_spread(a), gap_spread(pois));
+}
+
+TEST(Workload, ArrivalProcessNames)
+{
+    EXPECT_STREQ(arrivalProcessName(ArrivalProcess::Poisson),
+                 "poisson");
+    EXPECT_STREQ(arrivalProcessName(ArrivalProcess::Deterministic),
+                 "deterministic");
+    EXPECT_STREQ(arrivalProcessName(ArrivalProcess::BurstyOnOff),
+                 "bursty");
 }
 
 TEST(Workload, MeanInterArrivalMatchesRate)
