@@ -6,16 +6,41 @@
 #ifndef CLLM_BENCH_BENCH_UTIL_HH
 #define CLLM_BENCH_BENCH_UTIL_HH
 
+#include <cstddef>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/experiment.hh"
 #include "llm/perf_cluster.hh"
+#include "par/pool.hh"
 #include "serve/serving.hh"
 #include "util/table.hh"
 
 namespace cllm::bench {
+
+/**
+ * Evaluate `fn(i)` for every grid point i in [0, n) on the cllm::par
+ * pool and return the results in index order. The sweep binaries use
+ * this to fan their parameter grids out across cores: each grid
+ * point's computation is independent and deterministic (any nested
+ * parallelFor inside `fn` runs inline on the worker), so the returned
+ * vector is identical to a serial sweep — only the wall-clock drops.
+ * Print from the returned vector, never from inside `fn`.
+ */
+template <typename T, typename Fn>
+std::vector<T>
+runGrid(std::size_t n, Fn &&fn)
+{
+    std::vector<T> out(n);
+    par::parallelFor(0, n, 1, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i)
+            out[i] = fn(i);
+    });
+    return out;
+}
 
 /** Print the standard bench banner. */
 inline void

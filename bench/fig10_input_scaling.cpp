@@ -23,33 +23,39 @@ main()
     const hw::CpuSpec cpu = hw::emr2();
     const llm::ModelConfig model = llm::llama2_7b();
 
+    const std::vector<unsigned> in_lens = {128u,  256u,  512u, 1024u,
+                                           2048u, 4096u, 8192u};
     for (hw::Dtype dtype : {hw::Dtype::Bf16, hw::Dtype::Int8}) {
         std::cout << "--- dtype " << hw::dtypeName(dtype) << " ---\n";
         Table t({"input", "e2e tput [tok/s]", "TDX e2e ovh",
                  "decode tput [tok/s]", "TDX decode ovh",
                  "working set [GB]"});
-        for (unsigned in_len : {128u, 256u, 512u, 1024u, 2048u, 4096u,
-                                8192u}) {
-            llm::RunParams p;
-            p.batch = 64;
-            p.inLen = in_len;
-            p.outLen = 128;
-            p.dtype = dtype;
-            p.sockets = 1;
-            p.cores = cpu.coresPerSocket;
+        const auto rows = runGrid<std::vector<std::string>>(
+            in_lens.size(), [&](std::size_t gi) {
+                const unsigned in_len = in_lens[gi];
+                llm::RunParams p;
+                p.batch = 64;
+                p.inLen = in_len;
+                p.outLen = 128;
+                p.dtype = dtype;
+                p.sockets = 1;
+                p.cores = cpu.coresPerSocket;
 
-            const auto bare =
-                exp.runCpu(cpu, core::Backend::Bare, model, p);
-            const auto tdx =
-                exp.runCpu(cpu, core::Backend::Tdx, model, p);
-            const auto cmp = core::Experiment::compare(tdx, bare);
-            t.addRow({std::to_string(in_len),
-                      fmt(bare.timing.e2eTput),
-                      fmtPct(cmp.e2eOverheadPct),
-                      fmt(bare.timing.decodeTput),
-                      fmtPct(cmp.tputOverheadPct),
-                      fmt(bare.timing.workingSetBytes / 1e9, 1)});
-        }
+                const auto bare =
+                    exp.runCpu(cpu, core::Backend::Bare, model, p);
+                const auto tdx =
+                    exp.runCpu(cpu, core::Backend::Tdx, model, p);
+                const auto cmp = core::Experiment::compare(tdx, bare);
+                return std::vector<std::string>{
+                    std::to_string(in_len),
+                    fmt(bare.timing.e2eTput),
+                    fmtPct(cmp.e2eOverheadPct),
+                    fmt(bare.timing.decodeTput),
+                    fmtPct(cmp.tputOverheadPct),
+                    fmt(bare.timing.workingSetBytes / 1e9, 1)};
+            });
+        for (const auto &row : rows)
+            t.addRow(row);
         t.print(std::cout);
         std::cout << "\n";
     }

@@ -95,40 +95,50 @@ sweep(double ttft_slo, const std::vector<double> &rates)
 
     Table t({"rate [req/s]", "fleet", "nodes", "$/1k tok",
              "TTFT p99 [s]", "SLO", "cheapest@SLO"});
-    for (double rate : rates) {
-        serve::WorkloadConfig load = base;
-        load.arrivalRate = rate;
-        load.numRequests = static_cast<std::size_t>(
-            std::min(1200.0, std::max(200.0, 240.0 * rate)));
-        const auto trace = serve::generateWorkload(load);
+    // Every rate point replays its own seeded trace through freshly
+    // constructed simulators, so the grid fans out across cores; row
+    // order (and content — the traces are seed-deterministic) matches
+    // the serial sweep exactly.
+    const auto per_rate = bench::runGrid<std::vector<SizedRun>>(
+        rates.size(), [&](std::size_t gi) {
+            serve::WorkloadConfig load = base;
+            load.arrivalRate = rates[gi];
+            load.numRequests = static_cast<std::size_t>(std::min(
+                1200.0, std::max(200.0, 240.0 * rates[gi])));
+            const auto trace = serve::generateWorkload(load);
 
-        std::vector<std::string> names = {
-            "cpu-tdx only", "cgpu only", "mixed cost-aware"};
-        std::vector<SizedRun> results;
-        {
-            fleet::FleetConfig cfg;
-            cfg.ttftSlo = ttft_slo;
-            cfg.policy = fleet::RouterPolicy::LeastOutstanding;
-            cfg.initialNodes = {0};
-            results.push_back(sizeFleet(cfg, {cpu}, 0, trace));
-        }
-        {
-            fleet::FleetConfig cfg;
-            cfg.ttftSlo = ttft_slo;
-            cfg.policy = fleet::RouterPolicy::LeastOutstanding;
-            cfg.initialNodes = {0};
-            results.push_back(sizeFleet(cfg, {gpu}, 0, trace));
-        }
-        {
-            // One cGPU spill target plus as many cheap TDX nodes as
-            // the SLO demands, under the cost-aware router.
-            fleet::FleetConfig cfg;
-            cfg.ttftSlo = ttft_slo;
-            cfg.policy = fleet::RouterPolicy::CostAware;
-            cfg.initialNodes = {0, 1};
-            results.push_back(sizeFleet(cfg, {cpu, gpu}, 0, trace));
-        }
+            std::vector<SizedRun> results;
+            {
+                fleet::FleetConfig cfg;
+                cfg.ttftSlo = ttft_slo;
+                cfg.policy = fleet::RouterPolicy::LeastOutstanding;
+                cfg.initialNodes = {0};
+                results.push_back(sizeFleet(cfg, {cpu}, 0, trace));
+            }
+            {
+                fleet::FleetConfig cfg;
+                cfg.ttftSlo = ttft_slo;
+                cfg.policy = fleet::RouterPolicy::LeastOutstanding;
+                cfg.initialNodes = {0};
+                results.push_back(sizeFleet(cfg, {gpu}, 0, trace));
+            }
+            {
+                // One cGPU spill target plus as many cheap TDX nodes
+                // as the SLO demands, under the cost-aware router.
+                fleet::FleetConfig cfg;
+                cfg.ttftSlo = ttft_slo;
+                cfg.policy = fleet::RouterPolicy::CostAware;
+                cfg.initialNodes = {0, 1};
+                results.push_back(
+                    sizeFleet(cfg, {cpu, gpu}, 0, trace));
+            }
+            return results;
+        });
 
+    const std::vector<std::string> names = {
+        "cpu-tdx only", "cgpu only", "mixed cost-aware"};
+    for (std::size_t r = 0; r < rates.size(); ++r) {
+        const auto &results = per_rate[r];
         int best = -1;
         for (std::size_t i = 0; i < results.size(); ++i)
             if (results[i].eligible &&
@@ -139,7 +149,7 @@ sweep(double ttft_slo, const std::vector<double> &rates)
                 best = static_cast<int>(i);
         for (std::size_t i = 0; i < results.size(); ++i) {
             const fleet::FleetMetrics &m = results[i].m;
-            t.addRow({fmt(rate, 2), names[i],
+            t.addRow({fmt(rates[r], 2), names[i],
                       fmtInt(results[i].nodes),
                       fmt(m.costPer1kTokens, 4), fmt(m.ttft.p99, 2),
                       fmtPct(100.0 * m.sloAttainment),

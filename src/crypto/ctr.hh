@@ -4,6 +4,11 @@
  * same keystream XOR; the counter block is built from a 64-bit nonce
  * (e.g. a physical cache-line address in the MEE model, or a file
  * offset in the FS shield) and a 64-bit block counter.
+ *
+ * Large transforms fan out over the cllm::par pool, one chunk per run
+ * of counter blocks; the output is bit-identical to the serial scan
+ * because every 16-byte block's keystream depends only on
+ * (key, nonce, counter + block index).
  */
 
 #ifndef CLLM_CRYPTO_CTR_HH

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "par/pool.hh"
 #include "util/logging.hh"
 
 namespace cllm::llm {
@@ -20,11 +21,14 @@ gemm(const Tensor &a, const Tensor &b, Tensor &c)
     const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
     c.fill(0.0f);
 
+    // Row blocks are the parallel unit: each owns a disjoint slice of
+    // C, and the (p0, j0, i, p, j) accumulation order within a row is
+    // exactly the serial blocked loop's, so results are bit-identical
+    // at any thread count.
     constexpr std::size_t kBlock = 64;
-    for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
+    par::parallelFor(0, m, kBlock, [&](std::size_t i0, std::size_t i1) {
         for (std::size_t p0 = 0; p0 < k; p0 += kBlock) {
             for (std::size_t j0 = 0; j0 < n; j0 += kBlock) {
-                const std::size_t i1 = std::min(i0 + kBlock, m);
                 const std::size_t p1 = std::min(p0 + kBlock, k);
                 const std::size_t j1 = std::min(j0 + kBlock, n);
                 for (std::size_t i = i0; i < i1; ++i) {
@@ -39,7 +43,7 @@ gemm(const Tensor &a, const Tensor &b, Tensor &c)
                 }
             }
         }
-    }
+    });
 }
 
 void
@@ -52,30 +56,43 @@ gemmTransB(const Tensor &a, const Tensor &b, Tensor &c)
                    ")^T -> (", c.rows(), "x", c.cols(), ")");
     }
     const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-    for (std::size_t i = 0; i < m; ++i) {
-        const float *arow = a.row(i);
-        float *crow = c.row(i);
-        for (std::size_t j = 0; j < n; ++j) {
-            const float *brow = b.row(j);
-            float acc = 0.0f;
-            for (std::size_t p = 0; p < k; ++p)
-                acc += arow[p] * brow[p];
-            crow[j] = acc;
+    // Partition the (large) output-feature axis, not the (small)
+    // batch axis: each chunk owns columns [j0, j1) of every row of C.
+    // Every C(i, j) is an independent dot product, so the split
+    // cannot change any value.
+    constexpr std::size_t kColGrain = 32;
+    par::parallelFor(0, n, kColGrain, [&](std::size_t j0,
+                                          std::size_t j1) {
+        for (std::size_t i = 0; i < m; ++i) {
+            const float *arow = a.row(i);
+            float *crow = c.row(i);
+            for (std::size_t j = j0; j < j1; ++j) {
+                const float *brow = b.row(j);
+                float acc = 0.0f;
+                for (std::size_t p = 0; p < k; ++p)
+                    acc += arow[p] * brow[p];
+                crow[j] = acc;
+            }
         }
-    }
+    });
 }
 
 void
 matvec(const Tensor &w, const float *x, float *y)
 {
     const std::size_t rows = w.rows(), cols = w.cols();
-    for (std::size_t r = 0; r < rows; ++r) {
-        const float *wr = w.row(r);
-        float acc = 0.0f;
-        for (std::size_t c = 0; c < cols; ++c)
-            acc += wr[c] * x[c];
-        y[r] = acc;
-    }
+    // Each output row is an independent dot product.
+    constexpr std::size_t kRowGrain = 32;
+    par::parallelFor(0, rows, kRowGrain, [&](std::size_t r0,
+                                             std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+            const float *wr = w.row(r);
+            float acc = 0.0f;
+            for (std::size_t c = 0; c < cols; ++c)
+                acc += wr[c] * x[c];
+            y[r] = acc;
+        }
+    });
 }
 
 void
@@ -196,13 +213,17 @@ QuantizedTensor::dequantize() const
 void
 matvecQuantized(const QuantizedTensor &w, const float *x, float *y)
 {
-    for (std::size_t r = 0; r < w.rows; ++r) {
-        const std::int8_t *row = w.data.data() + r * w.cols;
-        float acc = 0.0f;
-        for (std::size_t c = 0; c < w.cols; ++c)
-            acc += static_cast<float>(row[c]) * x[c];
-        y[r] = acc * w.scales[r];
-    }
+    constexpr std::size_t kRowGrain = 32;
+    par::parallelFor(0, w.rows, kRowGrain, [&](std::size_t r0,
+                                               std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+            const std::int8_t *row = w.data.data() + r * w.cols;
+            float acc = 0.0f;
+            for (std::size_t c = 0; c < w.cols; ++c)
+                acc += static_cast<float>(row[c]) * x[c];
+            y[r] = acc * w.scales[r];
+        }
+    });
 }
 
 } // namespace cllm::llm

@@ -6,6 +6,11 @@
  * numerics behind the op graph the timing model prices; the unit
  * tests validate them against naive references and the quantization
  * error bounds.
+ *
+ * The matrix kernels (gemm, gemmTransB, matvec, matvecQuantized) run
+ * on the cllm::par pool, partitioned so every parallel chunk owns a
+ * disjoint slice of the output and accumulates in the same order as
+ * the serial loop — results are bit-identical at any CLLM_THREADS.
  */
 
 #ifndef CLLM_LLM_KERNELS_HH
@@ -20,7 +25,8 @@
 namespace cllm::llm {
 
 /**
- * C = A (m x k) * B (k x n), cache-blocked. C is overwritten.
+ * C = A (m x k) * B (k x n), cache-blocked and row-parallel.
+ * C is overwritten.
  */
 void gemm(const Tensor &a, const Tensor &b, Tensor &c);
 

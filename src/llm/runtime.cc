@@ -4,6 +4,7 @@
 #include <cstring>
 #include <cmath>
 
+#include "par/pool.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -337,27 +338,35 @@ TinyLlama::forward(TokenId token, KvCache &cache) const
         const std::size_t ctx = cache.length();
 
         std::fill(attn_out.begin(), attn_out.end(), 0.0f);
-        std::vector<float> scores(ctx);
         const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(hd));
-        for (unsigned h = 0; h < cfg_.heads; ++h) {
-            const unsigned kv_h = h / group;
-            const float *qh = q.data() + h * hd;
-            for (std::size_t p = 0; p < ctx; ++p) {
-                const float *kh = cache.key(li, p).data() + kv_h * hd;
-                float s = 0.0f;
-                for (unsigned i = 0; i < hd; ++i)
-                    s += qh[i] * kh[i];
-                scores[p] = s * inv_sqrt;
+        // Heads are independent: each owns a disjoint slice of
+        // attn_out and a private score buffer, so the per-head math
+        // is identical at any thread count.
+        par::parallelFor(0, cfg_.heads, 1, [&](std::size_t h0,
+                                               std::size_t h1) {
+            std::vector<float> scores(ctx);
+            for (std::size_t h = h0; h < h1; ++h) {
+                const unsigned kv_h = static_cast<unsigned>(h) / group;
+                const float *qh = q.data() + h * hd;
+                for (std::size_t p = 0; p < ctx; ++p) {
+                    const float *kh =
+                        cache.key(li, p).data() + kv_h * hd;
+                    float s = 0.0f;
+                    for (unsigned i = 0; i < hd; ++i)
+                        s += qh[i] * kh[i];
+                    scores[p] = s * inv_sqrt;
+                }
+                softmaxInPlace(scores.data(), ctx);
+                float *out_h = attn_out.data() + h * hd;
+                for (std::size_t p = 0; p < ctx; ++p) {
+                    const float *vh =
+                        cache.value(li, p).data() + kv_h * hd;
+                    const float w = scores[p];
+                    for (unsigned i = 0; i < hd; ++i)
+                        out_h[i] += w * vh[i];
+                }
             }
-            softmaxInPlace(scores.data(), ctx);
-            float *out_h = attn_out.data() + h * hd;
-            for (std::size_t p = 0; p < ctx; ++p) {
-                const float *vh = cache.value(li, p).data() + kv_h * hd;
-                const float w = scores[p];
-                for (unsigned i = 0; i < hd; ++i)
-                    out_h[i] += w * vh[i];
-            }
-        }
+        });
 
         project(l.wo, l.qwo, attn_out.data(), proj.data());
         for (unsigned i = 0; i < d; ++i)
@@ -454,31 +463,37 @@ TinyLlama::forwardBatch(const std::vector<TokenId> &tokens,
 
         attn_out.fill(0.0f);
         const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(hd));
-        for (std::size_t b = 0; b < bsz; ++b) {
-            const std::size_t ctx = caches[b]->length();
-            std::vector<float> scores(ctx);
-            for (unsigned h = 0; h < cfg_.heads; ++h) {
-                const unsigned kv_h = h / group;
-                const float *qh = q.row(b) + h * hd;
-                for (std::size_t p = 0; p < ctx; ++p) {
-                    const float *kh =
-                        caches[b]->key(li, p).data() + kv_h * hd;
-                    float s = 0.0f;
-                    for (unsigned i = 0; i < hd; ++i)
-                        s += qh[i] * kh[i];
-                    scores[p] = s * inv_sqrt;
-                }
-                softmaxInPlace(scores.data(), ctx);
-                float *out_h = attn_out.row(b) + h * hd;
-                for (std::size_t p = 0; p < ctx; ++p) {
-                    const float *vh =
-                        caches[b]->value(li, p).data() + kv_h * hd;
-                    const float w = scores[p];
-                    for (unsigned i = 0; i < hd; ++i)
-                        out_h[i] += w * vh[i];
+        // Sequences are independent (disjoint caches and attn_out
+        // rows), so the batch axis is the parallel unit; per-sequence
+        // head order stays serial and bit-identical.
+        par::parallelFor(0, bsz, 1, [&](std::size_t b0,
+                                        std::size_t b1) {
+            for (std::size_t b = b0; b < b1; ++b) {
+                const std::size_t ctx = caches[b]->length();
+                std::vector<float> scores(ctx);
+                for (unsigned h = 0; h < cfg_.heads; ++h) {
+                    const unsigned kv_h = h / group;
+                    const float *qh = q.row(b) + h * hd;
+                    for (std::size_t p = 0; p < ctx; ++p) {
+                        const float *kh =
+                            caches[b]->key(li, p).data() + kv_h * hd;
+                        float s = 0.0f;
+                        for (unsigned i = 0; i < hd; ++i)
+                            s += qh[i] * kh[i];
+                        scores[p] = s * inv_sqrt;
+                    }
+                    softmaxInPlace(scores.data(), ctx);
+                    float *out_h = attn_out.row(b) + h * hd;
+                    for (std::size_t p = 0; p < ctx; ++p) {
+                        const float *vh =
+                            caches[b]->value(li, p).data() + kv_h * hd;
+                        const float w = scores[p];
+                        for (unsigned i = 0; i < hd; ++i)
+                            out_h[i] += w * vh[i];
+                    }
                 }
             }
-        }
+        });
 
         project_batch(l.wo, l.qwo, attn_out, proj);
         for (std::size_t b = 0; b < bsz; ++b) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "par/pool.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -126,29 +127,56 @@ DenseIndex::search(const std::vector<float> &query, std::size_t k,
 {
     if (query.size() != dim_)
         cllm_fatal("DenseIndex::search: wrong dimension");
-    std::vector<SearchHit> hits;
-    hits.reserve(ids_.size());
-    for (std::size_t i = 0; i < ids_.size(); ++i) {
-        const float *v = vecs_.data() + i * dim_;
-        double dot = 0.0;
-        for (unsigned j = 0; j < dim_; ++j)
-            dot += static_cast<double>(query[j]) * v[j];
-        hits.push_back({ids_[i], dot});
-    }
+    const auto better = [](const SearchHit &a, const SearchHit &b) {
+        if (a.score != b.score)
+            return a.score > b.score;
+        return a.id < b.id;
+    };
+    const std::size_t keep = std::min(k, ids_.size());
+
+    // Parallel scan as a deterministic reduction: every chunk scores
+    // its vectors (each dot product's accumulation order is the same
+    // as the serial scan's) and keeps its local top `keep`; partials
+    // are concatenated in ascending chunk order, so the final
+    // partial_sort sees a deterministic candidate list. The `better`
+    // comparator is a total order (ties broken by id), hence the kept
+    // hits equal the serial scan's exactly.
+    constexpr std::size_t kScanGrain = 512;
+    std::vector<SearchHit> cands = par::parallelReduce(
+        0, ids_.size(), kScanGrain, std::vector<SearchHit>{},
+        [&](std::size_t i0, std::size_t i1) {
+            std::vector<SearchHit> local;
+            local.reserve(i1 - i0);
+            for (std::size_t i = i0; i < i1; ++i) {
+                const float *v = vecs_.data() + i * dim_;
+                double dot = 0.0;
+                for (unsigned j = 0; j < dim_; ++j)
+                    dot += static_cast<double>(query[j]) * v[j];
+                local.push_back({ids_[i], dot});
+            }
+            const std::size_t local_keep =
+                std::min(keep, local.size());
+            std::partial_sort(local.begin(),
+                              local.begin() + local_keep, local.end(),
+                              better);
+            local.resize(local_keep);
+            return local;
+        },
+        [](std::vector<SearchHit> acc, std::vector<SearchHit> part) {
+            acc.insert(acc.end(), part.begin(), part.end());
+            return acc;
+        });
+
     if (stats) {
         stats->vectorsCompared += ids_.size();
         stats->bytesTouched += ids_.size() * dim_ * 4;
         stats->embedFlops += 2ULL * ids_.size() * dim_;
     }
-    const std::size_t keep = std::min(k, hits.size());
-    std::partial_sort(hits.begin(), hits.begin() + keep, hits.end(),
-                      [](const SearchHit &a, const SearchHit &b) {
-                          if (a.score != b.score)
-                              return a.score > b.score;
-                          return a.id < b.id;
-                      });
-    hits.resize(keep);
-    return hits;
+    const std::size_t final_keep = std::min(keep, cands.size());
+    std::partial_sort(cands.begin(), cands.begin() + final_keep,
+                      cands.end(), better);
+    cands.resize(final_keep);
+    return cands;
 }
 
 } // namespace cllm::rag

@@ -72,7 +72,12 @@ class DenseIndex
     /** Add a vector for a document. */
     void add(DocId id, const std::vector<float> &vec);
 
-    /** Top-k by cosine similarity. */
+    /**
+     * Top-k by cosine similarity. The scan fans out over the
+     * cllm::par pool as a deterministic chunked reduction (per-chunk
+     * top-k merged in fixed chunk order), so results are bit-identical
+     * to a serial scan at any CLLM_THREADS.
+     */
     std::vector<SearchHit> search(const std::vector<float> &query,
                                   std::size_t k,
                                   DenseStats *stats = nullptr) const;

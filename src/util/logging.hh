@@ -16,7 +16,8 @@ namespace cllm {
 /** Verbosity levels for runtime log filtering. */
 enum class LogLevel { Silent = 0, Warn = 1, Inform = 2, Debug = 3 };
 
-/** Set the global log verbosity. Thread-unsafe; set once at startup. */
+/** Set the global log verbosity. Safe to call from any thread; the
+ *  level is an atomic read by every log site. */
 void setLogLevel(LogLevel level);
 
 /** Current global log verbosity. */

@@ -6,6 +6,14 @@
  * reproducible from a seed. The generator is xoshiro256**, seeded via
  * SplitMix64, matching the reference implementations by Blackman and
  * Vigna.
+ *
+ * Thread compatibility: an Rng instance is NOT safe for concurrent
+ * use, but distinct instances share no state, and splitSeed() is a
+ * pure function of its arguments — so the supported concurrency
+ * pattern is one Rng per task, seeded with splitSeed(root, stream).
+ * Each stream's draw sequence is then independent of thread count,
+ * scheduling, and how many sibling streams exist (the property
+ * test_rng's concurrent-use test pins).
  */
 
 #ifndef CLLM_UTIL_RNG_HH
@@ -25,6 +33,11 @@ std::uint64_t splitmix64(std::uint64_t &state);
  * other streams exist — the property the fleet simulator relies on so
  * that adding a node cannot perturb any other node's fault or
  * workload draws.
+ *
+ * Pure and stateless (the by-value arguments are untouched), so it
+ * may be called concurrently from any number of threads; parallel
+ * tasks should derive one child seed per stream index and construct
+ * a private Rng from it.
  */
 std::uint64_t splitSeed(std::uint64_t root, std::uint64_t stream);
 

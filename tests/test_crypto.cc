@@ -15,7 +15,9 @@
 #include "crypto/ctr.hh"
 #include "crypto/hmac.hh"
 #include "crypto/sha256.hh"
+#include "par/pool.hh"
 
+using namespace cllm;
 using namespace cllm::crypto;
 
 namespace {
@@ -259,4 +261,33 @@ TEST(ToAesKey, TakesFirstSixteenBytes)
     const Digest256 d = sha256(std::string("k"));
     const AesKey k = toAesKey(d);
     EXPECT_EQ(0, std::memcmp(k.data(), d.data(), 16));
+}
+
+TEST(AesCtr, ParallelTransformBitIdenticalAcrossThreadCounts)
+{
+    AesKey key{};
+    for (std::size_t i = 0; i < key.size(); ++i)
+        key[i] = static_cast<std::uint8_t>(i + 1);
+    const AesCtr ctr(key);
+
+    // Cover multiple parallel chunks (256 blocks each) plus a ragged
+    // tail that is not a multiple of the 16-byte block size.
+    std::vector<std::uint8_t> plain(256 * 16 * 5 + 7);
+    for (std::size_t i = 0; i < plain.size(); ++i)
+        plain[i] = static_cast<std::uint8_t>(i * 31 + 3);
+
+    par::setThreadCount(1);
+    std::vector<std::uint8_t> serial = plain;
+    ctr.transform(0xdeadbeef, 42, serial);
+
+    for (unsigned threads : {2u, 4u, 8u}) {
+        par::setThreadCount(threads);
+        std::vector<std::uint8_t> parallel = plain;
+        ctr.transform(0xdeadbeef, 42, parallel);
+        EXPECT_EQ(serial, parallel) << threads << " threads";
+        // Round-trip: decrypting restores the plaintext.
+        ctr.transform(0xdeadbeef, 42, parallel);
+        EXPECT_EQ(plain, parallel);
+    }
+    par::setThreadCount(0);
 }

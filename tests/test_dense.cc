@@ -8,8 +8,11 @@
 
 #include <cmath>
 
+#include "par/pool.hh"
 #include "rag/dense.hh"
+#include "util/rng.hh"
 
+using namespace cllm;
 using namespace cllm::rag;
 
 TEST(MiniSbert, EmbeddingIsUnitNorm)
@@ -135,6 +138,66 @@ TEST(DenseIndex, StatsCountComparisons)
     idx.search(s.embed("3"), 2, &st);
     EXPECT_EQ(st.vectorsCompared, 5u);
     EXPECT_GT(st.bytesTouched, 0u);
+}
+
+TEST(DenseIndex, ParallelScanBitIdenticalAcrossThreadCounts)
+{
+    // Enough vectors for several 512-vector scan chunks, including
+    // duplicate vectors so tie-breaking by id is exercised.
+    constexpr unsigned kDim = 32;
+    DenseIndex idx(kDim);
+    Rng rng(77);
+    std::vector<float> v(kDim);
+    for (DocId i = 0; i < 2000; ++i) {
+        if (i % 97 != 0 || i == 0) {
+            double norm = 0.0;
+            for (auto &x : v) {
+                x = static_cast<float>(rng.gaussian(0.0, 1.0));
+                norm += static_cast<double>(x) * x;
+            }
+            const float inv =
+                static_cast<float>(1.0 / std::sqrt(norm));
+            for (auto &x : v)
+                x *= inv;
+        } // else: re-add the previous vector under a new id (a tie)
+        idx.add(i, v);
+    }
+    std::vector<float> query(kDim, 0.0f);
+    query[0] = 0.6f;
+    query[1] = 0.8f;
+
+    par::setThreadCount(1);
+    DenseStats serial_stats;
+    const auto serial = idx.search(query, 25, &serial_stats);
+    ASSERT_EQ(serial.size(), 25u);
+
+    for (unsigned threads : {2u, 4u, 8u}) {
+        par::setThreadCount(threads);
+        DenseStats stats;
+        const auto parallel = idx.search(query, 25, &stats);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(serial[i].id, parallel[i].id) << "rank " << i;
+            EXPECT_EQ(serial[i].score, parallel[i].score)
+                << "rank " << i;
+        }
+        EXPECT_EQ(stats.vectorsCompared, serial_stats.vectorsCompared);
+        EXPECT_EQ(stats.bytesTouched, serial_stats.bytesTouched);
+        EXPECT_EQ(stats.embedFlops, serial_stats.embedFlops);
+    }
+    par::setThreadCount(0);
+}
+
+TEST(DenseIndex, SearchKeepsAtMostKEvenWhenKExceedsIndex)
+{
+    constexpr unsigned kDim = 4;
+    DenseIndex idx(kDim);
+    idx.add(1, {1.0f, 0.0f, 0.0f, 0.0f});
+    idx.add(2, {0.0f, 1.0f, 0.0f, 0.0f});
+    const auto hits =
+        idx.search({1.0f, 0.0f, 0.0f, 0.0f}, 10);
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(hits[0].id, 1u);
 }
 
 TEST(DenseIndexDeath, WrongDimensionFatal)

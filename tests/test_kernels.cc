@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "llm/kernels.hh"
+#include "par/pool.hh"
 #include "util/rng.hh"
 
 using namespace cllm;
@@ -322,4 +323,74 @@ TEST(TensorDeath, OutOfRangePanics)
     Tensor t(2, 2);
     EXPECT_DEATH(t.at(2, 0), "out of range");
     EXPECT_DEATH(t.row(5), "out of range");
+}
+
+// ------------------------------------------------- thread determinism
+
+namespace {
+
+/** Run `fn` under each thread count and require bit-identical float
+ *  output — the cllm::par contract the golden files rely on. */
+template <typename Fn>
+void
+expectBitIdenticalAcrossThreads(Fn &&fn)
+{
+    par::setThreadCount(1);
+    const std::vector<float> serial = fn();
+    for (unsigned threads : {2u, 4u, 8u}) {
+        par::setThreadCount(threads);
+        const std::vector<float> parallel = fn();
+        ASSERT_EQ(serial.size(), parallel.size());
+        for (std::size_t i = 0; i < serial.size(); ++i)
+            ASSERT_EQ(serial[i], parallel[i])
+                << "index " << i << " at " << threads << " threads";
+    }
+    par::setThreadCount(0);
+}
+
+} // namespace
+
+TEST(ThreadDeterminism, GemmBitIdentical)
+{
+    const Tensor a = randomTensor(97, 65, 21);
+    const Tensor b = randomTensor(65, 83, 22);
+    expectBitIdenticalAcrossThreads([&] {
+        Tensor c(97, 83);
+        gemm(a, b, c);
+        return std::vector<float>(c.data(), c.data() + c.size());
+    });
+}
+
+TEST(ThreadDeterminism, GemmTransBBitIdentical)
+{
+    const Tensor a = randomTensor(8, 128, 23);
+    const Tensor w = randomTensor(200, 128, 24);
+    expectBitIdenticalAcrossThreads([&] {
+        Tensor c(8, 200);
+        gemmTransB(a, w, c);
+        return std::vector<float>(c.data(), c.data() + c.size());
+    });
+}
+
+TEST(ThreadDeterminism, MatvecBitIdentical)
+{
+    const Tensor w = randomTensor(301, 128, 25);
+    const Tensor x = randomTensor(128, 1, 26);
+    expectBitIdenticalAcrossThreads([&] {
+        std::vector<float> y(301);
+        matvec(w, x.data(), y.data());
+        return y;
+    });
+}
+
+TEST(ThreadDeterminism, MatvecQuantizedBitIdentical)
+{
+    const QuantizedTensor q =
+        QuantizedTensor::quantize(randomTensor(301, 128, 27));
+    const Tensor x = randomTensor(128, 1, 28);
+    expectBitIdenticalAcrossThreads([&] {
+        std::vector<float> y(301);
+        matvecQuantized(q, x.data(), y.data());
+        return y;
+    });
 }
