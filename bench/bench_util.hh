@@ -7,6 +7,8 @@
 #define CLLM_BENCH_BENCH_UTIL_HH
 
 #include <cstddef>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -15,8 +17,11 @@
 
 #include "core/experiment.hh"
 #include "llm/perf_cluster.hh"
+#include "obs/metrics.hh"
 #include "par/pool.hh"
 #include "serve/serving.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 
 namespace cllm::bench {
@@ -40,6 +45,74 @@ runGrid(std::size_t n, Fn &&fn)
             out[i] = fn(i);
     });
     return out;
+}
+
+/**
+ * Observability flags shared by the bench binaries. Both are strictly
+ * additive: with neither flag the binaries' stdout stays byte-
+ * identical to the untraced build.
+ */
+struct ObsOptions
+{
+    bool trace = false;     //!< record a sim trace and export it
+    std::string tracePath;  //!< "" = $CLLM_TRACE_OUT, then default
+    std::string metricsOut; //!< "" = no registry snapshot
+};
+
+/** Usage text for the shared observability flags. */
+inline const char *
+obsUsage()
+{
+    return "  --trace [path]      record a sim-time trace and write "
+           "Chrome trace-event\n"
+           "                      JSON (chrome://tracing / Perfetto); "
+           "path defaults to\n"
+           "                      $CLLM_TRACE_OUT, then to "
+           "<bench>.trace.json\n"
+           "  --metrics-out path  write the metrics-registry snapshot "
+           "(counters,\n"
+           "                      gauges, histograms) as JSON to "
+           "path\n"
+           "  --help              show this help\n";
+}
+
+/**
+ * Consume argv[i] (advancing `i` past any operand) when it is one of
+ * the shared observability flags; false otherwise.
+ */
+inline bool
+parseObsArg(ObsOptions &opt, int argc, char **argv, int &i)
+{
+    if (std::strcmp(argv[i], "--trace") == 0) {
+        opt.trace = true;
+        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+            opt.tracePath = argv[++i];
+        return true;
+    }
+    if (std::strcmp(argv[i], "--metrics-out") == 0) {
+        if (i + 1 >= argc)
+            cllm_fatal("--metrics-out needs a path");
+        opt.metricsOut = argv[++i];
+        return true;
+    }
+    return false;
+}
+
+/**
+ * Dump the global metrics registry as JSON to `path`; no-op when
+ * `path` is empty.
+ */
+inline void
+writeMetricsSnapshot(const std::string &path)
+{
+    if (path.empty())
+        return;
+    std::ofstream f(path);
+    if (!f)
+        cllm_fatal("cannot open metrics output: ", path);
+    JsonWriter json(f);
+    obs::Registry::global().snapshot(json);
+    f << "\n";
 }
 
 /** Print the standard bench banner. */

@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -25,11 +26,21 @@
 #include "cost/pricing.hh"
 #include "fleet/presets.hh"
 #include "fleet/simulator.hh"
+#include "obs/chrome_export.hh"
+#include "obs/trace.hh"
 #include "util/table.hh"
 
 using namespace cllm;
 
 namespace {
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: fleet_capacity [--trace [path]] "
+          "[--metrics-out path]\n\n"
+       << bench::obsUsage();
+}
 
 /** Sustainable request rate of one node at full batch, from its own
  *  step model: decode tokens/s divided by the mean output length. */
@@ -161,11 +172,58 @@ sweep(double ttft_slo, const std::vector<double> &rates)
     std::cout << "\n";
 }
 
+/**
+ * Trace one representative scenario: the mixed cost-aware fleet at
+ * 1 req/s under the paper SLO. The sweep itself fans out across
+ * cores, so the traced run is a separate serial replay — same seeded
+ * trace, same configs, deterministic sim-time events.
+ */
+void
+traceRepresentativeRun(const bench::ObsOptions &opt)
+{
+    serve::WorkloadConfig load = bench::serveSeedWorkload();
+    load.arrivalRate = 1.0;
+    load.numRequests = 240;
+
+    fleet::FleetConfig cfg;
+    cfg.ttftSlo = 2.0;
+    cfg.policy = fleet::RouterPolicy::CostAware;
+    cfg.initialNodes = {0, 1};
+
+    obs::Tracer tracer(obs::TraceMode::Sim);
+    cfg.tracer = &tracer;
+    fleet::FleetSimulator sim(
+        cfg, {fleet::cpuTdxNode(), fleet::cgpuH100Node()});
+    sim.run(serve::generateWorkload(load));
+
+    const std::string out = obs::traceOutputPath(
+        opt.tracePath, "fleet_capacity.trace.json");
+    obs::writeChromeTraceFile(out, tracer, &obs::Registry::global());
+    std::cout << "wrote trace: " << out << " (mixed cost-aware fleet "
+              << "at 1 req/s, " << tracer.simEvents().size()
+              << " events)\n";
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--help") == 0 ||
+            std::strcmp(argv[i], "-h") == 0) {
+            usage(std::cout);
+            return 0;
+        }
+        if (bench::parseObsArg(opt, argc, argv, i))
+            continue;
+        std::cerr << "fleet_capacity: unknown argument '" << argv[i]
+                  << "'\n";
+        usage(std::cerr);
+        return 2;
+    }
+
     bench::banner(
         "Fleet capacity", "cost crossover as fleet composition",
         "CPU TEEs cheapest at low utilisation; GPU-CC amortises at "
@@ -178,5 +236,9 @@ main()
     std::cout << "--- tightened SLO: TTFT 0.5 s (crossover moves "
                  "toward the GPU) ---\n";
     sweep(0.5, rates);
+
+    if (opt.trace)
+        traceRepresentativeRun(opt);
+    bench::writeMetricsSnapshot(opt.metricsOut);
     return 0;
 }

@@ -22,6 +22,8 @@
 
 #include "bench_util.hh"
 #include "fault/schedule.hh"
+#include "obs/chrome_export.hh"
+#include "obs/trace.hh"
 #include "serve/serving.hh"
 #include "util/json.hh"
 #include "util/table.hh"
@@ -34,8 +36,32 @@ using bench::sharedBackend;
 
 namespace {
 
+void
+usage(std::ostream &os)
+{
+    os << "usage: serve_slo [--faults [seed]] [--trace [path]] "
+          "[--metrics-out path]\n\n"
+          "  --faults [seed]     run the resilience experiment "
+          "(seeded fault schedule\n"
+          "                      against a TDX deployment) instead of "
+          "the SLO sweep;\n"
+          "                      seed defaults to 1\n"
+       << bench::obsUsage();
+}
+
+/** Export the recorded trace and report where it went. */
+void
+finishTrace(const obs::Tracer &tracer, const bench::ObsOptions &opt)
+{
+    const std::string out =
+        obs::traceOutputPath(opt.tracePath, "serve_slo.trace.json");
+    obs::writeChromeTraceFile(out, tracer, &obs::Registry::global());
+    std::cout << "wrote trace: " << out << " ("
+              << tracer.simEvents().size() << " events)\n";
+}
+
 int
-runFaultMode(std::uint64_t fault_seed)
+runFaultMode(std::uint64_t fault_seed, const bench::ObsOptions &opt)
 {
     std::cout << "=== Serving under faults: resilience of a TDX "
                  "deployment ===\n";
@@ -74,14 +100,26 @@ runFaultMode(std::uint64_t fault_seed)
     ServerConfig baseline = cfg;
     baseline.faults = {};
 
+    // Lane 0 = fault-free baseline, lane 1 = faulty run, so both
+    // request timelines land side by side in the viewer.
+    obs::Tracer tracer(opt.trace ? obs::TraceMode::Sim
+                                 : obs::TraceMode::Off);
+    tracer.laneName(0, "TDX fault-free");
+    tracer.laneName(1, "TDX + faults");
+
     Table t({"run", "avail", "tok/s", "TTFT p95 [s]", "retries",
              "shed", "timeout", "restarts", "downtime [s]"});
     ServeMetrics faulty;
     for (bool with_faults : {false, true}) {
+        ServerConfig run_cfg = with_faults ? cfg : baseline;
+        if (opt.trace) {
+            run_cfg.tracer = &tracer;
+            run_cfg.traceLane = with_faults ? 1 : 0;
+        }
         Server server(
             makeCpuStepModel(cpu, sharedBackend(tee::makeTdx()), model,
                              deploy),
-            with_faults ? cfg : baseline);
+            run_cfg);
         const ServeMetrics m = server.run(generateWorkload(load));
         if (with_faults)
             faulty = m;
@@ -98,22 +136,16 @@ runFaultMode(std::uint64_t fault_seed)
     JsonWriter json(std::cout);
     writeMetrics(json, faulty);
     std::cout << "\n";
+
+    if (opt.trace)
+        finishTrace(tracer, opt);
+    bench::writeMetricsSnapshot(opt.metricsOut);
     return 0;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runSloMode(const bench::ObsOptions &opt)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--faults") == 0) {
-            std::uint64_t seed = 1;
-            if (i + 1 < argc)
-                seed = std::strtoull(argv[i + 1], nullptr, 10);
-            return runFaultMode(seed);
-        }
-    }
     std::cout << "=== Serving extension: SLO attainment under TEEs "
                  "===\n";
     std::cout << "Llama2-7B bf16; Poisson arrivals; TTFT SLO 2 s, "
@@ -143,6 +175,11 @@ main(int argc, char **argv)
         {"cGPU", makeGpuStepModel(hw::h100Nvl(), true, model,
                                   hw::Dtype::Bf16)});
 
+    // One trace lane per (policy, deployment) run.
+    obs::Tracer tracer(opt.trace ? obs::TraceMode::Sim
+                                 : obs::TraceMode::Off);
+    std::uint32_t lane = 0;
+
     for (BatchPolicy policy :
          {BatchPolicy::Continuous, BatchPolicy::Static}) {
         std::cout << "--- " << batchPolicyName(policy)
@@ -152,6 +189,14 @@ main(int argc, char **argv)
         for (auto &d : deployments) {
             ServerConfig cfg;
             cfg.policy = policy;
+            if (opt.trace) {
+                cfg.tracer = &tracer;
+                cfg.traceLane = lane;
+                tracer.laneName(lane, std::string(
+                                          batchPolicyName(policy)) +
+                                          " / " + d.name);
+            }
+            ++lane;
             // Re-create the step models per run is unnecessary; Server
             // borrows, so build a fresh server around the same model.
             Server server(
@@ -175,5 +220,39 @@ main(int argc, char **argv)
         t.print(std::cout);
         std::cout << "\n";
     }
+    if (opt.trace)
+        finishTrace(tracer, opt);
+    bench::writeMetricsSnapshot(opt.metricsOut);
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::ObsOptions opt;
+    bool fault_mode = false;
+    std::uint64_t fault_seed = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--help") == 0 ||
+            std::strcmp(argv[i], "-h") == 0) {
+            usage(std::cout);
+            return 0;
+        }
+        if (std::strcmp(argv[i], "--faults") == 0) {
+            fault_mode = true;
+            if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+                fault_seed = std::strtoull(argv[++i], nullptr, 10);
+            continue;
+        }
+        if (bench::parseObsArg(opt, argc, argv, i))
+            continue;
+        std::cerr << "serve_slo: unknown argument '" << argv[i]
+                  << "'\n";
+        usage(std::cerr);
+        return 2;
+    }
+    return fault_mode ? runFaultMode(fault_seed, opt)
+                      : runSloMode(opt);
 }

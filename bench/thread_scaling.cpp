@@ -129,7 +129,7 @@ emitKernel(JsonWriter &j, const std::string &name,
     for (double s : r.speedup)
         j.value(s);
     j.endArray();
-    j.key("deterministic").value(r.deterministic);
+    j.field("deterministic", r.deterministic);
     j.endObject();
 }
 

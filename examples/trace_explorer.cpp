@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Records a sim-time trace of a faulty three-node confidential fleet
+ * and exports it as Chrome trace-event JSON — open the file in
+ * chrome://tracing or https://ui.perfetto.dev to explore it.
+ *
+ * The scenario: two TDX nodes with a seeded fault schedule
+ * (attestation failures, enclave restarts, EPC paging storms, KV
+ * exhaustion) plus one confidential-GPU spill target, a cost-aware
+ * router, and an autoscaler that adds TDX nodes under queue pressure
+ * while a bursty on/off trace replays. The trace shows request
+ * lifecycles (async tracks per request: enqueue → admit → prefill →
+ * decode → complete/shed), fault-injection instants, routing and
+ * autoscale decisions, and KV/backlog counter tracks.
+ *
+ * Usage: trace_explorer [out.trace.json]
+ * The output path defaults to $CLLM_TRACE_OUT, then to
+ * trace_explorer.trace.json. The trace is sim-time only, so the file
+ * is bit-identical across runs and CLLM_THREADS settings.
+ */
+
+#include <cstddef>
+#include <iostream>
+#include <string>
+
+#include "fleet/presets.hh"
+#include "fleet/simulator.hh"
+#include "obs/chrome_export.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "serve/serving.hh"
+#include "util/table.hh"
+
+using namespace cllm;
+
+namespace {
+
+/** TDX node template with the resilient-serving fault schedule. */
+fleet::NodeTemplate
+faultyTdxNode()
+{
+    fleet::NodeTemplate t = fleet::cpuTdxNode();
+    fault::FaultScheduleConfig fs;
+    fs.horizon = 700.0;
+    fs.attestFail = {1.0 / 120.0, 4.0, 0.0};
+    fs.enclaveRestart = {1.0 / 250.0, 0.0, 0.0};
+    fs.epcStorm = {1.0 / 90.0, 10.0, 1.7};
+    fs.kvExhaustion = {1.0 / 150.0, 15.0, 0.5};
+    t.faults = fs;
+    t.server.resilience.requestTimeout = 120.0;
+    t.server.resilience.maxRetries = 3;
+    t.server.resilience.retryBackoff = 0.5;
+    t.server.resilience.shedOnKvPressure = true;
+    t.server.resilience.shedThreshold = 0.95;
+    t.server.resilience.degradedMaxBatch = 8;
+    return t;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::cout << "=== trace_explorer: faulty 3-node fleet, Chrome "
+                 "trace export ===\n\n";
+
+    // Two faulty TDX nodes + one cGPU spill target; the autoscaler
+    // may add more TDX nodes when the bursty trace piles up backlog.
+    fleet::FleetConfig cfg;
+    cfg.seed = 42;
+    cfg.policy = fleet::RouterPolicy::CostAware;
+    cfg.ttftSlo = 2.0;
+    cfg.initialNodes = {0, 0, 1};
+    cfg.autoscaler.enabled = true;
+    cfg.autoscaler.intervalSec = 10.0;
+    cfg.autoscaler.queueHighPerNode = 4.0;
+    cfg.autoscaler.queueLowPerNode = 0.5;
+    cfg.autoscaler.drainAfterTicks = 3;
+    cfg.autoscaler.minNodes = 3;
+    cfg.autoscaler.maxNodes = 6;
+    cfg.autoscaler.addTemplate = 0;
+    cfg.autoscaler.cooldownSec = 20.0;
+
+    obs::Tracer tracer(obs::TraceMode::Sim);
+    cfg.tracer = &tracer;
+
+    serve::WorkloadConfig load;
+    load.process = serve::ArrivalProcess::BurstyOnOff;
+    load.arrivalRate = 3.0;
+    load.numRequests = 400;
+    load.meanInLen = 512;
+    load.meanOutLen = 128;
+    load.seed = 99;
+
+    fleet::FleetSimulator sim(cfg,
+                              {faultyTdxNode(), fleet::cgpuH100Node()});
+    const fleet::FleetMetrics m =
+        sim.run(serve::generateWorkload(load));
+
+    // What landed in the trace, by kind.
+    std::size_t spans = 0, instants = 0, faults = 0, scales = 0,
+                routes = 0, counters = 0, lifecycle = 0;
+    for (const obs::SimEvent &e : tracer.simEvents()) {
+        switch (e.ph) {
+          case obs::SimEvent::Ph::Complete:
+            ++spans;
+            break;
+          case obs::SimEvent::Ph::Instant:
+            ++instants;
+            if (e.name.rfind("fault:", 0) == 0)
+                ++faults;
+            else if (e.name == "scale_up" || e.name == "drain")
+                ++scales;
+            else if (e.name == "route")
+                ++routes;
+            break;
+          case obs::SimEvent::Ph::Counter:
+            ++counters;
+            break;
+          default: // async request-lifecycle tracks
+            ++lifecycle;
+            break;
+        }
+    }
+
+    Table t({"what", "count"});
+    t.addRow({"sim events", fmtInt(tracer.simEvents().size())});
+    t.addRow({"spans (prefill/decode/provision)", fmtInt(spans)});
+    t.addRow({"request lifecycle marks", fmtInt(lifecycle)});
+    t.addRow({"fault instants", fmtInt(faults)});
+    t.addRow({"routing instants", fmtInt(routes)});
+    t.addRow({"autoscale events", fmtInt(scales)});
+    t.addRow({"counter samples", fmtInt(counters)});
+    t.addRow({"other instants",
+              fmtInt(instants - faults - scales - routes)});
+    t.print(std::cout);
+
+    std::cout << "\nfleet: " << fmtInt(m.completed) << "/"
+              << fmtInt(m.submitted) << " completed, peak "
+              << fmtInt(m.peakNodes) << " nodes, "
+              << fmtInt(m.scaleUps) << " scale-ups, "
+              << fmtInt(m.restarts) << " restarts, availability "
+              << fmtPct(100.0 * m.availability) << "\n";
+
+    const std::string out = obs::traceOutputPath(
+        argc > 1 ? argv[1] : "", "trace_explorer.trace.json");
+    obs::writeChromeTraceFile(out, tracer,
+                              &obs::Registry::global());
+    std::cout << "\nwrote " << out
+              << " — open in chrome://tracing or "
+                 "https://ui.perfetto.dev\n";
+    return 0;
+}

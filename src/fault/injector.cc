@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
 #include "util/json.hh"
 
 namespace cllm::fault {
@@ -24,10 +25,29 @@ FaultInjector::FaultInjector(const FaultSchedule &schedule)
 }
 
 void
+FaultInjector::setTrace(obs::Tracer *tracer, std::uint32_t lane)
+{
+    tracer_ = tracer;
+    traceLane_ = lane;
+}
+
+void
 FaultInjector::touch(FaultRecord &r, double t, unsigned impact)
 {
-    if (r.applied < 0.0)
+    if (r.applied < 0.0) {
         r.applied = t;
+        if (tracer_ && tracer_->simEnabled()) {
+            tracer_->instant(
+                traceLane_,
+                std::string("fault:") +
+                    faultKindName(r.event.kind),
+                t,
+                {{"scheduled", r.event.time},
+                 {"duration", r.event.duration},
+                 {"magnitude", r.event.magnitude}},
+                {{"cause", faultKindName(r.event.kind)}});
+        }
+    }
     r.affected += impact;
 }
 
@@ -143,14 +163,14 @@ writeTimeline(JsonWriter &json,
     json.beginArray();
     for (const FaultRecord &r : timeline) {
         json.beginObject();
-        json.key("kind").value(faultKindName(r.event.kind));
-        json.key("time").value(r.event.time);
-        json.key("duration").value(r.event.duration);
-        json.key("magnitude").value(r.event.magnitude);
-        json.key("fired").value(r.applied >= 0.0);
+        json.field("kind", faultKindName(r.event.kind));
+        json.field("time", r.event.time);
+        json.field("duration", r.event.duration);
+        json.field("magnitude", r.event.magnitude);
+        json.field("fired", r.applied >= 0.0);
         if (r.applied >= 0.0)
-            json.key("applied").value(r.applied);
-        json.key("affected").value(r.affected);
+            json.field("applied", r.applied);
+        json.field("affected", r.affected);
         json.endObject();
     }
     json.endArray();

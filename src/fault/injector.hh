@@ -23,6 +23,10 @@ namespace cllm {
 class JsonWriter;
 }
 
+namespace cllm::obs {
+class Tracer;
+}
+
 namespace cllm::fault {
 
 /** One schedule entry annotated with its observed impact. */
@@ -48,6 +52,14 @@ class FaultInjector
 
     /** Whether any events are scheduled at all. */
     bool enabled() const { return !records_.empty(); }
+
+    /**
+     * Attach a tracer: the first time each scheduled event actually
+     * impacts the run, an instant event with the fault kind and
+     * magnitude lands on `lane` at the impact clock. Tracing never
+     * feeds back into any query result. Null detaches.
+     */
+    void setTrace(obs::Tracer *tracer, std::uint32_t lane);
 
     /**
      * Step-time multiplier at clock `t`: the product of every active
@@ -100,6 +112,8 @@ class FaultInjector
 
     std::vector<FaultRecord> records_;
     std::size_t nextRestart_ = 0;
+    obs::Tracer *tracer_ = nullptr;
+    std::uint32_t traceLane_ = 0;
 };
 
 /**

@@ -8,47 +8,39 @@ void
 writeFleetMetrics(JsonWriter &json, const FleetMetrics &m)
 {
     json.beginObject();
-    json.key("submitted").value(
-        static_cast<std::int64_t>(m.submitted));
-    json.key("completed").value(
-        static_cast<std::int64_t>(m.completed));
-    json.key("availability").value(m.availability);
-    json.key("makespan_s").value(m.makespan);
-    json.key("output_tokens").value(
-        static_cast<std::int64_t>(m.outputTokens));
-    json.key("tokens_per_s").value(m.tokensPerSecond);
-    json.key("ttft_p50_s").value(m.ttft.p50);
-    json.key("ttft_p99_s").value(m.ttft.p99);
-    json.key("tpot_p50_s").value(m.tpot.p50);
-    json.key("tpot_p99_s").value(m.tpot.p99);
-    json.key("slo_attainment").value(m.sloAttainment);
-    json.key("kv_utilization_peak").value(m.kvUtilizationPeak);
-    json.key("mean_batch_occupancy").value(m.meanBatchOccupancy);
-    json.key("total_cost_usd").value(m.totalCostUsd);
-    json.key("cost_per_1k_tokens_usd").value(m.costPer1kTokens);
-    json.key("peak_nodes").value(
-        static_cast<std::int64_t>(m.peakNodes));
-    json.key("mean_live_nodes").value(m.meanLiveNodes);
-    json.key("scale_ups").value(
-        static_cast<std::int64_t>(m.scaleUps));
-    json.key("drains").value(static_cast<std::int64_t>(m.drains));
-    json.key("backlogged").value(
-        static_cast<std::int64_t>(m.backlogged));
-    json.key("retries").value(static_cast<std::int64_t>(m.retries));
-    json.key("shed").value(static_cast<std::int64_t>(m.shed));
-    json.key("timed_out").value(
-        static_cast<std::int64_t>(m.timedOut));
-    json.key("failed").value(static_cast<std::int64_t>(m.failed));
-    json.key("restarts").value(
-        static_cast<std::int64_t>(m.restarts));
-    json.key("fault_downtime_s").value(m.faultDowntime);
+    json.field("submitted", m.submitted);
+    json.field("completed", m.completed);
+    json.field("availability", m.availability);
+    json.field("makespan_s", m.makespan);
+    json.field("output_tokens", m.outputTokens);
+    json.field("tokens_per_s", m.tokensPerSecond);
+    json.field("ttft_p50_s", m.ttft.p50);
+    json.field("ttft_p99_s", m.ttft.p99);
+    json.field("tpot_p50_s", m.tpot.p50);
+    json.field("tpot_p99_s", m.tpot.p99);
+    json.field("slo_attainment", m.sloAttainment);
+    json.field("kv_utilization_peak", m.kvUtilizationPeak);
+    json.field("mean_batch_occupancy", m.meanBatchOccupancy);
+    json.field("total_cost_usd", m.totalCostUsd);
+    json.field("cost_per_1k_tokens_usd", m.costPer1kTokens);
+    json.field("peak_nodes", m.peakNodes);
+    json.field("mean_live_nodes", m.meanLiveNodes);
+    json.field("scale_ups", m.scaleUps);
+    json.field("drains", m.drains);
+    json.field("backlogged", m.backlogged);
+    json.field("retries", m.retries);
+    json.field("shed", m.shed);
+    json.field("timed_out", m.timedOut);
+    json.field("failed", m.failed);
+    json.field("restarts", m.restarts);
+    json.field("fault_downtime_s", m.faultDowntime);
 
     json.key("node_timeline");
     json.beginArray();
     for (const auto &[t, count] : m.nodeTimeline) {
         json.beginObject();
-        json.key("t_s").value(t);
-        json.key("live_nodes").value(count);
+        json.field("t_s", t);
+        json.field("live_nodes", count);
         json.endObject();
     }
     json.endArray();
@@ -57,15 +49,14 @@ writeFleetMetrics(JsonWriter &json, const FleetMetrics &m)
     json.beginArray();
     for (const NodeSummary &n : m.nodes) {
         json.beginObject();
-        json.key("id").value(n.id);
-        json.key("name").value(n.name);
-        json.key("template").value(
-            static_cast<std::int64_t>(n.templateIndex));
-        json.key("provision_start_s").value(n.provisionStart);
-        json.key("available_at_s").value(n.availableAt);
-        json.key("billed_until_s").value(n.billedUntil);
-        json.key("billed_seconds").value(n.billedSeconds);
-        json.key("cost_usd").value(n.costUsd);
+        json.field("id", n.id);
+        json.field("name", n.name);
+        json.field("template", n.templateIndex);
+        json.field("provision_start_s", n.provisionStart);
+        json.field("available_at_s", n.availableAt);
+        json.field("billed_until_s", n.billedUntil);
+        json.field("billed_seconds", n.billedSeconds);
+        json.field("cost_usd", n.costUsd);
         json.key("serve");
         serve::writeMetrics(json, n.serve);
         json.endObject();

@@ -28,7 +28,8 @@ nodeFaultSchedule(const fault::FaultScheduleConfig &cfg,
 
 Node::Node(unsigned id, std::size_t template_index,
            const NodeTemplate &tmpl, std::uint64_t fleet_seed,
-           double provision_start, double available_at)
+           double provision_start, double available_at,
+           obs::Tracer *tracer)
     : id_(id), tmplIndex_(template_index), name_(tmpl.name),
       pricePerHour_(tmpl.pricePerHour),
       provisionStart_(provision_start), availableAt_(available_at)
@@ -42,6 +43,8 @@ Node::Node(unsigned id, std::size_t template_index,
     cfg_.policy = serve::BatchPolicy::Continuous;
     cfg_.faults = nodeFaultSchedule(tmpl.faults, fleet_seed, id,
                                     availableAt_);
+    cfg_.tracer = tracer;
+    cfg_.traceLane = traceLane();
     engine_ = std::make_unique<serve::ContinuousEngine>(*step_, cfg_);
     estPrefill_ = step_->prefill(tmpl.meanInLenHint);
 }

@@ -22,6 +22,10 @@
 #include "fault/schedule.hh"
 #include "serve/engine.hh"
 
+namespace cllm::obs {
+class Tracer;
+}
+
 namespace cllm::fleet {
 
 /**
@@ -66,9 +70,17 @@ fault::FaultSchedule nodeFaultSchedule(
 class Node
 {
   public:
+    /**
+     * `tracer` (may be null) receives this node's engine events on
+     * lane `id + 1`; lane 0 stays reserved for the fleet itself.
+     */
     Node(unsigned id, std::size_t template_index,
          const NodeTemplate &tmpl, std::uint64_t fleet_seed,
-         double provision_start, double available_at);
+         double provision_start, double available_at,
+         obs::Tracer *tracer = nullptr);
+
+    /** The engine trace lane this node emits on. */
+    std::uint32_t traceLane() const { return id_ + 1; }
 
     unsigned id() const { return id_; }
     std::size_t templateIndex() const { return tmplIndex_; }

@@ -1,17 +1,31 @@
 #include "fleet/simulator.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <limits>
 
 #include "cost/pricing.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace cllm::fleet {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** The fleet's own trace lane (nodes use id + 1). */
+constexpr std::uint32_t kFleetLane = 0;
+
+/** The config's tracer when sim recording is live, else null. */
+obs::Tracer *
+simTracer(const FleetConfig &cfg)
+{
+    return cfg.tracer && cfg.tracer->simEnabled() ? cfg.tracer
+                                                  : nullptr;
 }
+} // namespace
 
 FleetSimulator::FleetSimulator(FleetConfig cfg,
                                std::vector<NodeTemplate> templates)
@@ -37,7 +51,15 @@ FleetSimulator::addNode(std::size_t template_index,
     const auto id = static_cast<unsigned>(nodes_.size());
     nodes_.push_back(std::make_unique<Node>(
         id, template_index, templates_[template_index], cfg_.seed,
-        provision_start, available_at));
+        provision_start, available_at, cfg_.tracer));
+    if (obs::Tracer *t = simTracer(cfg_)) {
+        const Node &n = *nodes_.back();
+        t->laneName(n.traceLane(),
+                    n.name() + " #" + std::to_string(id));
+        t->complete(kFleetLane, "provision", provision_start,
+                    available_at,
+                    {{"node", static_cast<double>(id)}});
+    }
 }
 
 FleetMetrics
@@ -53,6 +75,9 @@ FleetSimulator::run(std::vector<serve::Request> trace)
     nodes_.clear();
     scaleUps_ = 0;
     drains_ = 0;
+    obs::Tracer *tr = simTracer(cfg_);
+    if (tr)
+        tr->laneName(kFleetLane, "fleet");
     for (std::size_t idx : cfg_.initialNodes)
         addNode(idx, 0.0, 0.0);
 
@@ -74,11 +99,21 @@ FleetSimulator::run(std::vector<serve::Request> trace)
             return false;
         Node &n = *nodes_[pick];
         n.engine().submit(r, std::max(r->arrival, n.availableAt()));
+        if (tr)
+            tr->instant(kFleetLane, "route", now,
+                        {{"req", static_cast<double>(r->id)},
+                         {"node",
+                          static_cast<double>(n.id())}});
         return true;
     };
     auto flush_backlog = [&](double now) {
+        const std::size_t before = backlog.size();
         while (!backlog.empty() && route_one(backlog.front(), now))
             backlog.pop_front();
+        if (tr && backlog.size() != before)
+            tr->counterValue(
+                kFleetLane, "backlog", now,
+                static_cast<double>(backlog.size()));
     };
 
     for (;;) {
@@ -138,6 +173,14 @@ FleetSimulator::run(std::vector<serve::Request> trace)
             if (!backlog.empty() || !route_one(r, fleet_now)) {
                 backlog.push_back(r);
                 ++backlogged_total;
+                if (tr) {
+                    tr->instant(
+                        kFleetLane, "backlogged", fleet_now,
+                        {{"req", static_cast<double>(r->id)}});
+                    tr->counterValue(
+                        kFleetLane, "backlog", fleet_now,
+                        static_cast<double>(backlog.size()));
+                }
             }
             continue;
         }
@@ -153,10 +196,23 @@ FleetSimulator::run(std::vector<serve::Request> trace)
                     tmpl.provisionDelaySec +
                     tmpl.server.reprovision.seconds(
                         tmpl.server.weightBytes);
+                if (tr)
+                    tr->instant(
+                        kFleetLane, "scale_up", fleet_now,
+                        {{"node", static_cast<double>(
+                                      nodes_.size())},
+                         {"cold_start_s", cold},
+                         {"backlog", static_cast<double>(
+                                         backlog.size())}});
                 addNode(cfg_.autoscaler.addTemplate, fleet_now,
                         fleet_now + cold);
                 ++scaleUps_;
             } else if (d.kind == ScaleDecision::Kind::Drain) {
+                if (tr)
+                    tr->instant(
+                        kFleetLane, "drain", fleet_now,
+                        {{"node",
+                          static_cast<double>(d.node)}});
                 nodes_[d.node]->startDrain(fleet_now);
                 ++drains_;
             }
@@ -283,6 +339,25 @@ FleetSimulator::finalize(const std::vector<serve::Request> &trace,
     }
     weighted += live * (makespan - prev_t);
     m.meanLiveNodes = makespan > 0.0 ? weighted / makespan : 0.0;
+
+    if (obs::Tracer *tr = simTracer(cfg_))
+        for (const auto &[t, count] : m.nodeTimeline)
+            tr->counterValue(kFleetLane, "live_nodes", t,
+                             static_cast<double>(count));
+
+    // Global $/node-second accounting in integer micro-units (the
+    // registry's determinism contract allows only integer adds).
+    static obs::Counter &billed_ms =
+        obs::Registry::global().counter("fleet.billed_node_ms");
+    static obs::Counter &cost_micro_usd =
+        obs::Registry::global().counter("fleet.cost_micro_usd");
+    double billed_total = 0.0;
+    for (const NodeSummary &s : m.nodes)
+        billed_total += s.billedSeconds;
+    billed_ms.add(static_cast<std::uint64_t>(
+        std::llround(billed_total * 1e3)));
+    cost_micro_usd.add(static_cast<std::uint64_t>(
+        std::llround(m.totalCostUsd * 1e6)));
     return m;
 }
 

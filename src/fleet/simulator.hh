@@ -28,6 +28,10 @@
 #include "fleet/node.hh"
 #include "fleet/router.hh"
 
+namespace cllm::obs {
+class Tracer;
+}
+
 namespace cllm::fleet {
 
 /** Fleet-level configuration. */
@@ -46,6 +50,14 @@ struct FleetConfig
     std::vector<std::size_t> initialNodes;
 
     AutoscalerConfig autoscaler{};
+
+    /**
+     * Optional span tracer (null = off). Fleet-level events (routing,
+     * scaling, backlog) land on lane 0; node `i` serves on lane
+     * `i + 1`. Observational only — attaching a tracer cannot change
+     * FleetMetrics.
+     */
+    obs::Tracer *tracer = nullptr;
 };
 
 /** The fleet-of-servers simulator. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace cllm::mem {
@@ -69,6 +70,16 @@ EpcCostModel::extraSecondsPerByte(std::uint64_t working_set_bytes,
                                   std::uint64_t epc_bytes) const
 {
     const double miss = scanMissRatio(working_set_bytes, epc_bytes);
+    if (miss > 0.0) {
+        // Attribute EPC-paging pressure: evaluations that priced a
+        // working set spilling out of the EPC, and the spilled bytes.
+        static obs::Counter &paging_evals =
+            obs::Registry::global().counter("mem.epc.paging_evals");
+        static obs::Counter &spill_bytes =
+            obs::Registry::global().counter("mem.epc.spill_bytes");
+        paging_evals.inc();
+        spill_bytes.add(working_set_bytes - epc_bytes);
+    }
     constexpr double page = 4096.0;
     return miss * (pageFaultUs * 1e-6) / page;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mem/phys_mem.hh"
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace cllm::mem {
@@ -48,6 +49,16 @@ double
 TlbModel::extraSecondsPerByte(PageSize page, TranslationMode mode,
                               const AccessPattern &pattern) const
 {
+    // Attribute translation-stall pricing: total evaluations, and the
+    // share priced on a nested (virtualized / TDX) walk path.
+    static obs::Counter &evals =
+        obs::Registry::global().counter("mem.tlb.stall_evals");
+    static obs::Counter &nested_evals =
+        obs::Registry::global().counter("mem.tlb.nested_evals");
+    evals.inc();
+    if (mode != TranslationMode::Native)
+        nested_evals.inc();
+
     const double walk_s = walkLatencyNs(mode) * 1e-9;
     const double stream_frac = 1.0 - pattern.randomFraction;
     // Streaming: one walk amortized over a page of traffic, mostly

@@ -1,0 +1,167 @@
+#include "obs/chrome_export.hh"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace cllm::obs {
+
+namespace {
+
+constexpr int kSimPid = 1;
+constexpr int kWallPid = 2;
+
+/** Seconds -> Chrome microseconds. */
+double
+usec(double seconds)
+{
+    return seconds * 1e6;
+}
+
+void
+writeArgs(JsonWriter &j, const SimEvent &e)
+{
+    if (e.args.empty() && e.sargs.empty())
+        return;
+    j.key("args").beginObject();
+    for (const auto &[k, v] : e.args)
+        j.field(k, v);
+    for (const auto &[k, v] : e.sargs)
+        j.field(k, v);
+    j.endObject();
+}
+
+void
+writeMetaEvent(JsonWriter &j, int pid, int tid, const char *what,
+               const std::string &name)
+{
+    j.beginObject();
+    j.field("ph", "M");
+    j.field("pid", pid);
+    j.field("tid", tid);
+    j.field("name", what);
+    j.key("args").beginObject().field("name", name).endObject();
+    j.endObject();
+}
+
+void
+writeSimEvent(JsonWriter &j, const SimEvent &e)
+{
+    j.beginObject();
+    switch (e.ph) {
+      case SimEvent::Ph::Complete:
+        j.field("ph", "X");
+        j.field("ts", usec(e.t0));
+        j.field("dur", usec(e.t1 - e.t0));
+        break;
+      case SimEvent::Ph::Instant:
+        j.field("ph", "i");
+        j.field("ts", usec(e.t0));
+        j.field("s", "t");
+        break;
+      case SimEvent::Ph::AsyncBegin:
+      case SimEvent::Ph::AsyncInstant:
+      case SimEvent::Ph::AsyncEnd: {
+        const char *ph = e.ph == SimEvent::Ph::AsyncBegin ? "b"
+                         : e.ph == SimEvent::Ph::AsyncEnd ? "e"
+                                                          : "n";
+        j.field("ph", ph);
+        j.field("ts", usec(e.t0));
+        j.field("cat", e.cat);
+        j.field("id", e.id);
+        break;
+      }
+      case SimEvent::Ph::Counter:
+        j.field("ph", "C");
+        j.field("ts", usec(e.t0));
+        break;
+    }
+    j.field("pid", kSimPid);
+    j.field("tid", static_cast<std::int64_t>(e.lane));
+    j.field("name", e.name);
+    if (e.ph == SimEvent::Ph::Counter) {
+        j.key("args").beginObject();
+        j.field("value", e.value);
+        j.endObject();
+    } else {
+        writeArgs(j, e);
+    }
+    j.endObject();
+}
+
+void
+writeWallEvent(JsonWriter &j, const WallEvent &e)
+{
+    j.beginObject();
+    j.field("ph", "X");
+    j.field("ts", static_cast<double>(e.t0Ns) / 1e3);
+    j.field("dur", static_cast<double>(e.t1Ns - e.t0Ns) / 1e3);
+    j.field("pid", kWallPid);
+    j.field("tid", static_cast<std::int64_t>(e.tid));
+    j.field("name", e.name);
+    j.endObject();
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const Tracer &tracer,
+                 const Registry *metrics)
+{
+    JsonWriter j(os);
+    j.beginObject();
+    j.field("displayTimeUnit", "ms");
+    j.key("traceEvents").beginArray();
+
+    writeMetaEvent(j, kSimPid, 0, "process_name", "sim");
+    for (const auto &[lane, name] : tracer.lanes())
+        writeMetaEvent(j, kSimPid, static_cast<int>(lane),
+                       "thread_name", name);
+
+    for (const SimEvent &e : tracer.simEvents())
+        writeSimEvent(j, e);
+
+    const std::vector<WallEvent> wall = tracer.collectWall();
+    if (!wall.empty()) {
+        writeMetaEvent(j, kWallPid, 0, "process_name", "wall");
+        for (const WallEvent &e : wall)
+            writeWallEvent(j, e);
+    }
+
+    j.endArray();
+    if (metrics) {
+        j.key("metrics");
+        metrics->snapshot(j);
+    }
+    j.endObject();
+    os << "\n";
+}
+
+std::string
+traceOutputPath(const std::string &path, const std::string &fallback)
+{
+    if (!path.empty())
+        return path;
+    if (const char *env = std::getenv("CLLM_TRACE_OUT");
+        env && *env)
+        return env;
+    return fallback;
+}
+
+void
+writeChromeTraceFile(const std::string &path, const Tracer &tracer,
+                     const Registry *metrics,
+                     const std::string &fallback)
+{
+    const std::string out = traceOutputPath(path, fallback);
+    std::ofstream os(out);
+    if (!os.good())
+        cllm_fatal("cannot open trace output '", out, "'");
+    writeChromeTrace(os, tracer, metrics);
+}
+
+} // namespace cllm::obs

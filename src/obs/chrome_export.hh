@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Chrome trace-event JSON export: turns a `Tracer`'s recorded events
+ * into the object-format trace (`{"traceEvents": [...]}`) that
+ * `chrome://tracing` and Perfetto load directly.
+ *
+ * Mapping. Sim-time events render under pid 1 ("sim"), one tid per
+ * lane (node / deployment); wall-clock events render under pid 2
+ * ("wall"), one tid per recording thread. Complete spans become 'X'
+ * events, fault and routing moments become 'i' instants, request
+ * lifecycles become 'b'/'n'/'e' async tracks keyed by request id,
+ * and sampled values become 'C' counter tracks. Timestamps are
+ * microseconds (sim seconds x 1e6; wall ns / 1e3), formatted through
+ * the same `%.10g` path as every other exporter in the tree, so a
+ * sim trace is byte-stable across runs and thread counts.
+ *
+ * An optional metrics `Registry` snapshot rides along under a
+ * top-level `"metrics"` key (ignored by trace viewers, handy for
+ * tooling).
+ */
+
+#ifndef CLLM_OBS_CHROME_EXPORT_HH
+#define CLLM_OBS_CHROME_EXPORT_HH
+
+#include <ostream>
+#include <string>
+
+namespace cllm::obs {
+
+class Tracer;
+class Registry;
+
+/** Write a complete Chrome trace JSON document to `os`. */
+void writeChromeTrace(std::ostream &os, const Tracer &tracer,
+                      const Registry *metrics = nullptr);
+
+/**
+ * Write the trace to a file; fatal if the path cannot be opened.
+ * An empty `path` falls back to CLLM_TRACE_OUT, then to
+ * `fallback`.
+ */
+void writeChromeTraceFile(const std::string &path,
+                          const Tracer &tracer,
+                          const Registry *metrics = nullptr,
+                          const std::string &fallback =
+                              "cllm.trace.json");
+
+/** Resolve the output path the same way writeChromeTraceFile does. */
+std::string traceOutputPath(const std::string &path,
+                            const std::string &fallback);
+
+} // namespace cllm::obs
+
+#endif // CLLM_OBS_CHROME_EXPORT_HH

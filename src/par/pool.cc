@@ -7,6 +7,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace cllm::par {
@@ -16,6 +18,15 @@ namespace {
 /** Set while a thread is executing chunk bodies; nested parallel
  *  calls on such a thread run inline and sequentially. */
 thread_local bool tl_in_task = false;
+
+/** Chunks executed process-wide (all parallel regions). */
+obs::Counter &
+chunkCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("par.chunks");
+    return c;
+}
 
 /** One parallelFor invocation. Heap-allocated and shared so a worker
  *  that wakes late still holds the job it saw, never a newer one. */
@@ -48,7 +59,11 @@ struct Job
                 break;
             const std::size_t b = begin + chunk * grain;
             const std::size_t e = std::min(b + grain, end);
+            chunkCounter().inc();
             try {
+                // Wall-clock chunk span, active only under
+                // CLLM_TRACE=all; one relaxed load otherwise.
+                obs::WallSpan span("par.chunk");
                 body(chunk, b, e);
             } catch (...) {
                 std::lock_guard<std::mutex> lk(errMutex);
@@ -114,7 +129,9 @@ class ThreadPool
                 const std::size_t e = std::min(b + job->grain, job->end);
                 if (outer)
                     tl_in_task = true;
+                chunkCounter().inc();
                 try {
+                    obs::WallSpan span("par.chunk");
                     job->body(c, b, e);
                 } catch (...) {
                     if (outer)

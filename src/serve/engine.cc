@@ -4,14 +4,57 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace cllm::serve {
+
+namespace {
+
+/** Request-lifecycle async category shared by every engine event. */
+constexpr const char *kReqCat = "request";
+
+/** Hot counters shared by every engine in the process. */
+obs::Counter &
+prefillCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("serve.prefills");
+    return c;
+}
+
+obs::Counter &
+decodeStepCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("serve.decode_steps");
+    return c;
+}
+
+obs::Counter &
+tokenCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("serve.output_tokens");
+    return c;
+}
+
+/** The config's tracer when sim recording is live, else null. */
+obs::Tracer *
+simTracer(const ServerConfig &cfg)
+{
+    return cfg.tracer && cfg.tracer->simEnabled() ? cfg.tracer
+                                                  : nullptr;
+}
+
+} // namespace
 
 ContinuousEngine::ContinuousEngine(const StepModel &step,
                                    const ServerConfig &cfg)
     : step_(&step), cfg_(cfg), inj_(cfg_.faults)
 {
+    inj_.setTrace(cfg_.tracer, cfg_.traceLane);
     if (cfg_.maxBatch == 0)
         cllm_fatal("ContinuousEngine: zero batch capacity");
     if (cfg_.policy != BatchPolicy::Continuous)
@@ -34,6 +77,9 @@ ContinuousEngine::submit(Request *r, double ready_at, unsigned attempts)
 {
     pending_.push({r, ready_at, attempts});
     submitted_.push_back(r);
+    if (obs::Tracer *t = simTracer(cfg_); t && attempts == 0)
+        t->asyncBegin(cfg_.traceLane, kReqCat, r->id, "req",
+                      std::max(r->arrival, ready_at));
 }
 
 double
@@ -92,8 +138,15 @@ void
 ContinuousEngine::requeue(Request *r, unsigned attempts)
 {
     const ResiliencePolicy &rp = cfg_.resilience;
+    obs::Tracer *t = simTracer(cfg_);
     if (attempts > rp.maxRetries) {
         ++tally_.failed;
+        if (t) {
+            t->instant(cfg_.traceLane, "retries_exhausted", clock_,
+                       {{"req", static_cast<double>(r->id)}});
+            t->asyncEnd(cfg_.traceLane, kReqCat, r->id, "failed",
+                        clock_);
+        }
         return;
     }
     ++tally_.retries;
@@ -101,6 +154,9 @@ ContinuousEngine::requeue(Request *r, unsigned attempts)
     for (unsigned i = 1; i < attempts; ++i)
         backoff *= rp.backoffMultiplier;
     pending_.push({r, clock_ + backoff, attempts});
+    if (t)
+        t->asyncInstant(cfg_.traceLane, kReqCat, r->id, "retry",
+                        clock_);
 }
 
 void
@@ -110,6 +166,8 @@ ContinuousEngine::iterate(double admit_horizon)
         return;
 
     const ResiliencePolicy &rp = cfg_.resilience;
+    obs::Tracer *tr = simTracer(cfg_);
+    const std::uint32_t lane = cfg_.traceLane;
 
     double kv_factor = 1.0;
     unsigned max_batch = cfg_.maxBatch;
@@ -127,12 +185,20 @@ ContinuousEngine::iterate(double admit_horizon)
             const unsigned crossed = inj_.consumeRestarts(
                 clock_, static_cast<unsigned>(active_.size()));
             if (crossed) {
+                const double t0 = clock_;
                 const double down =
                     crossed *
                     cfg_.reprovision.seconds(cfg_.weightBytes);
                 clock_ += down;
                 tally_.faultDowntime += down;
                 tally_.restarts += crossed;
+                if (tr)
+                    tr->complete(
+                        lane, "reprovision", t0, clock_,
+                        {{"restarts",
+                          static_cast<double>(crossed)},
+                         {"requeued",
+                          static_cast<double>(active_.size())}});
                 for (ActiveSeq &a : active_) {
                     if (pool_)
                         pool_->release(a.req->id);
@@ -171,6 +237,13 @@ ContinuousEngine::iterate(double admit_horizon)
             clock_ - p.req->arrival > rp.requestTimeout) {
             pending_.pop();
             ++tally_.timedOut;
+            if (tr) {
+                tr->instant(
+                    lane, "timeout_queued", clock_,
+                    {{"req", static_cast<double>(p.req->id)}});
+                tr->asyncEnd(lane, kReqCat, p.req->id, "timeout",
+                             clock_);
+            }
             continue;
         }
         // Admission shedding under KV pressure.
@@ -178,6 +251,14 @@ ContinuousEngine::iterate(double admit_horizon)
             pool_->utilization() >= rp.shedThreshold) {
             pending_.pop();
             ++tally_.shed;
+            if (tr) {
+                tr->instant(
+                    lane, "shed_kv_pressure", clock_,
+                    {{"req", static_cast<double>(p.req->id)},
+                     {"kv_util", pool_->utilization()}});
+                tr->asyncEnd(lane, kReqCat, p.req->id, "shed",
+                             clock_);
+            }
             continue;
         }
         // Attestation gate: no verified handshake, no admission; the
@@ -185,6 +266,10 @@ ContinuousEngine::iterate(double admit_horizon)
         if (inj_.enabled() && inj_.attestationFails(clock_)) {
             pending_.pop();
             ++tally_.attestRejections;
+            if (tr)
+                tr->instant(
+                    lane, "attest_reject", clock_,
+                    {{"req", static_cast<double>(p.req->id)}});
             requeue(p.req, p.attempts + 1);
             continue;
         }
@@ -192,8 +277,13 @@ ContinuousEngine::iterate(double admit_horizon)
             break;
         pending_.pop();
         Request *r = p.req;
-        if (pool_)
+        if (pool_) {
             pool_->addSequence(r->id, r->inLen + r->outLen);
+            if (tr)
+                tr->counterValue(lane, "kv_util", clock_,
+                                 pool_->utilization());
+        }
+        const double admit_at = clock_;
         double pf = step_->prefill(r->inLen);
         if (inj_.enabled())
             pf *= inj_.slowdown(clock_);
@@ -201,6 +291,15 @@ ContinuousEngine::iterate(double admit_horizon)
         if (r->firstToken < 0.0)
             r->firstToken = clock_;
         active_.push_back({r, 0, p.attempts});
+        prefillCounter().inc();
+        if (tr) {
+            tr->asyncInstant(lane, kReqCat, r->id, "admit",
+                             admit_at);
+            tr->complete(lane, "prefill", admit_at, clock_,
+                         {{"req", static_cast<double>(r->id)},
+                          {"in_len",
+                           static_cast<double>(r->inLen)}});
+        }
     }
     if (pool_)
         kvPeak_ = std::max(kvPeak_, pool_->utilization());
@@ -212,11 +311,22 @@ ContinuousEngine::iterate(double admit_horizon)
         if (head.readyAt <= clock_ && !canAdmit(*head.req, kv_factor)) {
             if (canAdmit(*head.req, 1.0)) {
                 // Transient KvExhaustion window: wait it out.
+                const double t0 = clock_;
                 clock_ = inj_.nextWindowEnd(clock_);
+                if (tr)
+                    tr->complete(lane, "kv_blocked", t0, clock_);
             } else {
                 // Request larger than the whole pool: drop it.
                 pending_.pop();
                 ++tally_.shed;
+                if (tr) {
+                    tr->instant(
+                        lane, "shed_oversized", clock_,
+                        {{"req",
+                          static_cast<double>(head.req->id)}});
+                    tr->asyncEnd(lane, kReqCat, head.req->id,
+                                 "shed", clock_);
+                }
             }
             return;
         }
@@ -231,6 +341,7 @@ ContinuousEngine::iterate(double admit_horizon)
     for (const ActiveSeq &a : active_)
         avg_pos += a.req->inLen + a.produced;
     avg_pos /= active_.size();
+    const double step_t0 = clock_;
     double step_sec = step_->decodeStep(
         static_cast<double>(active_.size()), avg_pos);
     if (inj_.enabled())
@@ -238,6 +349,13 @@ ContinuousEngine::iterate(double admit_horizon)
     clock_ += step_sec;
     occupancySum_ += static_cast<double>(active_.size());
     ++steps_;
+    decodeStepCounter().inc();
+    tokenCounter().add(active_.size());
+    if (tr)
+        tr->complete(
+            lane, "decode", step_t0, clock_,
+            {{"batch", static_cast<double>(active_.size())},
+             {"avg_pos", avg_pos}});
 
     for (auto it = active_.begin(); it != active_.end();) {
         ++it->produced;
@@ -246,6 +364,9 @@ ContinuousEngine::iterate(double admit_horizon)
             finished_.push_back(it->req);
             if (pool_)
                 pool_->release(it->req->id);
+            if (tr)
+                tr->asyncEnd(lane, kReqCat, it->req->id,
+                             "complete", clock_);
             it = active_.erase(it);
         } else if (rp.requestTimeout > 0.0 &&
                    clock_ - it->req->arrival > rp.requestTimeout) {
@@ -253,11 +374,22 @@ ContinuousEngine::iterate(double admit_horizon)
             ++tally_.timedOut;
             if (pool_)
                 pool_->release(it->req->id);
+            if (tr) {
+                tr->instant(
+                    lane, "timeout_decoding", clock_,
+                    {{"req",
+                      static_cast<double>(it->req->id)}});
+                tr->asyncEnd(lane, kReqCat, it->req->id, "timeout",
+                             clock_);
+            }
             it = active_.erase(it);
         } else {
             ++it;
         }
     }
+    if (tr && pool_)
+        tr->counterValue(lane, "kv_util", clock_,
+                         pool_->utilization());
 }
 
 ServeMetrics

@@ -364,31 +364,25 @@ void
 writeMetrics(JsonWriter &json, const ServeMetrics &m)
 {
     json.beginObject();
-    json.key("completed").value(
-        static_cast<std::int64_t>(m.completed));
-    json.key("submitted").value(
-        static_cast<std::int64_t>(m.submitted));
-    json.key("availability").value(m.availability);
-    json.key("makespan_s").value(m.makespan);
-    json.key("tokens_per_s").value(m.tokensPerSecond);
-    json.key("output_tokens").value(
-        static_cast<std::int64_t>(m.outputTokens));
-    json.key("ttft_p50_s").value(m.ttft.p50);
-    json.key("ttft_p95_s").value(m.ttft.p95);
-    json.key("tpot_p95_s").value(m.tpot.p95);
-    json.key("slo_attainment").value(m.sloAttainment);
-    json.key("mean_batch_occupancy").value(m.meanBatchOccupancy);
-    json.key("kv_utilization_peak").value(m.kvUtilizationPeak);
-    json.key("retries").value(static_cast<std::int64_t>(m.retries));
-    json.key("shed").value(static_cast<std::int64_t>(m.shed));
-    json.key("timed_out").value(
-        static_cast<std::int64_t>(m.timedOut));
-    json.key("failed").value(static_cast<std::int64_t>(m.failed));
-    json.key("restarts").value(
-        static_cast<std::int64_t>(m.restarts));
-    json.key("attest_rejections").value(
-        static_cast<std::int64_t>(m.attestRejections));
-    json.key("fault_downtime_s").value(m.faultDowntime);
+    json.field("completed", m.completed);
+    json.field("submitted", m.submitted);
+    json.field("availability", m.availability);
+    json.field("makespan_s", m.makespan);
+    json.field("tokens_per_s", m.tokensPerSecond);
+    json.field("output_tokens", m.outputTokens);
+    json.field("ttft_p50_s", m.ttft.p50);
+    json.field("ttft_p95_s", m.ttft.p95);
+    json.field("tpot_p95_s", m.tpot.p95);
+    json.field("slo_attainment", m.sloAttainment);
+    json.field("mean_batch_occupancy", m.meanBatchOccupancy);
+    json.field("kv_utilization_peak", m.kvUtilizationPeak);
+    json.field("retries", m.retries);
+    json.field("shed", m.shed);
+    json.field("timed_out", m.timedOut);
+    json.field("failed", m.failed);
+    json.field("restarts", m.restarts);
+    json.field("attest_rejections", m.attestRejections);
+    json.field("fault_downtime_s", m.faultDowntime);
     json.key("fault_timeline");
     fault::writeTimeline(json, m.faultTimeline);
     json.endObject();

@@ -28,6 +28,10 @@
 #include "serve/kv_pool.hh"
 #include "util/stats.hh"
 
+namespace cllm::obs {
+class Tracer;
+}
+
 namespace cllm::serve {
 
 /** One inference request moving through the server. */
@@ -166,6 +170,16 @@ struct ServerConfig
 
     /** Model bytes re-decrypted into secure memory per restart. */
     std::uint64_t weightBytes = 0;
+
+    /**
+     * Optional span tracer for the request lifecycle (null = off).
+     * Purely observational: the engine never reads anything back
+     * from it, so a traced run and an untraced run produce
+     * bit-identical metrics. `traceLane` is the tid the events land
+     * on (a fleet gives every node its own lane).
+     */
+    obs::Tracer *tracer = nullptr;
+    std::uint32_t traceLane = 0;
 };
 
 /**

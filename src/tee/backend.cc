@@ -2,12 +2,27 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 #include "util/units.hh"
 
 namespace cllm::tee {
 
 namespace {
+
+/**
+ * Per-backend attributed-overhead counters: how many tax evaluations
+ * each TEE mechanism priced and how many working-set bytes crossed
+ * its encryption engine. Integer adds only (the registry's
+ * thread-count-determinism contract).
+ */
+void
+countTax(obs::Counter &evals, obs::Counter &enc_bytes,
+         const TeeRequest &req)
+{
+    evals.inc();
+    enc_bytes.add(req.workingSetBytes);
+}
 
 /**
  * Bare-metal environment: no taxes; honours all placement requests.
@@ -113,6 +128,11 @@ class TdxBackend : public TeeBackend
     tax(const hw::CpuSpec &cpu, const TeeRequest &req) const override
     {
         (void)cpu;
+        static obs::Counter &evals =
+            obs::Registry::global().counter("tee.tdx.tax_evals");
+        static obs::Counter &enc_bytes =
+            obs::Registry::global().counter("tee.tdx.enc_bytes");
+        countTax(evals, enc_bytes, req);
         ExecTax t;
         t.computeFactor = 1.0 - cfg_.vm.virtComputeTax;
         // Insight 7: TDX ignores reserved 1 GiB pages and uses 2 MiB
@@ -167,6 +187,11 @@ class SgxBackend : public TeeBackend
     ExecTax
     tax(const hw::CpuSpec &cpu, const TeeRequest &req) const override
     {
+        static obs::Counter &evals =
+            obs::Registry::global().counter("tee.sgx.tax_evals");
+        static obs::Counter &enc_bytes =
+            obs::Registry::global().counter("tee.sgx.enc_bytes");
+        countTax(evals, enc_bytes, req);
         ExecTax t;
         // Enclave heap is backed by EPC sections; model 2 MiB-grained
         // mappings on the native (non-nested) walk path.

@@ -167,6 +167,14 @@ JsonWriter::value(std::int64_t v)
 }
 
 JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
 JsonWriter::value(bool v)
 {
     beforeValue();

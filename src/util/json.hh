@@ -48,10 +48,25 @@ class JsonWriter
     JsonWriter &value(const char *v);
     JsonWriter &value(double v);
     JsonWriter &value(std::int64_t v);
+    JsonWriter &value(std::uint64_t v);
     JsonWriter &value(int v) { return value(std::int64_t{v}); }
     JsonWriter &value(unsigned v) { return value(std::int64_t{v}); }
     JsonWriter &value(bool v);
     JsonWriter &null();
+
+    /**
+     * `key(name).value(v)` in one call — the shape every metrics
+     * exporter in the tree wants. Counter types (std::size_t,
+     * unsigned, ...) hit the integer overloads directly, so call
+     * sites need no width casts.
+     */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &name, const T &v)
+    {
+        key(name);
+        return value(v);
+    }
 
     /** Whether all containers are closed. */
     bool complete() const { return stack_.empty() && wroteRoot_; }

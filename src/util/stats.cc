@@ -59,10 +59,10 @@ OnlineStats::stddev() const
 double
 percentile(std::vector<double> samples, double p)
 {
-    if (samples.empty())
-        cllm_panic("percentile of empty sample set");
     if (p < 0.0 || p > 100.0)
         cllm_panic("percentile p out of range: ", p);
+    if (samples.empty())
+        return 0.0;
     std::sort(samples.begin(), samples.end());
     if (samples.size() == 1)
         return samples[0];

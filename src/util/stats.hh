@@ -57,11 +57,14 @@ class OnlineStats
 
 /**
  * Percentile of a sample set via linear interpolation between closest
- * ranks (the "linear" / type-7 method). p in [0, 100].
+ * ranks (the "linear" / type-7 method). p in [0, 100]; out-of-range p
+ * panics. Edge cases are well-defined: an empty sample set yields 0
+ * (matching OnlineStats and SampleSummary), a single sample is every
+ * percentile of itself, and p = 0 / p = 100 are exactly min / max.
  */
 double percentile(std::vector<double> samples, double p);
 
-/** Median (50th percentile). */
+/** Median (50th percentile); 0 when empty. */
 double median(std::vector<double> samples);
 
 /**

@@ -20,6 +20,9 @@
 #include "fleet/presets.hh"
 #include "fleet/simulator.hh"
 #include "golden_util.hh"
+#include "obs/chrome_export.hh"
+#include "obs/trace.hh"
+#include "par/pool.hh"
 #include "util/json.hh"
 
 using namespace cllm;
@@ -397,4 +400,54 @@ TEST(FleetGolden, SingleNodeNullRouterMatchesGolden)
         flattenFleet(out, "fleet.single", m);
     }
     cllm::testing::checkAgainstGolden("fleet_single_node.json", out);
+}
+
+// Tracing is observational: attaching a tracer to the canonical
+// faulty mixed fleet must leave the full FleetMetrics JSON
+// byte-identical, while the tracer itself captures the request
+// lifecycles and fault instants.
+TEST(FleetTracing, AttachedTracerDoesNotPerturbMetrics)
+{
+    const auto trace = burstyTrace();
+    auto runJson = [&](obs::Tracer *tr) {
+        FleetConfig cfg = mixedFleetConfig();
+        cfg.tracer = tr;
+        FleetSimulator sim(cfg,
+                           {faultyCpuTemplate(), cgpuH100Node()});
+        return fleetJson(sim.run(trace));
+    };
+    obs::Tracer tracer(obs::TraceMode::Sim);
+    const std::string untraced = runJson(nullptr);
+    EXPECT_EQ(untraced, runJson(&tracer));
+    EXPECT_FALSE(tracer.simEvents().empty());
+    bool saw_fault = false, saw_route = false;
+    for (const obs::SimEvent &e : tracer.simEvents()) {
+        saw_fault |= e.name.rfind("fault:", 0) == 0;
+        saw_route |= e.name == "route";
+    }
+    EXPECT_TRUE(saw_fault);
+    EXPECT_TRUE(saw_route);
+}
+
+// The exported sim trace of a fleet run is a pure function of the
+// simulation inputs: identical across repeated runs and across pool
+// thread counts (the determinism contract DESIGN.md pins).
+TEST(FleetTracing, ExportedTraceBitIdentical1v8Threads)
+{
+    const auto trace = burstyTrace();
+    auto exportTrace = [&](unsigned threads) {
+        const unsigned saved = par::threadCount();
+        par::setThreadCount(threads);
+        FleetConfig cfg = mixedFleetConfig();
+        obs::Tracer tracer(obs::TraceMode::Sim);
+        cfg.tracer = &tracer;
+        FleetSimulator sim(cfg,
+                           {faultyCpuTemplate(), cgpuH100Node()});
+        sim.run(trace);
+        par::setThreadCount(saved);
+        std::ostringstream os;
+        obs::writeChromeTrace(os, tracer);
+        return os.str();
+    };
+    EXPECT_EQ(exportTrace(1), exportTrace(8));
 }

@@ -10,10 +10,13 @@
 
 #include <algorithm>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <tuple>
 
+#include "obs/trace.hh"
 #include "serve/serving.hh"
+#include "util/json.hh"
 
 using namespace cllm;
 using namespace cllm::serve;
@@ -578,4 +581,41 @@ TEST(ServerResilienceDeath, BadPolicyFatal)
     shed.resilience.shedOnKvPressure = true;
     shed.resilience.shedThreshold = 1.5;
     EXPECT_DEATH(Server(cpuModel(tee::makeTdx()), shed), "threshold");
+}
+
+// Tracing must be purely observational: attaching a tracer (or not)
+// cannot perturb a single simulated double. Byte-compares the full
+// metrics JSON of traced vs untraced runs over the same trace.
+TEST(ServerTracing, AttachedTracerDoesNotPerturbMetrics)
+{
+    WorkloadConfig w = lightLoad();
+    w.arrivalRate = 4.0; // enough pressure for retries/shed paths
+    const auto trace = generateWorkload(w);
+
+    auto runJson = [&](obs::Tracer *tr) {
+        ServerConfig cfg;
+        cfg.kvBlocks = 256;
+        cfg.kvBlockTokens = 16;
+        cfg.resilience.shedOnKvPressure = true;
+        cfg.resilience.shedThreshold = 0.9;
+        cfg.tracer = tr;
+        Server server(cpuModel(tee::makeTdx()), cfg);
+        const ServeMetrics m = server.run(trace);
+        std::ostringstream os;
+        JsonWriter json(os);
+        writeMetrics(json, m);
+        return os.str();
+    };
+
+    obs::Tracer tracer(obs::TraceMode::Sim);
+    const std::string untraced = runJson(nullptr);
+    const std::string traced = runJson(&tracer);
+    EXPECT_EQ(untraced, traced);
+    EXPECT_FALSE(tracer.simEvents().empty());
+
+    // An attached tracer whose mode is Off records nothing and also
+    // leaves the output untouched.
+    obs::Tracer off(obs::TraceMode::Off);
+    EXPECT_EQ(runJson(&off), untraced);
+    EXPECT_TRUE(off.simEvents().empty());
 }

@@ -97,17 +97,34 @@ TEST(Percentile, Extremes)
 
 TEST(Percentile, SingleSample)
 {
+    // A single sample is every percentile of itself.
     EXPECT_DOUBLE_EQ(percentile({7.0}, 95.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 100.0), 7.0);
 }
 
-TEST(PercentileDeath, EmptyPanics)
+TEST(Percentile, EmptyIsZero)
 {
-    EXPECT_DEATH(percentile({}, 50.0), "empty");
+    // Empty sample sets are well-defined (0), matching OnlineStats
+    // and SampleSummary — obs::Histogram::summary leans on this.
+    EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({}, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({}, 100.0), 0.0);
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Percentile, ExtremesAreExactMinMax)
+{
+    // p0/p100 never interpolate, whatever the sample count.
+    const std::vector<double> v = {4.0, 8.0, 15.0, 16.0, 23.0, 42.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 42.0);
 }
 
 TEST(PercentileDeath, OutOfRangePanics)
 {
     EXPECT_DEATH(percentile({1.0}, 101.0), "out of range");
+    EXPECT_DEATH(percentile({}, -1.0), "out of range");
 }
 
 TEST(ZScoreFilter, RemovesClearOutlier)
