@@ -150,6 +150,35 @@ latencyParams(const hw::CpuSpec &cpu, unsigned sockets = 1)
     return p;
 }
 
+/**
+ * Switch a server config to the paged-KV discipline, pricing swap
+ * traffic with the model's real per-token KV footprint. The preempt
+ * policy stays whatever the caller set (recompute by default).
+ */
+inline void
+applyPagedKv(serve::ServerConfig &cfg, const llm::ModelConfig &model,
+             hw::Dtype dtype = hw::Dtype::Bf16)
+{
+    cfg.kvMode = serve::KvMode::Paged;
+    cfg.paged.kvBytesPerToken = model.kvBytesPerToken(dtype);
+}
+
+/**
+ * Consume `--kv <reserved|paged>` at argv[i]; false otherwise. The
+ * flag is strictly additive: without it the binaries run reserved and
+ * their stdout stays byte-identical.
+ */
+inline bool
+parseKvArg(serve::KvMode &mode, int argc, char **argv, int &i)
+{
+    if (std::strcmp(argv[i], "--kv") != 0)
+        return false;
+    if (i + 1 >= argc)
+        cllm_fatal("--kv needs a mode (reserved|paged)");
+    mode = serve::parseKvMode(argv[++i]);
+    return true;
+}
+
 /** Shared-ownership wrapper around a freshly built TEE backend. */
 inline std::shared_ptr<const tee::TeeBackend>
 sharedBackend(std::unique_ptr<tee::TeeBackend> p)

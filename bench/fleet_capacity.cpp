@@ -37,8 +37,14 @@ namespace {
 void
 usage(std::ostream &os)
 {
-    os << "usage: fleet_capacity [--trace [path]] "
-          "[--metrics-out path]\n\n"
+    os << "usage: fleet_capacity [--kv reserved|paged] "
+          "[--trace [path]] [--metrics-out path]\n\n"
+          "  --kv mode           KV discipline on every node: "
+          "'reserved' (default,\n"
+          "                      whole-request block reservation) or "
+          "'paged'\n"
+          "                      (headroom admission with recompute "
+          "preemption)\n"
        << bench::obsUsage();
 }
 
@@ -88,10 +94,16 @@ sizeFleet(fleet::FleetConfig cfg,
 }
 
 void
-sweep(double ttft_slo, const std::vector<double> &rates)
+sweep(double ttft_slo, const std::vector<double> &rates,
+      serve::KvMode kv_mode)
 {
-    const fleet::NodeTemplate cpu = fleet::cpuTdxNode();
-    const fleet::NodeTemplate gpu = fleet::cgpuH100Node();
+    fleet::NodeTemplate cpu = fleet::cpuTdxNode();
+    fleet::NodeTemplate gpu = fleet::cgpuH100Node();
+    if (kv_mode == serve::KvMode::Paged) {
+        const llm::ModelConfig model = llm::llama2_7b();
+        bench::applyPagedKv(cpu.server, model);
+        bench::applyPagedKv(gpu.server, model);
+    }
 
     serve::WorkloadConfig base = bench::serveSeedWorkload();
     const double cpu_rate = nodeReqRate(cpu, base);
@@ -210,12 +222,15 @@ int
 main(int argc, char **argv)
 {
     bench::ObsOptions opt;
+    serve::KvMode kv_mode = serve::KvMode::Reserved;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--help") == 0 ||
             std::strcmp(argv[i], "-h") == 0) {
             usage(std::cout);
             return 0;
         }
+        if (bench::parseKvArg(kv_mode, argc, argv, i))
+            continue;
         if (bench::parseObsArg(opt, argc, argv, i))
             continue;
         std::cerr << "fleet_capacity: unknown argument '" << argv[i]
@@ -228,14 +243,17 @@ main(int argc, char **argv)
         "Fleet capacity", "cost crossover as fleet composition",
         "CPU TEEs cheapest at low utilisation; GPU-CC amortises at "
         "high rates (Figs. 12-13 at fleet scale)");
+    if (kv_mode == serve::KvMode::Paged)
+        std::cout << "KV discipline: paged (headroom admission, "
+                     "recompute preemption)\n\n";
 
     const std::vector<double> rates = {0.25, 0.5, 1.0, 2.0,
                                        4.0, 8.0};
     std::cout << "--- paper SLO: TTFT 2 s ---\n";
-    sweep(2.0, rates);
+    sweep(2.0, rates, kv_mode);
     std::cout << "--- tightened SLO: TTFT 0.5 s (crossover moves "
                  "toward the GPU) ---\n";
-    sweep(0.5, rates);
+    sweep(0.5, rates, kv_mode);
 
     if (opt.trace)
         traceRepresentativeRun(opt);

@@ -39,13 +39,17 @@ namespace {
 void
 usage(std::ostream &os)
 {
-    os << "usage: serve_slo [--faults [seed]] [--trace [path]] "
-          "[--metrics-out path]\n\n"
+    os << "usage: serve_slo [--faults [seed]] [--kv-sweep] "
+          "[--trace [path]] [--metrics-out path]\n\n"
           "  --faults [seed]     run the resilience experiment "
           "(seeded fault schedule\n"
           "                      against a TDX deployment) instead of "
           "the SLO sweep;\n"
           "                      seed defaults to 1\n"
+          "  --kv-sweep          run the paged-vs-reserved KV "
+          "discipline sweep (fixed\n"
+          "                      pool sizes; recompute and "
+          "swap-to-EPC preemption)\n"
        << bench::obsUsage();
 }
 
@@ -144,6 +148,84 @@ runFaultMode(std::uint64_t fault_seed, const bench::ObsOptions &opt)
 }
 
 int
+runKvSweepMode(const bench::ObsOptions &opt)
+{
+    std::cout << "=== Paged vs reserved KV: batch density at fixed "
+                 "enclave memory ===\n";
+    std::cout << "TDX deployment, Llama2-7B bf16; reserved pins "
+                 "inLen+outLen blocks at admission,\n"
+                 "paged admits by free-block headroom and preempts "
+                 "(recompute or swap to EPC)\n\n";
+
+    const hw::CpuSpec cpu = hw::emr2();
+    const llm::ModelConfig model = llm::llama2_7b();
+    const llm::RunParams deploy = serveDeployParams(cpu);
+    const WorkloadConfig load = serveSeedWorkload();
+
+    struct Variant
+    {
+        const char *name;
+        KvMode mode;
+        KvPreemptPolicy preempt;
+    };
+    const Variant variants[] = {
+        {"reserved", KvMode::Reserved, KvPreemptPolicy::Recompute},
+        {"paged/recompute", KvMode::Paged,
+         KvPreemptPolicy::Recompute},
+        {"paged/swap-epc", KvMode::Paged, KvPreemptPolicy::SwapToEpc},
+    };
+
+    obs::Tracer tracer(opt.trace ? obs::TraceMode::Sim
+                                 : obs::TraceMode::Off);
+    std::uint32_t lane = 0;
+
+    for (std::uint64_t blocks : {768ULL, 1280ULL, 2560ULL}) {
+        std::cout << "--- KV pool: " << blocks << " blocks x 16 "
+                  << "tokens ---\n";
+        Table t({"discipline", "completed", "tok/s", "TTFT p95 [s]",
+                 "peak batch", "KV mean", "KV peak", "preempts",
+                 "swap [s]"});
+        for (const Variant &v : variants) {
+            ServerConfig cfg;
+            cfg.policy = BatchPolicy::Continuous;
+            cfg.kvBlocks = blocks;
+            cfg.kvBlockTokens = 16;
+            cfg.kvMode = v.mode;
+            cfg.paged.preempt = v.preempt;
+            cfg.paged.kvBytesPerToken =
+                model.kvBytesPerToken(hw::Dtype::Bf16);
+            if (opt.trace) {
+                cfg.tracer = &tracer;
+                cfg.traceLane = lane;
+                tracer.laneName(lane,
+                                std::to_string(blocks) + " blk / " +
+                                    v.name);
+            }
+            ++lane;
+            Server server(
+                makeCpuStepModel(cpu, sharedBackend(tee::makeTdx()),
+                                 model, deploy),
+                cfg);
+            const ServeMetrics m = server.run(generateWorkload(load));
+            t.addRow({v.name, fmtInt(m.completed),
+                      fmt(m.tokensPerSecond), fmt(m.ttft.p95, 2),
+                      fmtInt(static_cast<std::size_t>(
+                          m.peakBatchOccupancy)),
+                      fmtPct(100.0 * m.kvUtilizationMean),
+                      fmtPct(100.0 * m.kvUtilizationPeak),
+                      fmtInt(m.kvPreemptions),
+                      fmt(m.kvSwapSeconds, 2)});
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+    if (opt.trace)
+        finishTrace(tracer, opt);
+    bench::writeMetricsSnapshot(opt.metricsOut);
+    return 0;
+}
+
+int
 runSloMode(const bench::ObsOptions &opt)
 {
     std::cout << "=== Serving extension: SLO attainment under TEEs "
@@ -233,6 +315,7 @@ main(int argc, char **argv)
 {
     bench::ObsOptions opt;
     bool fault_mode = false;
+    bool kv_sweep = false;
     std::uint64_t fault_seed = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--help") == 0 ||
@@ -246,6 +329,10 @@ main(int argc, char **argv)
                 fault_seed = std::strtoull(argv[++i], nullptr, 10);
             continue;
         }
+        if (std::strcmp(argv[i], "--kv-sweep") == 0) {
+            kv_sweep = true;
+            continue;
+        }
         if (bench::parseObsArg(opt, argc, argv, i))
             continue;
         std::cerr << "serve_slo: unknown argument '" << argv[i]
@@ -253,6 +340,9 @@ main(int argc, char **argv)
         usage(std::cerr);
         return 2;
     }
-    return fault_mode ? runFaultMode(fault_seed, opt)
-                      : runSloMode(opt);
+    if (fault_mode)
+        return runFaultMode(fault_seed, opt);
+    if (kv_sweep)
+        return runKvSweepMode(opt);
+    return runSloMode(opt);
 }

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Paged-KV walkthrough: how the KV allocation discipline changes what
+ * a fixed amount of enclave memory buys. The same generation-heavy
+ * Poisson trace replays against one TDX serving instance three times
+ * — reserved (whole-request block reservation at admission), paged
+ * with recompute preemption, and paged with swap-to-EPC preemption —
+ * and prints the batch-density and latency comparison plus the paged
+ * engine's preemption accounting.
+ *
+ * The interesting regime is outLen >> inLen: reserved pins the whole
+ * future generation's blocks before the first token, while paged
+ * admission needs only the prompt's blocks and grows one token at a
+ * time, evicting the youngest sequence (recompute or EPC swap) when
+ * the pool runs dry.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "serve/serving.hh"
+#include "util/table.hh"
+
+using namespace cllm;
+using namespace cllm::serve;
+
+namespace {
+
+std::shared_ptr<const tee::TeeBackend>
+shared(std::unique_ptr<tee::TeeBackend> p)
+{
+    return std::shared_ptr<const tee::TeeBackend>(std::move(p));
+}
+
+} // namespace
+
+int
+main()
+{
+    const hw::CpuSpec cpu = hw::emr2();
+    const llm::ModelConfig model = llm::llama2_7b();
+    llm::RunParams deploy;
+    deploy.inLen = 128;
+    deploy.outLen = 512;
+    deploy.batch = 32;
+    deploy.sockets = 1;
+    deploy.cores = cpu.coresPerSocket;
+
+    // Generation-heavy chat shape: short prompts, long answers.
+    WorkloadConfig load;
+    load.arrivalRate = 0.6;
+    load.numRequests = 120;
+    load.meanInLen = 128;
+    load.meanOutLen = 384;
+    load.seed = 33;
+
+    std::cout << "Paged vs reserved KV on a TDX instance "
+                 "(Llama2-7B bf16)\n";
+    std::cout << "pool: 1024 blocks x 16 tokens; short prompts, "
+                 "long generations\n\n";
+
+    struct Run
+    {
+        const char *name;
+        KvMode mode;
+        KvPreemptPolicy preempt;
+    };
+    const Run runs[] = {
+        {"reserved", KvMode::Reserved, KvPreemptPolicy::Recompute},
+        {"paged/recompute", KvMode::Paged,
+         KvPreemptPolicy::Recompute},
+        {"paged/swap-epc", KvMode::Paged, KvPreemptPolicy::SwapToEpc},
+    };
+
+    Table t({"discipline", "completed", "tok/s", "TTFT p95 [s]",
+             "peak batch", "KV mean", "preempts", "swap-outs",
+             "swap [s]"});
+    for (const Run &r : runs) {
+        ServerConfig cfg;
+        cfg.policy = BatchPolicy::Continuous;
+        cfg.kvBlocks = 1024;
+        cfg.kvBlockTokens = 16;
+        cfg.kvMode = r.mode;
+        cfg.paged.preempt = r.preempt;
+        cfg.paged.kvBytesPerToken =
+            model.kvBytesPerToken(hw::Dtype::Bf16);
+        // Keep one block of headroom so a fresh admission does not
+        // instantly evict the sequence it just displaced into.
+        cfg.paged.minFreeBlocks = 8;
+
+        Server server(
+            makeCpuStepModel(cpu, shared(tee::makeTdx()), model,
+                             deploy),
+            cfg);
+        const ServeMetrics m = server.run(generateWorkload(load));
+        t.addRow({r.name, fmtInt(m.completed),
+                  fmt(m.tokensPerSecond), fmt(m.ttft.p95, 2),
+                  fmtInt(static_cast<std::size_t>(
+                      m.peakBatchOccupancy)),
+                  fmtPct(100.0 * m.kvUtilizationMean),
+                  fmtInt(m.kvPreemptions), fmtInt(m.kvSwapOuts),
+                  fmt(m.kvSwapSeconds, 2)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nReserved admission needs blocks for "
+                 "inLen+outLen up front; paged needs only the "
+                 "prompt,\nso the same pool runs a denser batch "
+                 "until eviction pressure appears.\n";
+    return 0;
+}

@@ -1,5 +1,7 @@
 #include "fleet/autoscaler.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace cllm::fleet {
@@ -14,6 +16,8 @@ Autoscaler::Autoscaler(AutoscalerConfig cfg) : cfg_(cfg)
         cllm_fatal("Autoscaler: bad node bounds");
     if (cfg_.queueLowPerNode >= cfg_.queueHighPerNode)
         cllm_fatal("Autoscaler: low watermark above high");
+    if (cfg_.kvHighUtil < 0.0 || cfg_.kvHighUtil > 1.0)
+        cllm_fatal("Autoscaler: KV watermark outside [0, 1]");
 }
 
 ScaleDecision
@@ -25,19 +29,24 @@ Autoscaler::tick(const std::vector<std::unique_ptr<Node>> &nodes,
     // trigger an add per tick while the first replacement cold-starts.
     std::size_t live = 0;
     std::size_t outstanding = backlog;
+    double kv_util_max = 0.0;
     for (const auto &n : nodes) {
         if (n->decommissioned() || n->draining())
             continue;
         ++live;
         outstanding += n->engine().outstanding();
+        kv_util_max =
+            std::max(kv_util_max, n->engine().kvUtilization());
     }
     if (live == 0)
         return {};
     const double per_node = static_cast<double>(outstanding) /
                             static_cast<double>(live);
     const bool cooled = now - lastActionAt_ >= cfg_.cooldownSec;
+    const bool kv_pressure =
+        cfg_.kvHighUtil > 0.0 && kv_util_max >= cfg_.kvHighUtil;
 
-    if (per_node >= cfg_.queueHighPerNode) {
+    if (per_node >= cfg_.queueHighPerNode || kv_pressure) {
         lowTicks_ = 0;
         if (live < cfg_.maxNodes && cooled) {
             lastActionAt_ = now;

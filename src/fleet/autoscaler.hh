@@ -28,6 +28,13 @@ struct AutoscalerConfig
 
     /** Scale up when mean outstanding per live node reaches this. */
     double queueHighPerNode = 6.0;
+    /**
+     * Scale up when any live node's KV pool occupancy reaches this
+     * fraction (0 = signal off). Meaningful for paged-KV nodes, where
+     * pool pressure shows up as preemptions well before queue depth
+     * moves.
+     */
+    double kvHighUtil = 0.0;
     /** Candidate for draining when mean outstanding falls below. */
     double queueLowPerNode = 0.5;
     /** Consecutive low ticks required before a drain. */

@@ -21,6 +21,11 @@ writeFleetMetrics(JsonWriter &json, const FleetMetrics &m)
     json.field("slo_attainment", m.sloAttainment);
     json.field("kv_utilization_peak", m.kvUtilizationPeak);
     json.field("mean_batch_occupancy", m.meanBatchOccupancy);
+    json.field("peak_batch_occupancy", m.peakBatchOccupancy);
+    json.field("kv_preemptions", m.kvPreemptions);
+    json.field("kv_swap_outs", m.kvSwapOuts);
+    json.field("kv_swap_ins", m.kvSwapIns);
+    json.field("kv_swap_s", m.kvSwapSeconds);
     json.field("total_cost_usd", m.totalCostUsd);
     json.field("cost_per_1k_tokens_usd", m.costPer1kTokens);
     json.field("peak_nodes", m.peakNodes);

@@ -47,6 +47,13 @@ struct FleetMetrics
     double sloAttainment = 0.0;
     double kvUtilizationPeak = 0.0;   //!< max across nodes
     double meanBatchOccupancy = 0.0;  //!< fleet-wide per decode step
+    double peakBatchOccupancy = 0.0;  //!< max across nodes
+
+    // Paged-KV scheduling (sums over nodes; zero in reserved mode).
+    std::size_t kvPreemptions = 0;
+    std::size_t kvSwapOuts = 0;
+    std::size_t kvSwapIns = 0;
+    double kvSwapSeconds = 0.0;
 
     // Fleet economics.
     double totalCostUsd = 0.0;

@@ -91,6 +91,9 @@ Node::metrics() const
         engine_->occupancySum(), engine_->steps(), engine_->tally(),
         cfg_.ttftSlo, cfg_.tpotSlo);
     m.kvUtilizationPeak = engine_->kvPeak();
+    m.kvUtilizationMean = engine_->kvUtilizationMean();
+    m.peakBatchOccupancy =
+        static_cast<double>(engine_->peakBatch());
     m.faultTimeline = engine_->timeline();
     return m;
 }

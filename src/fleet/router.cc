@@ -75,14 +75,24 @@ Router::route(const std::vector<std::unique_ptr<Node>> &nodes,
         return leastOutstanding(nodes, routable);
 
       case RouterPolicy::KvHeadroom: {
-        // Most free KV blocks first; headroom ties (e.g. two empty
-        // nodes, or unbounded pools) fall back to load, then id.
+        // Most free KV fraction first; fraction ties break on
+        // absolute free blocks (heterogeneous pool sizes hide behind
+        // equal fractions), then load, then id.
         int best = routable.front();
         for (int i : routable) {
             const double hi = nodes[i]->engine().kvHeadroom();
             const double hb = nodes[best]->engine().kvHeadroom();
-            if (hi > hb ||
-                (hi == hb && nodes[i]->engine().outstanding() <
+            if (hi != hb) {
+                if (hi > hb)
+                    best = i;
+                continue;
+            }
+            const std::uint64_t fi =
+                nodes[i]->engine().kvFreeBlocks();
+            const std::uint64_t fb =
+                nodes[best]->engine().kvFreeBlocks();
+            if (fi > fb ||
+                (fi == fb && nodes[i]->engine().outstanding() <
                                  nodes[best]->engine().outstanding()))
                 best = i;
         }

@@ -240,6 +240,7 @@ FleetSimulator::finalize(const std::vector<serve::Request> &trace,
     double occupancy_sum = 0.0;
     std::size_t steps = 0;
     double kv_peak = 0.0;
+    std::size_t peak_batch = 0;
     for (const auto &n : nodes_) {
         const serve::ContinuousEngine &e = n->engine();
         makespan = std::max(makespan, e.clock());
@@ -251,9 +252,14 @@ FleetSimulator::finalize(const std::vector<serve::Request> &trace,
         tally.restarts += t.restarts;
         tally.attestRejections += t.attestRejections;
         tally.faultDowntime += t.faultDowntime;
+        tally.kvPreemptions += t.kvPreemptions;
+        tally.kvSwapOuts += t.kvSwapOuts;
+        tally.kvSwapIns += t.kvSwapIns;
+        tally.kvSwapSeconds += t.kvSwapSeconds;
         occupancy_sum += e.occupancySum();
         steps += e.steps();
         kv_peak = std::max(kv_peak, e.kvPeak());
+        peak_batch = std::max(peak_batch, e.peakBatch());
     }
 
     std::vector<const serve::Request *> reqs;
@@ -276,6 +282,11 @@ FleetSimulator::finalize(const std::vector<serve::Request> &trace,
     m.sloAttainment = agg.sloAttainment;
     m.kvUtilizationPeak = kv_peak;
     m.meanBatchOccupancy = agg.meanBatchOccupancy;
+    m.peakBatchOccupancy = static_cast<double>(peak_batch);
+    m.kvPreemptions = tally.kvPreemptions;
+    m.kvSwapOuts = tally.kvSwapOuts;
+    m.kvSwapIns = tally.kvSwapIns;
+    m.kvSwapSeconds = tally.kvSwapSeconds;
     m.retries = tally.retries;
     m.shed = tally.shed;
     m.timedOut = tally.timedOut;

@@ -92,4 +92,11 @@ EpcCostModel::passSeconds(std::uint64_t working_set_bytes,
            static_cast<double>(working_set_bytes);
 }
 
+double
+EpcCostModel::swapSeconds(std::uint64_t bytes) const
+{
+    const std::uint64_t pages = (bytes + 4095) / 4096;
+    return static_cast<double>(pages) * (pageFaultUs * 1e-6) * 0.5;
+}
+
 } // namespace cllm::mem

@@ -84,6 +84,14 @@ struct EpcCostModel
      */
     double passSeconds(std::uint64_t working_set_bytes,
                        std::uint64_t epc_bytes) const;
+
+    /**
+     * Seconds to move `bytes` of enclave state across the EPC
+     * boundary in one direction (an EWB *or* ELDU sweep, half the
+     * round-trip pageFaultUs per 4 KiB page). The paged-KV scheduler
+     * charges this for preemption swap-out and resume swap-in.
+     */
+    double swapSeconds(std::uint64_t bytes) const;
 };
 
 } // namespace cllm::mem

@@ -1,0 +1,226 @@
+#include "mem/kv_paged.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cllm::mem {
+
+PagedKvCache::PagedKvCache(PagedKvConfig cfg) : cfg_(cfg)
+{
+    if (cfg_.totalBlocks == 0 || cfg_.blockTokens == 0)
+        cllm_fatal("PagedKvCache: degenerate configuration");
+    refCounts_.assign(cfg_.totalBlocks, 0);
+    freeList_.reserve(cfg_.totalBlocks);
+    for (std::uint32_t b = 0; b < cfg_.totalBlocks; ++b)
+        freeList_.push_back(
+            static_cast<std::uint32_t>(cfg_.totalBlocks - 1 - b));
+}
+
+std::uint32_t
+PagedKvCache::allocBlock()
+{
+    if (freeList_.empty())
+        return kNoBlock;
+    const std::uint32_t b = freeList_.back();
+    freeList_.pop_back();
+    refCounts_[b] = 1;
+    ++stats_.blockAllocs;
+    stats_.peakUsedBlocks =
+        std::max(stats_.peakUsedBlocks, usedBlocks());
+    return b;
+}
+
+void
+PagedKvCache::unref(std::uint32_t block)
+{
+    if (refCounts_[block] == 0)
+        cllm_panic("PagedKvCache: unref of free block ", block);
+    if (--refCounts_[block] == 0) {
+        freeList_.push_back(block);
+        ++stats_.blockFrees;
+    }
+}
+
+bool
+PagedKvCache::addSequence(KvSeqId id, unsigned tokens)
+{
+    if (seqs_.count(id))
+        cllm_fatal("PagedKvCache: duplicate sequence ", id);
+    const std::uint64_t need = blocksFor(tokens);
+    if (need > freeList_.size())
+        return false;
+    Seq s;
+    s.tokens = tokens;
+    s.blocks.reserve(need);
+    for (std::uint64_t i = 0; i < need; ++i)
+        s.blocks.push_back(allocBlock());
+    seqs_.emplace(id, std::move(s));
+    return true;
+}
+
+bool
+PagedKvCache::appendToken(KvSeqId id)
+{
+    auto it = seqs_.find(id);
+    if (it == seqs_.end())
+        cllm_fatal("PagedKvCache: unknown sequence ", id);
+    Seq &s = it->second;
+
+    const bool needs_block = s.tokens % cfg_.blockTokens == 0;
+    // Appending into a shared block requires copy-on-write.
+    if (!needs_block && !s.blocks.empty() &&
+        refCounts_[s.blocks.back()] > 1) {
+        const std::uint32_t fresh = allocBlock();
+        if (fresh == kNoBlock)
+            return false;
+        unref(s.blocks.back());
+        s.blocks.back() = fresh;
+        ++stats_.cowCopies;
+    }
+    if (needs_block) {
+        const std::uint32_t fresh = allocBlock();
+        if (fresh == kNoBlock)
+            return false;
+        s.blocks.push_back(fresh);
+    }
+    ++s.tokens;
+    return true;
+}
+
+bool
+PagedKvCache::fork(KvSeqId parent, KvSeqId child)
+{
+    auto it = seqs_.find(parent);
+    if (it == seqs_.end())
+        cllm_fatal("PagedKvCache: fork from unknown sequence ",
+                   parent);
+    if (seqs_.count(child))
+        cllm_fatal("PagedKvCache: fork onto existing sequence ",
+                   child);
+
+    const Seq &p = it->second;
+    Seq c;
+    c.tokens = p.tokens;
+    c.blocks = p.blocks;
+
+    // Share all blocks; the trailing partial block is copied so the
+    // two beams can diverge immediately.
+    const bool has_partial =
+        !p.blocks.empty() && p.tokens % cfg_.blockTokens != 0;
+    if (has_partial) {
+        const std::uint32_t fresh = allocBlock();
+        if (fresh == kNoBlock)
+            return false;
+        c.blocks.back() = fresh;
+        ++stats_.cowCopies;
+        for (std::size_t i = 0; i + 1 < c.blocks.size(); ++i)
+            ++refCounts_[c.blocks[i]];
+    } else {
+        for (std::uint32_t b : c.blocks)
+            ++refCounts_[b];
+    }
+    seqs_.emplace(child, std::move(c));
+    return true;
+}
+
+void
+PagedKvCache::release(KvSeqId id)
+{
+    auto it = seqs_.find(id);
+    if (it == seqs_.end())
+        cllm_fatal("PagedKvCache: release of unknown sequence ", id);
+    for (std::uint32_t b : it->second.blocks)
+        unref(b);
+    seqs_.erase(it);
+}
+
+unsigned
+PagedKvCache::tokens(KvSeqId id) const
+{
+    auto it = seqs_.find(id);
+    return it == seqs_.end() ? 0 : it->second.tokens;
+}
+
+std::size_t
+PagedKvCache::blocksOf(KvSeqId id) const
+{
+    auto it = seqs_.find(id);
+    return it == seqs_.end() ? 0 : it->second.blocks.size();
+}
+
+double
+PagedKvCache::utilization() const
+{
+    return 1.0 - static_cast<double>(freeList_.size()) /
+                     static_cast<double>(cfg_.totalBlocks);
+}
+
+double
+PagedKvCache::fragmentation() const
+{
+    const std::uint64_t used = usedBlocks();
+    if (used == 0)
+        return 0.0;
+    // Each distinct allocated block provides blockTokens slots; a
+    // sequence's trailing partial block wastes the slots past its
+    // token count. Shared full blocks waste nothing; a COW-copied
+    // trailing block is owned by exactly one table.
+    const double slots =
+        static_cast<double>(used) * cfg_.blockTokens;
+    double stored = 0.0;
+    for (const auto &[id, s] : seqs_) {
+        (void)id;
+        // Tokens in blocks this table shares with an earlier table
+        // would double-count; count each block's storage once by
+        // crediting a shared block only 1/refcount of its tokens.
+        const unsigned partial = s.tokens % cfg_.blockTokens;
+        for (std::size_t i = 0; i < s.blocks.size(); ++i) {
+            const unsigned in_block =
+                (i + 1 == s.blocks.size() && partial != 0)
+                    ? partial
+                    : cfg_.blockTokens;
+            stored += static_cast<double>(in_block) /
+                      refCounts_[s.blocks[i]];
+        }
+    }
+    return std::max(0.0, 1.0 - stored / slots);
+}
+
+bool
+PagedKvCache::canAdmit(unsigned tokens) const
+{
+    return blocksFor(tokens) <= freeList_.size();
+}
+
+bool
+PagedKvCache::consistent() const
+{
+    if (usedBlocks() + freeBlocks() != cfg_.totalBlocks)
+        return false;
+    // Recount references from the live tables and compare.
+    std::vector<std::uint32_t> refs(cfg_.totalBlocks, 0);
+    for (const auto &[id, s] : seqs_) {
+        (void)id;
+        for (std::uint32_t b : s.blocks) {
+            if (b >= cfg_.totalBlocks)
+                return false;
+            ++refs[b];
+        }
+    }
+    std::vector<bool> free(cfg_.totalBlocks, false);
+    for (std::uint32_t b : freeList_) {
+        if (b >= cfg_.totalBlocks || free[b])
+            return false; // duplicate free-list entry = double free
+        free[b] = true;
+    }
+    for (std::uint32_t b = 0; b < cfg_.totalBlocks; ++b) {
+        if (refs[b] != refCounts_[b])
+            return false;
+        if (free[b] == (refCounts_[b] != 0))
+            return false;
+    }
+    return true;
+}
+
+} // namespace cllm::mem

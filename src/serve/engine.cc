@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <limits>
 
 #include "obs/metrics.hh"
@@ -40,6 +41,30 @@ tokenCounter()
     return c;
 }
 
+obs::Counter &
+preemptCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("serve.kv_preempts");
+    return c;
+}
+
+obs::Counter &
+swapOutCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("serve.kv_swap_outs");
+    return c;
+}
+
+obs::Counter &
+swapInCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("serve.kv_swap_ins");
+    return c;
+}
+
 /** The config's tracer when sim recording is live, else null. */
 obs::Tracer *
 simTracer(const ServerConfig &cfg)
@@ -68,6 +93,18 @@ ContinuousEngine::ContinuousEngine(const StepModel &step,
         (cfg_.resilience.shedThreshold <= 0.0 ||
          cfg_.resilience.shedThreshold > 1.0))
         cllm_fatal("ContinuousEngine: shed threshold outside (0, 1]");
+    if (cfg_.kvMode == KvMode::Paged) {
+        if (cfg_.kvBlocks == 0)
+            cllm_fatal("ContinuousEngine: paged KV requires a "
+                       "bounded pool");
+        if (cfg_.paged.minFreeBlocks >= cfg_.kvBlocks)
+            cllm_fatal("ContinuousEngine: paged KV watermark "
+                       "swallows the pool");
+        if (cfg_.paged.preempt == KvPreemptPolicy::SwapToEpc &&
+            cfg_.paged.kvBytesPerToken <= 0.0)
+            cllm_fatal("ContinuousEngine: swap preemption requires "
+                       "KV bytes per token");
+    }
     if (cfg_.kvBlocks)
         pool_.emplace(KvPoolConfig{cfg_.kvBlocks, cfg_.kvBlockTokens});
 }
@@ -75,7 +112,7 @@ ContinuousEngine::ContinuousEngine(const StepModel &step,
 void
 ContinuousEngine::submit(Request *r, double ready_at, unsigned attempts)
 {
-    pending_.push({r, ready_at, attempts});
+    pending_.push({r, ready_at, attempts, 0, false});
     submitted_.push_back(r);
     if (obs::Tracer *t = simTracer(cfg_); t && attempts == 0)
         t->asyncBegin(cfg_.traceLane, kReqCat, r->id, "req",
@@ -98,6 +135,31 @@ ContinuousEngine::kvHeadroom() const
     return pool_ ? 1.0 - pool_->utilization() : 1.0;
 }
 
+std::uint64_t
+ContinuousEngine::kvFreeBlocks() const
+{
+    return pool_ ? pool_->freeBlocks()
+                 : std::numeric_limits<std::uint64_t>::max();
+}
+
+std::uint64_t
+ContinuousEngine::kvUsedBlocks() const
+{
+    return pool_ ? pool_->usedBlocks() : 0;
+}
+
+std::uint64_t
+ContinuousEngine::kvTotalBlocks() const
+{
+    return pool_ ? pool_->totalBlocks() : 0;
+}
+
+double
+ContinuousEngine::kvUtilization() const
+{
+    return pool_ ? pool_->utilization() : 0.0;
+}
+
 const std::vector<fault::FaultRecord> &
 ContinuousEngine::timeline() const
 {
@@ -113,23 +175,122 @@ ContinuousEngine::drainFinished()
 }
 
 // Admission check, optionally against a pool whose usable share has
-// been shrunk by an active KvExhaustion window.
+// been shrunk by an active KvExhaustion window. Reserved mode needs
+// the full inLen+outLen up front; paged mode needs only the resident
+// context (prompt plus tokens already generated before a preemption)
+// while keeping `minFreeBlocks` of headroom, and refuses outright a
+// request whose full context could never fit.
 bool
-ContinuousEngine::canAdmit(const Request &r, double factor) const
+ContinuousEngine::canAdmit(const Request &r, unsigned produced,
+                           double factor) const
 {
     if (!pool_)
         return true;
-    if (!pool_->canAdmit(r.inLen + r.outLen))
-        return false;
+    std::uint64_t need;
+    if (cfg_.kvMode == KvMode::Paged) {
+        const std::uint64_t reserve = cfg_.paged.minFreeBlocks;
+        if (pool_->blocksFor(r.inLen + r.outLen) + reserve >
+            cfg_.kvBlocks)
+            return false;
+        need = pool_->blocksFor(r.inLen + produced) + reserve;
+        if (need > pool_->freeBlocks())
+            return false;
+    } else {
+        if (!pool_->canAdmit(r.inLen + r.outLen))
+            return false;
+        need = (r.inLen + r.outLen + cfg_.kvBlockTokens - 1) /
+               cfg_.kvBlockTokens;
+    }
     if (factor >= 1.0)
         return true;
-    const std::uint64_t need =
-        (r.inLen + r.outLen + cfg_.kvBlockTokens - 1) /
-        cfg_.kvBlockTokens;
     const std::uint64_t used = cfg_.kvBlocks - pool_->freeBlocks();
     const auto usable = static_cast<std::uint64_t>(
         factor * static_cast<double>(cfg_.kvBlocks));
     return used + need <= usable;
+}
+
+/** EPC boundary traffic time to move a `tokens`-token KV image. */
+double
+ContinuousEngine::swapSeconds(unsigned tokens) const
+{
+    const auto bytes = static_cast<std::uint64_t>(
+        cfg_.paged.kvBytesPerToken * static_cast<double>(tokens));
+    return cfg_.paged.epcCost.swapSeconds(bytes);
+}
+
+// Evict one active sequence to make room: release its blocks, charge
+// the policy's cost, and requeue it with its generated-token count
+// intact so nothing already emitted is ever re-emitted.
+void
+ContinuousEngine::preemptActive(std::size_t idx)
+{
+    ActiveSeq victim = active_[idx];
+    active_.erase(active_.begin() +
+                  static_cast<std::ptrdiff_t>(idx));
+    pool_->release(victim.req->id);
+    ++tally_.kvPreemptions;
+    preemptCounter().inc();
+    obs::Tracer *tr = simTracer(cfg_);
+    if (tr)
+        tr->instant(cfg_.traceLane, "kv.preempt", clock_,
+                    {{"req", static_cast<double>(victim.req->id)},
+                     {"produced",
+                      static_cast<double>(victim.produced)}});
+    bool swapped = false;
+    if (cfg_.paged.preempt == KvPreemptPolicy::SwapToEpc) {
+        const double t0 = clock_;
+        const double sec =
+            swapSeconds(victim.req->inLen + victim.produced);
+        clock_ += sec;
+        tally_.kvSwapSeconds += sec;
+        ++tally_.kvSwapOuts;
+        swapOutCounter().inc();
+        swapped = true;
+        if (tr)
+            tr->complete(
+                cfg_.traceLane, "kv.swap", t0, clock_,
+                {{"req", static_cast<double>(victim.req->id)},
+                 {"dir", 0.0}});
+    }
+    // Not a fault retry: re-enters the queue at the same attempt
+    // count, ordered by (readyAt, id) like any other pending request.
+    pending_.push({victim.req, clock_, victim.attempts,
+                   victim.produced, swapped});
+}
+
+// Before a paged decode step every active sequence must be able to
+// append one token. Grow in index order (admission order); on pool
+// exhaustion evict from the tail (LIFO — the youngest sequence has
+// the least sunk cost), or the growing sequence itself when it is
+// the youngest. The head of the batch can always finish: admission
+// guaranteed its full context fits in the pool alone.
+void
+ContinuousEngine::growActivePaged()
+{
+    for (std::size_t i = 0; i < active_.size();) {
+        Request *r = active_[i].req;
+        const bool needs_block =
+            pool_->tokens(r->id) % cfg_.kvBlockTokens == 0;
+        if (needs_block && pool_->freeBlocks() == 0) {
+            preemptActive(i + 1 < active_.size() ? active_.size() - 1
+                                                 : i);
+            continue; // retry the same slot (or fall off the end)
+        }
+        if (!pool_->appendToken(r->id))
+            cllm_panic("paged KV append failed with free blocks");
+        ++i;
+    }
+}
+
+void
+ContinuousEngine::publishKvGauges() const
+{
+    static obs::Gauge &used =
+        obs::Registry::global().gauge("serve.kv_blocks_used");
+    static obs::Gauge &free =
+        obs::Registry::global().gauge("serve.kv_blocks_free");
+    used.set(static_cast<double>(pool_->usedBlocks()));
+    free.set(static_cast<double>(pool_->freeBlocks()));
 }
 
 // Bounded retry with exponential backoff; a request that spends its
@@ -246,8 +407,10 @@ ContinuousEngine::iterate(double admit_horizon)
             }
             continue;
         }
-        // Admission shedding under KV pressure.
-        if (rp.shedOnKvPressure && pool_ &&
+        // Admission shedding under KV pressure. A preempted request
+        // (produced > 0) is never shed: its generated tokens are
+        // already with the client and must not be abandoned.
+        if (rp.shedOnKvPressure && pool_ && p.produced == 0 &&
             pool_->utilization() >= rp.shedThreshold) {
             pending_.pop();
             ++tally_.shed;
@@ -273,43 +436,71 @@ ContinuousEngine::iterate(double admit_horizon)
             requeue(p.req, p.attempts + 1);
             continue;
         }
-        if (!canAdmit(*p.req, kv_factor))
+        if (!canAdmit(*p.req, p.produced, kv_factor))
             break;
         pending_.pop();
         Request *r = p.req;
+        const bool paged = cfg_.kvMode == KvMode::Paged;
         if (pool_) {
-            pool_->addSequence(r->id, r->inLen + r->outLen);
+            // Paged admission allocates only the resident context;
+            // reserved admission pins the full generation up front.
+            const unsigned resident =
+                paged ? r->inLen + p.produced : r->inLen + r->outLen;
+            if (!pool_->addSequence(r->id, resident))
+                cllm_panic("KV admission raced the pool");
             if (tr)
                 tr->counterValue(lane, "kv_util", clock_,
                                  pool_->utilization());
         }
         const double admit_at = clock_;
-        double pf = step_->prefill(r->inLen);
+        // Cost to make the context live again: a swap-in from EPC
+        // for swapped-out victims, else a (re)prefill over prompt
+        // plus any previously generated tokens. Fresh requests have
+        // produced == 0, so the reserved-mode cost is unchanged.
+        double pf;
+        if (paged && p.swapped)
+            pf = swapSeconds(r->inLen + p.produced);
+        else
+            pf = step_->prefill(r->inLen + p.produced);
         if (inj_.enabled())
             pf *= inj_.slowdown(clock_);
         clock_ += pf;
         if (r->firstToken < 0.0)
             r->firstToken = clock_;
-        active_.push_back({r, 0, p.attempts});
-        prefillCounter().inc();
-        if (tr) {
+        active_.push_back({r, p.produced, p.attempts});
+        if (tr)
             tr->asyncInstant(lane, kReqCat, r->id, "admit",
                              admit_at);
-            tr->complete(lane, "prefill", admit_at, clock_,
-                         {{"req", static_cast<double>(r->id)},
-                          {"in_len",
-                           static_cast<double>(r->inLen)}});
+        if (paged && p.swapped) {
+            tally_.kvSwapSeconds += pf;
+            ++tally_.kvSwapIns;
+            swapInCounter().inc();
+            if (tr)
+                tr->complete(lane, "kv.swap", admit_at, clock_,
+                             {{"req", static_cast<double>(r->id)},
+                              {"dir", 1.0}});
+        } else {
+            prefillCounter().inc();
+            if (tr)
+                tr->complete(
+                    lane, "prefill", admit_at, clock_,
+                    {{"req", static_cast<double>(r->id)},
+                     {"in_len",
+                      static_cast<double>(r->inLen + p.produced)}});
         }
     }
-    if (pool_)
+    if (pool_) {
         kvPeak_ = std::max(kvPeak_, pool_->utilization());
+        publishKvGauges();
+    }
     // If KV capacity blocks the head of the queue while nothing runs,
     // time must still advance: to the end of a transient exhaustion
     // window, or past a request too big to ever fit.
     if (active_.empty() && !pending_.empty()) {
         const PendingReq head = pending_.top();
-        if (head.readyAt <= clock_ && !canAdmit(*head.req, kv_factor)) {
-            if (canAdmit(*head.req, 1.0)) {
+        if (head.readyAt <= clock_ &&
+            !canAdmit(*head.req, head.produced, kv_factor)) {
+            if (canAdmit(*head.req, head.produced, 1.0)) {
                 // Transient KvExhaustion window: wait it out.
                 const double t0 = clock_;
                 clock_ = inj_.nextWindowEnd(clock_);
@@ -336,6 +527,15 @@ ContinuousEngine::iterate(double admit_horizon)
     if (active_.empty())
         return; // everything remaining was dropped
 
+    // Paged mode: make room for this step's tokens, evicting from the
+    // batch tail when the pool is exhausted.
+    if (pool_ && cfg_.kvMode == KvMode::Paged) {
+        growActivePaged();
+        kvPeak_ = std::max(kvPeak_, pool_->utilization());
+        if (active_.empty())
+            return; // whole batch preempted (pathological pool)
+    }
+
     // One decode step for everyone currently active.
     double avg_pos = 0.0;
     for (const ActiveSeq &a : active_)
@@ -348,6 +548,8 @@ ContinuousEngine::iterate(double admit_horizon)
         step_sec *= inj_.slowdown(clock_);
     clock_ += step_sec;
     occupancySum_ += static_cast<double>(active_.size());
+    maxActive_ = std::max(maxActive_, active_.size());
+    kvUtilSum_ += pool_ ? pool_->utilization() : 0.0;
     ++steps_;
     decodeStepCounter().inc();
     tokenCounter().add(active_.size());
@@ -387,9 +589,12 @@ ContinuousEngine::iterate(double admit_horizon)
             ++it;
         }
     }
-    if (tr && pool_)
-        tr->counterValue(lane, "kv_util", clock_,
-                         pool_->utilization());
+    if (pool_) {
+        publishKvGauges();
+        if (tr)
+            tr->counterValue(lane, "kv_util", clock_,
+                             pool_->utilization());
+    }
 }
 
 ServeMetrics
@@ -448,6 +653,10 @@ finalizeRequests(const std::vector<const Request *> &reqs,
     m.restarts = tally.restarts;
     m.attestRejections = tally.attestRejections;
     m.faultDowntime = tally.faultDowntime;
+    m.kvPreemptions = tally.kvPreemptions;
+    m.kvSwapOuts = tally.kvSwapOuts;
+    m.kvSwapIns = tally.kvSwapIns;
+    m.kvSwapSeconds = tally.kvSwapSeconds;
     return m;
 }
 

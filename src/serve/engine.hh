@@ -72,6 +72,12 @@ class ContinuousEngine
     }
     /** Free fraction of the KV pool (1.0 when unbounded). */
     double kvHeadroom() const;
+    /** Free KV blocks (UINT64_MAX when unbounded). */
+    std::uint64_t kvFreeBlocks() const;
+    std::uint64_t kvUsedBlocks() const;
+    std::uint64_t kvTotalBlocks() const;
+    /** Used fraction of the KV pool right now (0 when unbounded). */
+    double kvUtilization() const;
     const StepModel &stepModel() const { return *step_; }
 
     // -- Run outcome --------------------------------------------------
@@ -79,6 +85,14 @@ class ContinuousEngine
     double occupancySum() const { return occupancySum_; }
     std::size_t steps() const { return steps_; }
     double kvPeak() const { return kvPeak_; }
+    /** Mean KV occupancy sampled at every decode-step boundary. */
+    double kvUtilizationMean() const
+    {
+        return steps_ ? kvUtilSum_ / static_cast<double>(steps_)
+                      : 0.0;
+    }
+    /** Largest batch any single decode step ran with. */
+    std::size_t peakBatch() const { return maxActive_; }
     const std::vector<fault::FaultRecord> &timeline() const;
 
     /** Every request ever submitted, in submission order. */
@@ -106,6 +120,11 @@ class ContinuousEngine
         Request *req;
         double readyAt;
         unsigned attempts;
+        // Paged-mode resume state: tokens already generated before a
+        // preemption (never re-emitted), and whether the KV pages sit
+        // swapped out in EPC-backed memory rather than discarded.
+        unsigned produced = 0;
+        bool swapped = false;
     };
 
     /** Min-heap order: earliest readyAt first, ties by request id. */
@@ -120,8 +139,13 @@ class ContinuousEngine
         }
     };
 
-    bool canAdmit(const Request &r, double factor) const;
+    bool canAdmit(const Request &r, unsigned produced,
+                  double factor) const;
     void requeue(Request *r, unsigned attempts);
+    double swapSeconds(unsigned tokens) const;
+    void preemptActive(std::size_t idx);
+    void growActivePaged();
+    void publishKvGauges() const;
 
     const StepModel *step_;
     ServerConfig cfg_;
@@ -131,6 +155,8 @@ class ContinuousEngine
     double clock_ = 0.0;
     double occupancySum_ = 0.0;
     double kvPeak_ = 0.0;
+    double kvUtilSum_ = 0.0; //!< KV occupancy at decode boundaries
+    std::size_t maxActive_ = 0;
     std::size_t steps_ = 0;
     ServeTally tally_{};
 

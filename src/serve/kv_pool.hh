@@ -1,99 +1,28 @@
 /**
  * @file
- * Paged KV-cache block pool, in the style of vLLM's PagedAttention
- * allocator: KV memory is carved into fixed-size blocks of tokens;
- * sequences allocate blocks as they grow and can fork (prefix
- * sharing) with copy-on-write reference counts. The serving simulator
- * uses it to bound batch admission by real KV capacity — inside a TEE
- * the whole pool lives in encrypted memory, so capacity is exactly
- * the enclave/TD memory the operator sized (Gramine's enclave_size,
- * the TD's memory).
+ * Compatibility seam: the paged KV block allocator now lives in
+ * `mem::PagedKvCache` (`src/mem/kv_paged.hh`) next to the other
+ * secure-memory models (EPC, TLB, MEE) whose costs it interacts with.
+ * The serving layer keeps its historical names as aliases; behaviour
+ * is identical — the reserved-mode engine is bit-for-bit the same
+ * simulation it was when the pool lived here.
  */
 
 #ifndef CLLM_SERVE_KV_POOL_HH
 #define CLLM_SERVE_KV_POOL_HH
 
-#include <cstdint>
-#include <unordered_map>
-#include <vector>
+#include "mem/kv_paged.hh"
 
 namespace cllm::serve {
 
 /** Sequence handle. */
-using SeqId = std::uint32_t;
+using SeqId = mem::KvSeqId;
 
 /** Pool configuration. */
-struct KvPoolConfig
-{
-    std::uint64_t totalBlocks = 1024;
-    unsigned blockTokens = 16; //!< tokens per block
-};
+using KvPoolConfig = mem::PagedKvConfig;
 
-/**
- * Reference-counted KV block allocator.
- */
-class KvBlockPool
-{
-  public:
-    explicit KvBlockPool(KvPoolConfig cfg = {});
-
-    /**
-     * Register a new sequence with `prompt_tokens` of prefilled KV.
-     * Returns false (allocating nothing) when the pool cannot hold it.
-     */
-    bool addSequence(SeqId id, unsigned prompt_tokens);
-
-    /**
-     * Append one token to a sequence; may allocate one block. Returns
-     * false on pool exhaustion (the sequence keeps its current
-     * blocks; callers typically preempt or queue).
-     */
-    bool appendToken(SeqId id);
-
-    /**
-     * Fork `child` from `parent` (beam search / prefix sharing): the
-     * child shares all of the parent's blocks copy-on-write. The last
-     * (partial) block is copied eagerly, costing one block.
-     */
-    bool fork(SeqId parent, SeqId child);
-
-    /** Release a sequence's blocks (decrement shared refcounts). */
-    void release(SeqId id);
-
-    /** Tokens currently stored for a sequence. */
-    unsigned tokens(SeqId id) const;
-
-    /** Blocks currently referenced by a sequence. */
-    std::size_t blocksOf(SeqId id) const;
-
-    /** Free blocks remaining. */
-    std::uint64_t freeBlocks() const;
-
-    /** Fraction of the pool in use. */
-    double utilization() const;
-
-    /** Whether a sequence of `tokens` more tokens could be admitted. */
-    bool canAdmit(unsigned tokens) const;
-
-    const KvPoolConfig &config() const { return cfg_; }
-
-  private:
-    struct Seq
-    {
-        std::vector<std::uint32_t> blocks;
-        unsigned tokens = 0;
-    };
-
-    std::uint32_t allocBlock(); //!< returns index or kNoBlock
-    void unref(std::uint32_t block);
-
-    static constexpr std::uint32_t kNoBlock = 0xffffffffu;
-
-    KvPoolConfig cfg_;
-    std::vector<std::uint32_t> refCounts_;
-    std::vector<std::uint32_t> freeList_;
-    std::unordered_map<SeqId, Seq> seqs_;
-};
+/** Reference-counted KV block allocator. */
+using KvBlockPool = mem::PagedKvCache;
 
 } // namespace cllm::serve
 

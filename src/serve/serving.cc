@@ -106,6 +106,40 @@ batchPolicyName(BatchPolicy p)
     return "?";
 }
 
+const char *
+kvModeName(KvMode m)
+{
+    switch (m) {
+      case KvMode::Reserved:
+        return "reserved";
+      case KvMode::Paged:
+        return "paged";
+    }
+    return "?";
+}
+
+KvMode
+parseKvMode(const std::string &name)
+{
+    if (name == "reserved")
+        return KvMode::Reserved;
+    if (name == "paged")
+        return KvMode::Paged;
+    cllm_fatal("unknown KV mode '", name, "' (reserved|paged)");
+}
+
+const char *
+kvPreemptPolicyName(KvPreemptPolicy p)
+{
+    switch (p) {
+      case KvPreemptPolicy::Recompute:
+        return "recompute";
+      case KvPreemptPolicy::SwapToEpc:
+        return "swap";
+    }
+    return "?";
+}
+
 namespace {
 
 /** CPU-backed step model. */
@@ -251,6 +285,20 @@ Server::Server(std::unique_ptr<StepModel> step, ServerConfig cfg)
         (cfg_.resilience.shedThreshold <= 0.0 ||
          cfg_.resilience.shedThreshold > 1.0))
         cllm_fatal("Server: shed threshold outside (0, 1]");
+    if (cfg_.kvMode == KvMode::Paged) {
+        if (cfg_.policy == BatchPolicy::Static)
+            cllm_fatal("Server: paged KV requires continuous "
+                       "batching");
+        if (cfg_.kvBlocks == 0)
+            cllm_fatal("Server: paged KV requires a bounded pool");
+        if (cfg_.paged.minFreeBlocks >= cfg_.kvBlocks)
+            cllm_fatal("Server: paged KV watermark swallows the "
+                       "pool");
+        if (cfg_.paged.preempt == KvPreemptPolicy::SwapToEpc &&
+            cfg_.paged.kvBytesPerToken <= 0.0)
+            cllm_fatal("Server: swap preemption requires KV bytes "
+                       "per token");
+    }
 }
 
 ServeMetrics
@@ -282,6 +330,7 @@ Server::runStatic(std::vector<Request> &trace) const
 {
     double clock = 0.0;
     double occupancy_sum = 0.0;
+    unsigned peak_active = 0;
     std::size_t steps = 0;
     std::size_t next = 0;
 
@@ -317,6 +366,7 @@ Server::runStatic(std::vector<Request> &trace) const
             avg_pos /= active;
             clock += step_->decodeStep(active, avg_pos);
             occupancy_sum += active;
+            peak_active = std::max(peak_active, active);
             ++steps;
             for (Request *r : batch) {
                 if (t + 1 == r->outLen)
@@ -324,7 +374,10 @@ Server::runStatic(std::vector<Request> &trace) const
             }
         }
     }
-    return finalize(trace, clock, occupancy_sum, steps, ServeTally{});
+    ServeMetrics m =
+        finalize(trace, clock, occupancy_sum, steps, ServeTally{});
+    m.peakBatchOccupancy = peak_active;
+    return m;
 }
 
 ServeMetrics
@@ -342,6 +395,8 @@ Server::runContinuous(std::vector<Request> &trace) const
     ServeMetrics m = finalize(trace, eng.clock(), eng.occupancySum(),
                               eng.steps(), eng.tally());
     m.kvUtilizationPeak = eng.kvPeak();
+    m.kvUtilizationMean = eng.kvUtilizationMean();
+    m.peakBatchOccupancy = static_cast<double>(eng.peakBatch());
     m.faultTimeline = eng.timeline();
     return m;
 }
@@ -375,7 +430,13 @@ writeMetrics(JsonWriter &json, const ServeMetrics &m)
     json.field("tpot_p95_s", m.tpot.p95);
     json.field("slo_attainment", m.sloAttainment);
     json.field("mean_batch_occupancy", m.meanBatchOccupancy);
+    json.field("peak_batch_occupancy", m.peakBatchOccupancy);
     json.field("kv_utilization_peak", m.kvUtilizationPeak);
+    json.field("kv_utilization_mean", m.kvUtilizationMean);
+    json.field("kv_preemptions", m.kvPreemptions);
+    json.field("kv_swap_outs", m.kvSwapOuts);
+    json.field("kv_swap_ins", m.kvSwapIns);
+    json.field("kv_swap_s", m.kvSwapSeconds);
     json.field("retries", m.retries);
     json.field("shed", m.shed);
     json.field("timed_out", m.timedOut);

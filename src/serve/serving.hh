@@ -14,11 +14,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "fault/injector.hh"
 #include "fault/schedule.hh"
 #include "hw/cpu.hh"
+#include "mem/epc.hh"
 #include "hw/gpu.hh"
 #include "llm/model_config.hh"
 #include "llm/perf_cpu.hh"
@@ -103,6 +105,81 @@ enum class BatchPolicy
 const char *batchPolicyName(BatchPolicy p);
 
 /**
+ * KV allocation discipline for a bounded pool.
+ *
+ * Reserved is the historical behaviour: admission reserves a
+ * request's full inLen+outLen worth of blocks, so decode can never
+ * exhaust the pool — simple, deadlock-free, and wasteful (the
+ * reservation pins blocks the request will not touch for most of its
+ * lifetime, capping the achievable batch).
+ *
+ * Paged is the vLLM-style discipline: admission allocates only the
+ * prompt's blocks (plus a configurable free-block watermark) and
+ * sequences grow one block at a time during decode; exhaustion is
+ * resolved by deterministically preempting the most recently admitted
+ * sequences (swap-to-EPC or recompute). Strictly higher concurrency
+ * from the same enclave memory, at the price of preemption work —
+ * exactly the paging/batching interplay the paper measures.
+ */
+enum class KvMode
+{
+    Reserved,
+    Paged,
+};
+
+/** Printable KV-mode name. */
+const char *kvModeName(KvMode m);
+
+/** Parse "reserved"/"paged" (fatal on anything else). */
+KvMode parseKvMode(const std::string &name);
+
+/** How a paged engine resolves KV exhaustion. */
+enum class KvPreemptPolicy
+{
+    /**
+     * Drop the victim's KV and re-prefill prompt + generated tokens
+     * on resume (vLLM's recomputation mode). Costs step-model prefill
+     * time, so the TEE backend's compute tax is charged naturally.
+     */
+    Recompute,
+
+    /**
+     * Page the victim's KV out of the secure region and back in on
+     * resume, priced by `mem::EpcCostModel::swapSeconds` over the
+     * sequence's KV bytes — the EWB/ELDU traffic an SGX enclave (or
+     * the encryption sweep a TD) would pay.
+     */
+    SwapToEpc,
+};
+
+/** Printable preemption-policy name. */
+const char *kvPreemptPolicyName(KvPreemptPolicy p);
+
+/** Paged-mode tuning; only read when `ServerConfig::kvMode` is
+ *  Paged. */
+struct PagedKvPolicy
+{
+    KvPreemptPolicy preempt = KvPreemptPolicy::Recompute;
+
+    /**
+     * Admission watermark: keep at least this many blocks free after
+     * admitting a prompt, as growth headroom for the running batch.
+     * 0 admits down to the last block (maximum batch, maximum
+     * preemption churn).
+     */
+    std::uint64_t minFreeBlocks = 0;
+
+    /**
+     * KV bytes per token, for pricing SwapToEpc traffic (e.g.
+     * `model.kvBytesPerToken(dtype)`). Required > 0 by SwapToEpc.
+     */
+    double kvBytesPerToken = 0.0;
+
+    /** EPC boundary-crossing cost model for swap pricing. */
+    mem::EpcCostModel epcCost{};
+};
+
+/**
  * How the server responds to faults and overload. Every knob defaults
  * to "off", so a default-constructed policy leaves the simulation
  * byte-identical to a server without one.
@@ -148,12 +225,16 @@ struct ServerConfig
 
     /**
      * KV capacity in paged blocks (0 = unbounded). Inside a TEE the
-     * pool is the encrypted enclave/TD memory the operator sized;
-     * admission reserves a request's full inLen+outLen worth of
-     * blocks so decode can never deadlock on KV exhaustion.
+     * pool is the encrypted enclave/TD memory the operator sized.
+     * `kvMode` picks the allocation discipline: Reserved pins a
+     * request's full inLen+outLen worth of blocks at admission (the
+     * historical, deadlock-free default), Paged admits by free-block
+     * headroom and preempts on exhaustion.
      */
     std::uint64_t kvBlocks = 0;
     unsigned kvBlockTokens = 16;
+    KvMode kvMode = KvMode::Reserved;
+    PagedKvPolicy paged{};
 
     /** Fault/overload response; defaults are all off. */
     ResiliencePolicy resilience{};
@@ -195,6 +276,12 @@ struct ServeTally
     std::size_t restarts = 0;
     std::size_t attestRejections = 0;
     double faultDowntime = 0.0;
+
+    // Paged-KV scheduling (all zero in reserved mode).
+    std::size_t kvPreemptions = 0; //!< sequences evicted mid-decode
+    std::size_t kvSwapOuts = 0;    //!< preemptions that swapped to EPC
+    std::size_t kvSwapIns = 0;     //!< resumes paid as swap-in
+    double kvSwapSeconds = 0.0;    //!< total EPC boundary traffic time
 };
 
 /** Outcome of serving a trace. */
@@ -203,6 +290,8 @@ struct ServeMetrics
     std::size_t completed = 0;
     double makespan = 0.0;            //!< seconds to drain the trace
     double kvUtilizationPeak = 0.0;   //!< peak KV-pool occupancy
+    double kvUtilizationMean = 0.0;   //!< mean at decode-step bounds
+    double peakBatchOccupancy = 0.0;  //!< max sequences in one step
     double tokensPerSecond = 0.0;     //!< output tokens / makespan
     SampleSummary ttft{};             //!< time to first token
     SampleSummary tpot{};             //!< time per output token
@@ -221,6 +310,12 @@ struct ServeMetrics
     std::size_t restarts = 0;         //!< enclave restarts survived
     std::size_t attestRejections = 0; //!< failed admission handshakes
     double faultDowntime = 0.0;       //!< seconds re-provisioning
+
+    // Paged-KV scheduling (all zero in reserved mode).
+    std::size_t kvPreemptions = 0;
+    std::size_t kvSwapOuts = 0;
+    std::size_t kvSwapIns = 0;
+    double kvSwapSeconds = 0.0;
 
     /** Per-event fault timeline (empty without a schedule). */
     std::vector<fault::FaultRecord> faultTimeline;

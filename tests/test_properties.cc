@@ -9,16 +9,22 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <memory>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "core/experiment.hh"
 #include "util/stats.hh"
 #include "crypto/sha256.hh"
 #include "llm/perf_cpu.hh"
+#include "mem/kv_paged.hh"
 #include "mem/mee_tree.hh"
 #include "mem/tlb.hh"
+#include "serve/engine.hh"
+#include "serve/serving.hh"
 #include "tee/session.hh"
+#include "util/rng.hh"
 #include "util/units.hh"
 
 using namespace cllm;
@@ -296,3 +302,229 @@ INSTANTIATE_TEST_SUITE_P(
         return "b" + std::to_string(std::get<0>(info.param)) + "_in" +
                std::to_string(std::get<1>(info.param));
     });
+
+// ---- Paged-KV allocator: conservation under random op storms -----------
+
+using KvStormCase = std::tuple<unsigned, unsigned, unsigned>;
+// (totalBlocks, blockTokens, seed)
+
+class KvStormGrid : public ::testing::TestWithParam<KvStormCase>
+{
+};
+
+// Block conservation (used + free == total, refcounts match tables)
+// must survive any interleaving of add / append / fork / release,
+// including calls that fail on exhaustion — and a full drain must
+// return every block to the free list.
+TEST_P(KvStormGrid, ConservationHoldsThroughRandomOps)
+{
+    const auto [blocks, block_tokens, seed] = GetParam();
+    mem::PagedKvCache kv({blocks, block_tokens});
+    Rng rng(seed);
+
+    std::vector<mem::KvSeqId> live;
+    mem::KvSeqId next_id = 1;
+    for (int op = 0; op < 400; ++op) {
+        const double roll = rng.uniform();
+        if (roll < 0.35 || live.empty()) {
+            const unsigned toks = static_cast<unsigned>(
+                rng.uniformInt(1, 3ULL * block_tokens));
+            if (kv.addSequence(next_id, toks))
+                live.push_back(next_id);
+            ++next_id;
+        } else if (roll < 0.70) {
+            const std::size_t i = static_cast<std::size_t>(
+                rng.uniformInt(0, live.size() - 1));
+            kv.appendToken(live[i]); // may fail; must not corrupt
+        } else if (roll < 0.85) {
+            const std::size_t i = static_cast<std::size_t>(
+                rng.uniformInt(0, live.size() - 1));
+            if (kv.fork(live[i], next_id))
+                live.push_back(next_id);
+            ++next_id;
+        } else {
+            const std::size_t i = static_cast<std::size_t>(
+                rng.uniformInt(0, live.size() - 1));
+            kv.release(live[i]);
+            live.erase(live.begin() +
+                       static_cast<std::ptrdiff_t>(i));
+        }
+        ASSERT_TRUE(kv.consistent()) << "op " << op;
+        ASSERT_EQ(kv.usedBlocks() + kv.freeBlocks(),
+                  kv.totalBlocks());
+    }
+
+    // Drain: no leaked blocks, alloc/free ledger balances.
+    for (mem::KvSeqId id : live)
+        kv.release(id);
+    EXPECT_EQ(kv.usedBlocks(), 0u);
+    EXPECT_EQ(kv.freeBlocks(), kv.totalBlocks());
+    EXPECT_EQ(kv.sequences(), 0u);
+    EXPECT_EQ(kv.stats().blockAllocs, kv.stats().blockFrees);
+    EXPECT_TRUE(kv.consistent());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Storms, KvStormGrid,
+    ::testing::Combine(::testing::Values(16u, 64u, 256u),
+                       ::testing::Values(4u, 16u),
+                       ::testing::Values(1u, 7u, 42u)),
+    [](const ::testing::TestParamInfo<KvStormCase> &info) {
+        return "blk" + std::to_string(std::get<0>(info.param)) + "_t" +
+               std::to_string(std::get<1>(info.param)) + "_s" +
+               std::to_string(std::get<2>(info.param));
+    });
+
+// ---- Serving-engine accounting across KV modes and pool sizes ----------
+
+using KvEngineCase = std::tuple<serve::KvMode, std::uint64_t, unsigned>;
+// (mode, kvBlocks, workload seed)
+
+class KvEngineGrid : public ::testing::TestWithParam<KvEngineCase>
+{
+};
+
+namespace {
+
+std::unique_ptr<serve::StepModel>
+kvGridModel()
+{
+    const hw::CpuSpec cpu = hw::emr2();
+    llm::RunParams p;
+    p.inLen = 1024;
+    p.outLen = 256;
+    p.batch = 32;
+    p.sockets = 1;
+    p.cores = cpu.coresPerSocket;
+    return serve::makeCpuStepModel(
+        cpu,
+        std::shared_ptr<const tee::TeeBackend>(tee::makeTdx()),
+        llm::llama2_7b(), p);
+}
+
+} // namespace
+
+// For every (discipline x pool size x trace): request accounting
+// sums, output tokens match completed requests exactly, and — the
+// paged scheduler's core guarantee — preemption never re-emits a
+// token (batch-slot steps == output tokens in a fault-free run).
+TEST_P(KvEngineGrid, AccountingClosesAndTokensAreEmittedOnce)
+{
+    const auto [mode, blocks, seed] = GetParam();
+
+    serve::WorkloadConfig load;
+    load.arrivalRate = 1.0;
+    load.numRequests = 40;
+    load.meanInLen = 96;
+    load.meanOutLen = 160;
+    load.seed = seed;
+    auto trace = serve::generateWorkload(load);
+
+    serve::ServerConfig cfg;
+    cfg.policy = serve::BatchPolicy::Continuous;
+    cfg.maxBatch = 16;
+    cfg.kvBlocks = blocks;
+    cfg.kvBlockTokens = 16;
+    cfg.kvMode = mode;
+    cfg.paged.kvBytesPerToken = 1.0; // unused by Recompute
+
+    auto step = kvGridModel();
+    serve::ContinuousEngine eng(*step, cfg);
+    for (auto &r : trace)
+        eng.submit(&r, r.arrival);
+    while (!eng.idle())
+        eng.iterate();
+
+    std::size_t completed = 0;
+    std::uint64_t out_tokens = 0;
+    for (const auto &r : trace) {
+        if (r.finish >= 0.0) {
+            ++completed;
+            out_tokens += r.outLen;
+            EXPECT_GE(r.firstToken, r.arrival);
+            EXPECT_GE(r.finish, r.firstToken);
+        }
+    }
+    const serve::ServeTally &t = eng.tally();
+    // Fault-free, no deadline: every request completes or is shed.
+    EXPECT_EQ(t.timedOut, 0u);
+    EXPECT_EQ(t.failed, 0u);
+    EXPECT_EQ(completed + t.shed, trace.size());
+    EXPECT_DOUBLE_EQ(eng.occupancySum(),
+                     static_cast<double>(out_tokens));
+    EXPECT_LE(eng.peakBatch(), 16u);
+    EXPECT_GE(eng.kvUtilizationMean(), 0.0);
+    EXPECT_LE(eng.kvUtilizationMean(), 1.0);
+    if (mode == serve::KvMode::Reserved) {
+        EXPECT_EQ(t.kvPreemptions, 0u);
+        EXPECT_EQ(t.kvSwapOuts, 0u);
+    }
+    // The drained pool must be empty in either discipline.
+    EXPECT_EQ(eng.kvUsedBlocks(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndPools, KvEngineGrid,
+    ::testing::Combine(::testing::Values(serve::KvMode::Reserved,
+                                         serve::KvMode::Paged),
+                       ::testing::Values(96ULL, 256ULL, 4096ULL),
+                       ::testing::Values(5u, 21u)),
+    [](const ::testing::TestParamInfo<KvEngineCase> &info) {
+        return std::string(serve::kvModeName(
+                   std::get<0>(info.param))) +
+               "_blk" + std::to_string(std::get<1>(info.param)) +
+               "_s" + std::to_string(std::get<2>(info.param));
+    });
+
+// ---- Reserved and paged complete the same request set ------------------
+
+class KvEquivalenceSeeds : public ::testing::TestWithParam<unsigned>
+{
+};
+
+// Both disciplines shed exactly the never-fits requests and complete
+// everything else, for any seeded trace: the discipline changes
+// timing, never outcomes.
+TEST_P(KvEquivalenceSeeds, CompletionSetsMatch)
+{
+    serve::WorkloadConfig load;
+    load.arrivalRate = 0.8;
+    load.numRequests = 50;
+    load.meanInLen = 128;
+    load.meanOutLen = 192;
+    load.seed = GetParam();
+    auto reserved_trace = serve::generateWorkload(load);
+    auto paged_trace = reserved_trace;
+
+    serve::ServerConfig cfg;
+    cfg.policy = serve::BatchPolicy::Continuous;
+    cfg.maxBatch = 16;
+    cfg.kvBlocks = 512;
+    cfg.kvBlockTokens = 16;
+
+    {
+        auto step = kvGridModel();
+        serve::ContinuousEngine eng(*step, cfg);
+        for (auto &r : reserved_trace)
+            eng.submit(&r, r.arrival);
+        while (!eng.idle())
+            eng.iterate();
+    }
+    cfg.kvMode = serve::KvMode::Paged;
+    {
+        auto step = kvGridModel();
+        serve::ContinuousEngine eng(*step, cfg);
+        for (auto &r : paged_trace)
+            eng.submit(&r, r.arrival);
+        while (!eng.idle())
+            eng.iterate();
+    }
+
+    for (std::size_t i = 0; i < reserved_trace.size(); ++i)
+        EXPECT_EQ(reserved_trace[i].finish >= 0.0,
+                  paged_trace[i].finish >= 0.0)
+            << "request " << reserved_trace[i].id;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvEquivalenceSeeds,
+                         ::testing::Values(3u, 17u, 99u, 123u));
