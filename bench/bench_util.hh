@@ -179,6 +179,92 @@ parseKvArg(serve::KvMode &mode, int argc, char **argv, int &i)
     return true;
 }
 
+/**
+ * Prefix-caching options shared by `serve_slo`, `fleet_capacity`, and
+ * `examples/prefix_serving` — one parser instead of three copies.
+ * Defaults leave caching off and the workload unannotated, so a
+ * binary that never sees the flags stays byte-identical.
+ */
+struct PrefixOptions
+{
+    serve::PrefixMode mode = serve::PrefixMode::Off;
+    serve::SharedPrefixMix mix{};
+};
+
+/** Usage text for the shared prefix-caching flags. */
+inline const char *
+prefixUsage()
+{
+    return "  --prefix <off|per_tenant|global>\n"
+           "                      enable radix-tree prefix KV caching "
+           "with the given\n"
+           "                      sharing scope (requires --kv "
+           "paged)\n"
+           "  --prefix-tenants N  tenants in the shared-prompt mix "
+           "(default 4)\n"
+           "  --prefix-len N      shared system-prompt length in "
+           "tokens (default 256)\n"
+           "  --prefix-share F    fraction of requests opening with a "
+           "shared prompt\n"
+           "                      (default 0.85)\n";
+}
+
+/**
+ * Consume argv[i] (advancing `i` past any operand) when it is one of
+ * the shared prefix-caching flags; false otherwise.
+ */
+inline bool
+parsePrefixArg(PrefixOptions &opt, int argc, char **argv, int &i)
+{
+    if (std::strcmp(argv[i], "--prefix") == 0) {
+        if (i + 1 >= argc)
+            cllm_fatal("--prefix needs a mode "
+                       "(off|per_tenant|global)");
+        opt.mode = serve::parsePrefixMode(argv[++i]);
+        return true;
+    }
+    if (std::strcmp(argv[i], "--prefix-tenants") == 0) {
+        if (i + 1 >= argc)
+            cllm_fatal("--prefix-tenants needs a count");
+        opt.mix.tenants =
+            static_cast<unsigned>(std::stoul(argv[++i]));
+        if (opt.mix.tenants == 0)
+            cllm_fatal("--prefix-tenants must be positive");
+        return true;
+    }
+    if (std::strcmp(argv[i], "--prefix-len") == 0) {
+        if (i + 1 >= argc)
+            cllm_fatal("--prefix-len needs a token count");
+        opt.mix.prefixLen =
+            static_cast<unsigned>(std::stoul(argv[++i]));
+        return true;
+    }
+    if (std::strcmp(argv[i], "--prefix-share") == 0) {
+        if (i + 1 >= argc)
+            cllm_fatal("--prefix-share needs a fraction");
+        opt.mix.sharedFraction = std::stod(argv[++i]);
+        if (opt.mix.sharedFraction < 0.0 ||
+            opt.mix.sharedFraction > 1.0)
+            cllm_fatal("--prefix-share outside [0, 1]");
+        return true;
+    }
+    return false;
+}
+
+/** The shared-system-prompt arrival mix the prefix studies replay. */
+inline serve::SharedPrefixMix
+sharedPromptMix()
+{
+    return serve::SharedPrefixMix{};
+}
+
+/** Apply parsed prefix options to a server config. */
+inline void
+applyPrefixCache(serve::ServerConfig &cfg, const PrefixOptions &opt)
+{
+    cfg.prefixMode = opt.mode;
+}
+
 /** Shared-ownership wrapper around a freshly built TEE backend. */
 inline std::shared_ptr<const tee::TeeBackend>
 sharedBackend(std::unique_ptr<tee::TeeBackend> p)

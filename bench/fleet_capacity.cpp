@@ -38,14 +38,14 @@ void
 usage(std::ostream &os)
 {
     os << "usage: fleet_capacity [--kv reserved|paged] "
-          "[--trace [path]] [--metrics-out path]\n\n"
+          "[--prefix <mode>] [--trace [path]] [--metrics-out path]\n\n"
           "  --kv mode           KV discipline on every node: "
           "'reserved' (default,\n"
           "                      whole-request block reservation) or "
           "'paged'\n"
           "                      (headroom admission with recompute "
           "preemption)\n"
-       << bench::obsUsage();
+       << bench::prefixUsage() << bench::obsUsage();
 }
 
 /** Sustainable request rate of one node at full batch, from its own
@@ -185,6 +185,93 @@ sweep(double ttft_slo, const std::vector<double> &rates,
 }
 
 /**
+ * Prefix-caching comparison on a homogeneous 4-node TDX fleet: the
+ * same shared-system-prompt trace replayed with caching off, caching
+ * on under plain load balancing (hits only when repeats happen to
+ * land together), and caching on under the prefix-affinity router
+ * (repeat prefixes stick to the node holding their KV). Reports hit
+ * rates and the TTFT / $/1k-token deltas the routing choice buys.
+ */
+void
+prefixComparison(const bench::PrefixOptions &popt)
+{
+    std::cout << "--- prefix caching: shared-system-prompt mix on a "
+                 "4-node TDX fleet ---\n";
+    std::cout << "sharing scope " << serve::prefixModeName(popt.mode)
+              << "; " << popt.mix.tenants << " tenants, "
+              << popt.mix.prefixLen << "-token shared prefixes, "
+              << fmtPct(100.0 * popt.mix.sharedFraction)
+              << " of requests shared\n\n";
+
+    const llm::ModelConfig model = llm::llama2_7b();
+    fleet::NodeTemplate cpu = fleet::cpuTdxNode();
+    bench::applyPagedKv(cpu.server, model);
+
+    serve::WorkloadConfig load = bench::serveSeedWorkload();
+    load.arrivalRate = 1.2;
+    load.numRequests = 400;
+    std::vector<serve::Request> trace = serve::generateWorkload(load);
+    serve::applySharedPrefixMix(trace, popt.mix);
+
+    // Per-node cache budget sized below the distinct-prompt working
+    // set (tenants x prompts/tenant prefixes). Scatter routing makes
+    // every node try to hold every prompt inside that budget, while
+    // affinity routing needs only its resident share per node — the
+    // difference between the two cached-token columns is what the
+    // routing policy is worth.
+    const std::uint64_t bt = cpu.server.kvBlockTokens;
+    const std::uint64_t prompt_blocks =
+        (popt.mix.prefixLen + bt - 1) / bt;
+    const std::uint64_t budget = 3 * prompt_blocks;
+
+    struct Variant
+    {
+        const char *name;
+        bool prefixOn;
+        fleet::RouterPolicy policy;
+    };
+    const Variant variants[] = {
+        {"off / least-outstanding", false,
+         fleet::RouterPolicy::LeastOutstanding},
+        {"on / least-outstanding", true,
+         fleet::RouterPolicy::LeastOutstanding},
+        {"on / prefix-affinity", true,
+         fleet::RouterPolicy::PrefixAffinity},
+    };
+
+    Table t({"variant", "hit rate", "prefill tok", "TTFT p50 [s]",
+             "TTFT p99 [s]", "$/1k tok", "vs off"});
+    double off_per_1k = 0.0;
+    for (const Variant &v : variants) {
+        fleet::NodeTemplate node = cpu;
+        if (v.prefixOn) {
+            node.server.prefixMode = popt.mode;
+            node.server.prefix.maxBlocks = budget;
+        }
+        fleet::FleetConfig cfg;
+        cfg.ttftSlo = 2.0;
+        cfg.policy = v.policy;
+        cfg.initialNodes = {0, 0, 0, 0};
+        fleet::FleetSimulator sim(cfg, {node});
+        const fleet::FleetMetrics m = sim.run(trace);
+        if (!v.prefixOn)
+            off_per_1k = m.costPer1kTokens;
+        const std::size_t matches = m.prefixHits + m.prefixMisses;
+        t.addRow(
+            {v.name,
+             matches ? fmtPct(100.0 * m.prefixHits /
+                              static_cast<double>(matches))
+                     : std::string("-"),
+             fmtInt(m.prefillTokensComputed), fmt(m.ttft.p50, 3),
+             fmt(m.ttft.p99, 3), fmt(m.costPer1kTokens, 4),
+             v.prefixOn ? fmt(off_per_1k - m.costPer1kTokens, 6)
+                        : std::string("-")});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+/**
  * Trace one representative scenario: the mixed cost-aware fleet at
  * 1 req/s under the paper SLO. The sweep itself fans out across
  * cores, so the traced run is a separate serial replay — same seeded
@@ -222,6 +309,7 @@ int
 main(int argc, char **argv)
 {
     bench::ObsOptions opt;
+    bench::PrefixOptions popt;
     serve::KvMode kv_mode = serve::KvMode::Reserved;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--help") == 0 ||
@@ -230,6 +318,8 @@ main(int argc, char **argv)
             return 0;
         }
         if (bench::parseKvArg(kv_mode, argc, argv, i))
+            continue;
+        if (bench::parsePrefixArg(popt, argc, argv, i))
             continue;
         if (bench::parseObsArg(opt, argc, argv, i))
             continue;
@@ -254,6 +344,9 @@ main(int argc, char **argv)
     std::cout << "--- tightened SLO: TTFT 0.5 s (crossover moves "
                  "toward the GPU) ---\n";
     sweep(0.5, rates, kv_mode);
+
+    if (popt.mode != serve::PrefixMode::Off)
+        prefixComparison(popt);
 
     if (opt.trace)
         traceRepresentativeRun(opt);

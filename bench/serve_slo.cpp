@@ -21,6 +21,7 @@
 #include <string>
 
 #include "bench_util.hh"
+#include "cost/pricing.hh"
 #include "fault/schedule.hh"
 #include "obs/chrome_export.hh"
 #include "obs/trace.hh"
@@ -40,7 +41,7 @@ void
 usage(std::ostream &os)
 {
     os << "usage: serve_slo [--faults [seed]] [--kv-sweep] "
-          "[--trace [path]] [--metrics-out path]\n\n"
+          "[--prefix-sweep] [--trace [path]] [--metrics-out path]\n\n"
           "  --faults [seed]     run the resilience experiment "
           "(seeded fault schedule\n"
           "                      against a TDX deployment) instead of "
@@ -50,7 +51,13 @@ usage(std::ostream &os)
           "discipline sweep (fixed\n"
           "                      pool sizes; recompute and "
           "swap-to-EPC preemption)\n"
-       << bench::obsUsage();
+          "  --prefix-sweep      run the prefix-caching sweep "
+          "(off/per_tenant/global\n"
+          "                      sharing on a shared-system-prompt "
+          "mix; TTFT and\n"
+          "                      $/1k-token deltas); honours the "
+          "--prefix-* mix flags\n"
+       << bench::prefixUsage() << bench::obsUsage();
 }
 
 /** Export the recorded trace and report where it went. */
@@ -226,6 +233,135 @@ runKvSweepMode(const bench::ObsOptions &opt)
 }
 
 int
+runPrefixSweepMode(const bench::PrefixOptions &popt,
+                   const bench::ObsOptions &opt)
+{
+    std::cout << "=== Prefix caching: radix-tree KV reuse on a TDX "
+                 "deployment ===\n";
+    std::cout << "Llama2-7B bf16, paged KV (2560 blocks x 16 "
+                 "tokens); shared-system-prompt mix:\n"
+              << popt.mix.tenants << " tenants, "
+              << popt.mix.promptsPerTenant << " prompts/tenant, "
+              << popt.mix.prefixLen << "-token shared prefixes, "
+              << fmtPct(100.0 * popt.mix.sharedFraction)
+              << " of requests shared\n\n";
+
+    const hw::CpuSpec cpu = hw::emr2();
+    const llm::ModelConfig model = llm::llama2_7b();
+    const llm::RunParams deploy = serveDeployParams(cpu);
+
+    std::vector<Request> base = generateWorkload(serveSeedWorkload());
+    applySharedPrefixMix(base, popt.mix);
+
+    // Spot-priced node bill, so the prefill seconds a cache hit
+    // saves show up as a $/1k-token delta.
+    const double instance_hr = cost::cpuInstanceHr(
+        cost::gcpSpotUsEast1(), deploy.cores, 256.0);
+
+    obs::Tracer tracer(opt.trace ? obs::TraceMode::Sim
+                                 : obs::TraceMode::Off);
+    std::uint32_t lane = 0;
+
+    struct Run
+    {
+        const char *name;
+        PrefixMode mode;
+        ServeMetrics m{};
+        double usdPer1k = 0.0;
+    };
+    Run runs[] = {
+        {"off", PrefixMode::Off},
+        {"per_tenant", PrefixMode::PerTenant},
+        {"global", PrefixMode::Global},
+    };
+
+    Table t({"prefix mode", "hit rate", "prefill tok", "TTFT p50 [s]",
+             "TTFT p95 [s]", "tok/s", "$/1k tok"});
+    for (Run &run : runs) {
+        ServerConfig cfg;
+        cfg.policy = BatchPolicy::Continuous;
+        cfg.kvBlocks = 2560;
+        cfg.kvBlockTokens = 16;
+        cfg.kvMode = KvMode::Paged;
+        cfg.paged.kvBytesPerToken =
+            model.kvBytesPerToken(hw::Dtype::Bf16);
+        cfg.prefixMode = run.mode;
+        if (opt.trace) {
+            cfg.tracer = &tracer;
+            cfg.traceLane = lane;
+            tracer.laneName(lane, std::string("prefix ") + run.name);
+        }
+        ++lane;
+        Server server(
+            makeCpuStepModel(cpu, sharedBackend(tee::makeTdx()),
+                             model, deploy),
+            cfg);
+        run.m = server.run(base);
+        run.usdPer1k = cost::costPer1kTokens(
+            run.m.outputTokens,
+            cost::nodeSecondsUsd(instance_hr, run.m.makespan));
+        const std::size_t matches =
+            run.m.prefixHits + run.m.prefixMisses;
+        t.addRow({run.name,
+                  matches ? fmtPct(100.0 * run.m.prefixHits /
+                                   static_cast<double>(matches))
+                          : std::string("-"),
+                  fmtInt(run.m.prefillTokensComputed),
+                  fmt(run.m.ttft.p50, 3), fmt(run.m.ttft.p95, 3),
+                  fmt(run.m.tokensPerSecond),
+                  fmt(run.usdPer1k, 5)});
+    }
+    t.print(std::cout);
+
+    const Run &off = runs[0];
+    std::cout << "\nprefix sweep (JSON):\n";
+    JsonWriter json(std::cout);
+    json.beginObject();
+    json.field("pool_blocks", 2560);
+    json.field("block_tokens", 16);
+    json.field("tenants", popt.mix.tenants);
+    json.field("prefix_len", popt.mix.prefixLen);
+    json.field("shared_fraction", popt.mix.sharedFraction);
+    json.key("runs");
+    json.beginArray();
+    for (const Run &run : runs) {
+        json.beginObject();
+        json.field("prefix_mode", std::string(run.name));
+        json.field("ttft_p50_s", run.m.ttft.p50);
+        json.field("ttft_p95_s", run.m.ttft.p95);
+        json.field("tokens_per_s", run.m.tokensPerSecond);
+        json.field("makespan_s", run.m.makespan);
+        json.field("prefix_hits", run.m.prefixHits);
+        json.field("prefix_misses", run.m.prefixMisses);
+        json.field("prefix_cached_tokens", run.m.prefixCachedTokens);
+        json.field("prefill_tokens_computed",
+                   run.m.prefillTokensComputed);
+        json.field("prefix_evictions", run.m.prefixEvictions);
+        json.field("cost_per_1k_tokens_usd", run.usdPer1k);
+        // Improvements over the cache-off baseline (positive =
+        // caching won).
+        json.field("ttft_p50_improvement_s",
+                   off.m.ttft.p50 - run.m.ttft.p50);
+        json.field("ttft_p95_improvement_s",
+                   off.m.ttft.p95 - run.m.ttft.p95);
+        json.field("prefill_tokens_saved",
+                   off.m.prefillTokensComputed -
+                       run.m.prefillTokensComputed);
+        json.field("cost_per_1k_tokens_improvement_usd",
+                   off.usdPer1k - run.usdPer1k);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    std::cout << "\n";
+
+    if (opt.trace)
+        finishTrace(tracer, opt);
+    bench::writeMetricsSnapshot(opt.metricsOut);
+    return 0;
+}
+
+int
 runSloMode(const bench::ObsOptions &opt)
 {
     std::cout << "=== Serving extension: SLO attainment under TEEs "
@@ -314,8 +450,10 @@ int
 main(int argc, char **argv)
 {
     bench::ObsOptions opt;
+    bench::PrefixOptions popt;
     bool fault_mode = false;
     bool kv_sweep = false;
+    bool prefix_sweep = false;
     std::uint64_t fault_seed = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--help") == 0 ||
@@ -333,6 +471,12 @@ main(int argc, char **argv)
             kv_sweep = true;
             continue;
         }
+        if (std::strcmp(argv[i], "--prefix-sweep") == 0) {
+            prefix_sweep = true;
+            continue;
+        }
+        if (bench::parsePrefixArg(popt, argc, argv, i))
+            continue;
         if (bench::parseObsArg(opt, argc, argv, i))
             continue;
         std::cerr << "serve_slo: unknown argument '" << argv[i]
@@ -344,5 +488,7 @@ main(int argc, char **argv)
         return runFaultMode(fault_seed, opt);
     if (kv_sweep)
         return runKvSweepMode(opt);
+    if (prefix_sweep)
+        return runPrefixSweepMode(popt, opt);
     return runSloMode(opt);
 }

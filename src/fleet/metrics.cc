@@ -26,6 +26,16 @@ writeFleetMetrics(JsonWriter &json, const FleetMetrics &m)
     json.field("kv_swap_outs", m.kvSwapOuts);
     json.field("kv_swap_ins", m.kvSwapIns);
     json.field("kv_swap_s", m.kvSwapSeconds);
+    if (m.prefixEnabled) {
+        json.field("prefix_hits", m.prefixHits);
+        json.field("prefix_misses", m.prefixMisses);
+        json.field("prefix_cached_tokens", m.prefixCachedTokens);
+        json.field("prefill_tokens_computed",
+                   m.prefillTokensComputed);
+        json.field("prefix_evictions", m.prefixEvictions);
+        json.field("prefix_evicted_blocks", m.prefixEvictedBlocks);
+        json.field("prefix_pinned_peak_blocks", m.prefixPinnedPeak);
+    }
     json.field("total_cost_usd", m.totalCostUsd);
     json.field("cost_per_1k_tokens_usd", m.costPer1kTokens);
     json.field("peak_nodes", m.peakNodes);

@@ -55,6 +55,17 @@ struct FleetMetrics
     std::size_t kvSwapIns = 0;
     double kvSwapSeconds = 0.0;
 
+    // Prefix caching (sums over nodes; emitted to JSON only when any
+    // node ran with caching on, keeping legacy output byte-stable).
+    bool prefixEnabled = false;
+    std::size_t prefixHits = 0;
+    std::size_t prefixMisses = 0;
+    std::uint64_t prefixCachedTokens = 0;
+    std::uint64_t prefillTokensComputed = 0;
+    std::size_t prefixEvictions = 0;
+    std::uint64_t prefixEvictedBlocks = 0;
+    std::uint64_t prefixPinnedPeak = 0; //!< max across nodes
+
     // Fleet economics.
     double totalCostUsd = 0.0;
     double costPer1kTokens = 0.0;

@@ -20,6 +20,8 @@ routerPolicyName(RouterPolicy p)
         return "kv-headroom";
       case RouterPolicy::CostAware:
         return "cost-aware";
+      case RouterPolicy::PrefixAffinity:
+        return "prefix-affinity";
     }
     return "?";
 }
@@ -33,6 +35,15 @@ Router::Router(RouterPolicy policy, double ttft_slo)
 
 namespace {
 
+/**
+ * How much busier (outstanding requests) a prefix-affinity home node
+ * may run than the least-loaded alternative before a projected-TTFT
+ * breach actually spills the request. Below this the fleet is near
+ * balance: moving would forfeit the cached prefix for no queueing
+ * gain.
+ */
+constexpr unsigned kAffinitySlack = 2;
+
 /** Least outstanding work among `idxs`, ties to the lowest id. */
 int
 leastOutstanding(const std::vector<std::unique_ptr<Node>> &nodes,
@@ -45,6 +56,28 @@ leastOutstanding(const std::vector<std::unique_ptr<Node>> &nodes,
             best = i;
     }
     return best;
+}
+
+/**
+ * Affinity key: FNV-1a over the tenant and the leading prompt tokens.
+ * 64 tokens (4+ KV blocks at the default geometry) is enough to
+ * separate distinct system prompts without hashing whole contexts.
+ */
+std::uint64_t
+prefixKey(const serve::Request &r)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ULL;
+    };
+    mix(r.tenant);
+    const std::size_t n =
+        std::min<std::size_t>(r.promptTokens.size(), 64);
+    for (std::size_t i = 0; i < n; ++i)
+        mix(static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(r.promptTokens[i])));
+    return h;
 }
 
 } // namespace
@@ -122,6 +155,42 @@ Router::route(const std::vector<std::unique_ptr<Node>> &nodes,
                 return cand;
         }
         return leastOutstanding(nodes, routable);
+      }
+
+      case RouterPolicy::PrefixAffinity: {
+        // No tokens to key on: plain load balancing.
+        if (r.promptTokens.empty())
+            return leastOutstanding(nodes, routable);
+        const std::uint64_t key = prefixKey(r);
+        const int alt = leastOutstanding(nodes, routable);
+        auto it = affinity_.find(key);
+        if (it != affinity_.end()) {
+            const int home = it->second;
+            const bool live =
+                std::find(routable.begin(), routable.end(), home) !=
+                routable.end();
+            // Stay home unless home is both breaching the TTFT
+            // projection and materially busier than the best
+            // alternative. A hit skips the cached prefill (which the
+            // projection cannot see), and when every node is equally
+            // loaded moving gains nothing and forfeits the cached
+            // prefix — so spill needs both signals.
+            if (live) {
+                const bool slo_ok =
+                    nodes[home]->projectedTtft(now, r.inLen) <=
+                    ttftSlo_;
+                const bool balanced =
+                    nodes[home]->engine().outstanding() <=
+                    nodes[alt]->engine().outstanding() +
+                        kAffinitySlack;
+                if (slo_ok || balanced)
+                    return home;
+            }
+        }
+        // Miss or spill: balance by load, and move the affinity —
+        // the prefix gets cached wherever this request lands.
+        affinity_[key] = alt;
+        return alt;
       }
     }
     return routable.front();

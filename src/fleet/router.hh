@@ -12,7 +12,9 @@
 #ifndef CLLM_FLEET_ROUTER_HH
 #define CLLM_FLEET_ROUTER_HH
 
+#include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "fleet/node.hh"
@@ -28,6 +30,11 @@ enum class RouterPolicy
     KvHeadroom,       //!< most free KV blocks, then least loaded
     CostAware,        //!< cheapest price tier whose TTFT projection
                       //!< holds the SLO; spill upward otherwise
+    PrefixAffinity,   //!< sticky by (tenant, prompt head) so repeat
+                      //!< prefixes land where their KV is cached;
+                      //!< spills to least-outstanding only when home
+                      //!< breaches the TTFT projection AND is
+                      //!< materially busier than the alternative
 };
 
 /** Printable policy name. */
@@ -54,6 +61,14 @@ class Router
     RouterPolicy policy_;
     double ttftSlo_;
     std::size_t rrCursor_ = 0;
+    /**
+     * PrefixAffinity state: (tenant, prompt-head hash) → node index.
+     * Cached-prefix locality is per node (each engine owns its own
+     * radix tree), so repeat prefixes only hit if they keep landing
+     * on the same node; a spill moves the affinity with it, since the
+     * spill target is where the prefix will be cached next.
+     */
+    std::unordered_map<std::uint64_t, int> affinity_;
 };
 
 } // namespace cllm::fleet

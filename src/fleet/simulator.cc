@@ -256,6 +256,16 @@ FleetSimulator::finalize(const std::vector<serve::Request> &trace,
         tally.kvSwapOuts += t.kvSwapOuts;
         tally.kvSwapIns += t.kvSwapIns;
         tally.kvSwapSeconds += t.kvSwapSeconds;
+        tally.prefixEnabled = tally.prefixEnabled || t.prefixEnabled;
+        tally.prefixHits += t.prefixHits;
+        tally.prefixMisses += t.prefixMisses;
+        tally.prefixCachedTokens += t.prefixCachedTokens;
+        tally.prefillTokensComputed += t.prefillTokensComputed;
+        tally.prefixEvictions += t.prefixEvictions;
+        tally.prefixEvictedBlocks += t.prefixEvictedBlocks;
+        tally.prefixInsertedBlocks += t.prefixInsertedBlocks;
+        tally.prefixPinnedPeak = std::max<std::uint64_t>(
+            tally.prefixPinnedPeak, t.prefixPinnedPeak);
         occupancy_sum += e.occupancySum();
         steps += e.steps();
         kv_peak = std::max(kv_peak, e.kvPeak());
@@ -287,6 +297,14 @@ FleetSimulator::finalize(const std::vector<serve::Request> &trace,
     m.kvSwapOuts = tally.kvSwapOuts;
     m.kvSwapIns = tally.kvSwapIns;
     m.kvSwapSeconds = tally.kvSwapSeconds;
+    m.prefixEnabled = tally.prefixEnabled;
+    m.prefixHits = tally.prefixHits;
+    m.prefixMisses = tally.prefixMisses;
+    m.prefixCachedTokens = tally.prefixCachedTokens;
+    m.prefillTokensComputed = tally.prefillTokensComputed;
+    m.prefixEvictions = tally.prefixEvictions;
+    m.prefixEvictedBlocks = tally.prefixEvictedBlocks;
+    m.prefixPinnedPeak = tally.prefixPinnedPeak;
     m.retries = tally.retries;
     m.shed = tally.shed;
     m.timedOut = tally.timedOut;

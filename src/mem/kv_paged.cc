@@ -11,6 +11,7 @@ PagedKvCache::PagedKvCache(PagedKvConfig cfg) : cfg_(cfg)
     if (cfg_.totalBlocks == 0 || cfg_.blockTokens == 0)
         cllm_fatal("PagedKvCache: degenerate configuration");
     refCounts_.assign(cfg_.totalBlocks, 0);
+    extPins_.assign(cfg_.totalBlocks, 0);
     freeList_.reserve(cfg_.totalBlocks);
     for (std::uint32_t b = 0; b < cfg_.totalBlocks; ++b)
         freeList_.push_back(
@@ -57,6 +58,65 @@ PagedKvCache::addSequence(KvSeqId id, unsigned tokens)
         s.blocks.push_back(allocBlock());
     seqs_.emplace(id, std::move(s));
     return true;
+}
+
+bool
+PagedKvCache::addSequenceWithPrefix(
+    KvSeqId id, unsigned tokens,
+    const std::vector<std::uint32_t> &shared, unsigned shared_tokens)
+{
+    if (seqs_.count(id))
+        cllm_fatal("PagedKvCache: duplicate sequence ", id);
+    if (shared_tokens % cfg_.blockTokens != 0 ||
+        shared.size() != shared_tokens / cfg_.blockTokens ||
+        shared_tokens > tokens)
+        cllm_fatal("PagedKvCache: malformed shared prefix for "
+                   "sequence ",
+                   id);
+    for (std::uint32_t b : shared)
+        if (b >= cfg_.totalBlocks || refCounts_[b] == 0)
+            cllm_fatal("PagedKvCache: shared prefix references a "
+                       "free block");
+    const std::uint64_t need = blocksFor(tokens) - shared.size();
+    if (need > freeList_.size())
+        return false;
+    Seq s;
+    s.tokens = tokens;
+    s.blocks = shared;
+    for (std::uint32_t b : shared)
+        ++refCounts_[b];
+    for (std::uint64_t i = 0; i < need; ++i)
+        s.blocks.push_back(allocBlock());
+    seqs_.emplace(id, std::move(s));
+    return true;
+}
+
+void
+PagedKvCache::pin(const std::vector<std::uint32_t> &blocks)
+{
+    for (std::uint32_t b : blocks) {
+        if (b >= cfg_.totalBlocks || refCounts_[b] == 0)
+            cllm_panic("PagedKvCache: pin of free block ", b);
+        ++refCounts_[b];
+        if (extPins_[b]++ == 0)
+            ++pinned_;
+    }
+}
+
+std::uint64_t
+PagedKvCache::unpin(const std::vector<std::uint32_t> &blocks)
+{
+    std::uint64_t freed = 0;
+    for (std::uint32_t b : blocks) {
+        if (b >= cfg_.totalBlocks || extPins_[b] == 0)
+            cllm_panic("PagedKvCache: unpin of unpinned block ", b);
+        if (--extPins_[b] == 0)
+            --pinned_;
+        const std::size_t before = freeList_.size();
+        unref(b);
+        freed += freeList_.size() - before;
+    }
+    return freed;
 }
 
 bool
@@ -149,6 +209,35 @@ PagedKvCache::blocksOf(KvSeqId id) const
     return it == seqs_.end() ? 0 : it->second.blocks.size();
 }
 
+const std::vector<std::uint32_t> &
+PagedKvCache::blockTable(KvSeqId id) const
+{
+    auto it = seqs_.find(id);
+    if (it == seqs_.end())
+        cllm_fatal("PagedKvCache: blockTable of unknown sequence ",
+                   id);
+    return it->second.blocks;
+}
+
+std::uint32_t
+PagedKvCache::refCount(std::uint32_t block) const
+{
+    return block < cfg_.totalBlocks ? refCounts_[block] : 0;
+}
+
+std::uint32_t
+PagedKvCache::pinCount(std::uint32_t block) const
+{
+    return block < cfg_.totalBlocks ? extPins_[block] : 0;
+}
+
+bool
+PagedKvCache::cacheOnly(std::uint32_t block) const
+{
+    return block < cfg_.totalBlocks && refCounts_[block] != 0 &&
+           refCounts_[block] == extPins_[block];
+}
+
 double
 PagedKvCache::utilization() const
 {
@@ -214,13 +303,18 @@ PagedKvCache::consistent() const
             return false; // duplicate free-list entry = double free
         free[b] = true;
     }
+    std::uint64_t pinned = 0;
     for (std::uint32_t b = 0; b < cfg_.totalBlocks; ++b) {
-        if (refs[b] != refCounts_[b])
+        if (refs[b] + extPins_[b] != refCounts_[b])
             return false;
         if (free[b] == (refCounts_[b] != 0))
             return false;
+        if (free[b] && extPins_[b] != 0)
+            return false; // a pin must keep its block off the free list
+        if (extPins_[b] != 0)
+            ++pinned;
     }
-    return true;
+    return pinned == pinned_;
 }
 
 } // namespace cllm::mem

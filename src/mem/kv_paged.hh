@@ -78,6 +78,33 @@ class PagedKvCache
      */
     bool fork(KvSeqId parent, KvSeqId child);
 
+    /**
+     * Register a new sequence of `tokens` tokens whose leading
+     * `shared_tokens` (a multiple of blockTokens) are already resident
+     * in `shared` — the prefix-cache admission path. The shared blocks
+     * gain a reference each and only the remainder is allocated;
+     * all-or-nothing like addSequence. Fatal on a malformed prefix
+     * (wrong granularity, wrong block count, or a free block).
+     */
+    bool addSequenceWithPrefix(KvSeqId id, unsigned tokens,
+                               const std::vector<std::uint32_t> &shared,
+                               unsigned shared_tokens);
+
+    /**
+     * Add one external (prefix-cache) pin to each block: the block
+     * gains a reference that outlives any sequence table, so releasing
+     * every sequence leaves it allocated. Fatal on a free block — a
+     * pin can only retain live KV, never resurrect freed KV.
+     */
+    void pin(const std::vector<std::uint32_t> &blocks);
+
+    /**
+     * Drop one external pin from each block, returning how many
+     * blocks that sent back to the free list (blocks still referenced
+     * by live tables stay allocated). Fatal on an unpinned block.
+     */
+    std::uint64_t unpin(const std::vector<std::uint32_t> &blocks);
+
     /** Release a sequence's table (decrement shared refcounts). */
     void release(KvSeqId id);
 
@@ -86,6 +113,25 @@ class PagedKvCache
 
     /** Blocks currently referenced by a sequence's table. */
     std::size_t blocksOf(KvSeqId id) const;
+
+    /** A sequence's block table, in token order (fatal if unknown). */
+    const std::vector<std::uint32_t> &blockTable(KvSeqId id) const;
+
+    /** Total references on a block (tables + external pins). */
+    std::uint32_t refCount(std::uint32_t block) const;
+
+    /** External (prefix-cache) pins on a block. */
+    std::uint32_t pinCount(std::uint32_t block) const;
+
+    /**
+     * True when a block is alive but referenced only by external
+     * pins — the prefix cache's eviction predicate: unpinning such a
+     * block actually frees it.
+     */
+    bool cacheOnly(std::uint32_t block) const;
+
+    /** Number of distinct blocks holding at least one external pin. */
+    std::uint64_t pinnedBlocks() const { return pinned_; }
 
     /** Blocks needed to hold `tokens` tokens. */
     std::uint64_t
@@ -119,9 +165,12 @@ class PagedKvCache
 
     /**
      * Block conservation: every block is either on the free list or
-     * referenced by exactly its refcount across live tables, and
-     * used + free == total. The property tests call this after every
-     * mutation batch; a violation is a scheduler bug.
+     * carries exactly refcount references, where the refcount must
+     * equal live-table references plus external prefix pins — so
+     * prefix pins, per-sequence tables, and the free list sum to the
+     * pool size across arbitrary fork/release/pin chains. The
+     * property tests call this after every mutation; a violation is a
+     * scheduler bug.
      */
     bool consistent() const;
 
@@ -142,7 +191,9 @@ class PagedKvCache
 
     PagedKvConfig cfg_;
     std::vector<std::uint32_t> refCounts_;
+    std::vector<std::uint32_t> extPins_; //!< prefix-cache pins per block
     std::vector<std::uint32_t> freeList_;
+    std::uint64_t pinned_ = 0; //!< blocks with at least one pin
     std::unordered_map<KvSeqId, Seq> seqs_;
     PagedKvStats stats_{};
 };

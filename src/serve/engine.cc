@@ -65,6 +65,33 @@ swapInCounter()
     return c;
 }
 
+// Prefix-cache counters are only ever touched on prefix-enabled
+// paths, so a prefixMode=off run never registers them and the obs
+// registry snapshot stays byte-identical to older builds.
+obs::Counter &
+prefixHitCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("serve.prefix_hits");
+    return c;
+}
+
+obs::Counter &
+prefixMissCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("serve.prefix_misses");
+    return c;
+}
+
+obs::Counter &
+prefixEvictCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("serve.prefix_evicted_blocks");
+    return c;
+}
+
 /** The config's tracer when sim recording is live, else null. */
 obs::Tracer *
 simTracer(const ServerConfig &cfg)
@@ -105,13 +132,28 @@ ContinuousEngine::ContinuousEngine(const StepModel &step,
             cllm_fatal("ContinuousEngine: swap preemption requires "
                        "KV bytes per token");
     }
+    if (cfg_.prefixMode != PrefixMode::Off &&
+        cfg_.kvMode != KvMode::Paged)
+        cllm_fatal("ContinuousEngine: prefix caching requires paged "
+                   "KV");
     if (cfg_.kvBlocks)
         pool_.emplace(KvPoolConfig{cfg_.kvBlocks, cfg_.kvBlockTokens});
+    if (cfg_.prefixMode != PrefixMode::Off) {
+        // &*pool_ is stable: the optional is never re-emplaced.
+        prefix_.emplace(cfg_.prefixMode, &*pool_,
+                        cfg_.prefix.maxBlocks);
+        tally_.prefixEnabled = true;
+    }
 }
 
 void
 ContinuousEngine::submit(Request *r, double ready_at, unsigned attempts)
 {
+    if (!r->promptTokens.empty() &&
+        r->promptTokens.size() != r->inLen)
+        cllm_fatal("ContinuousEngine: prompt token count mismatch "
+                   "for request ",
+                   r->id);
     pending_.push({r, ready_at, attempts, 0, false});
     submitted_.push_back(r);
     if (obs::Tracer *t = simTracer(cfg_); t && attempts == 0)
@@ -182,7 +224,8 @@ ContinuousEngine::drainFinished()
 // request whose full context could never fit.
 bool
 ContinuousEngine::canAdmit(const Request &r, unsigned produced,
-                           double factor) const
+                           double factor,
+                           std::uint64_t shared_blocks) const
 {
     if (!pool_)
         return true;
@@ -192,7 +235,10 @@ ContinuousEngine::canAdmit(const Request &r, unsigned produced,
         if (pool_->blocksFor(r.inLen + r.outLen) + reserve >
             cfg_.kvBlocks)
             return false;
-        need = pool_->blocksFor(r.inLen + produced) + reserve;
+        // Blocks already cached for this prompt's prefix are shared,
+        // not allocated, so they come off the admission bill.
+        need = pool_->blocksFor(r.inLen + produced) - shared_blocks +
+               reserve;
         if (need > pool_->freeBlocks())
             return false;
     } else {
@@ -207,6 +253,62 @@ ContinuousEngine::canAdmit(const Request &r, unsigned produced,
     const auto usable = static_cast<std::uint64_t>(
         factor * static_cast<double>(cfg_.kvBlocks));
     return used + need <= usable;
+}
+
+bool
+ContinuousEngine::admitCheck(const Request &r, unsigned produced,
+                             double factor, bool swapped)
+{
+    if (!prefix_)
+        return canAdmit(r, produced, factor);
+    // A request whose full context can never fit is hopeless no
+    // matter what gets evicted; refuse before draining the cache.
+    if (pool_->blocksFor(r.inLen + r.outLen) +
+            cfg_.paged.minFreeBlocks >
+        cfg_.kvBlocks)
+        return false;
+    // A swapped-out victim resumes with its KV image intact — the
+    // cache is not consulted (matching would double-credit tokens the
+    // swap-in already pays for).
+    const bool use_cache = !swapped && !r.promptTokens.empty();
+    for (;;) {
+        std::uint64_t shared = 0;
+        if (use_cache)
+            shared = prefix_->peek(r.tenant, r.promptTokens)
+                         .blocks.size();
+        if (canAdmit(r, produced, factor, shared))
+            return true;
+        // Short on blocks: evict LRU cached prefixes, then re-probe —
+        // eviction may have reclaimed part of this prompt's own
+        // match, shrinking the credit.
+        const std::uint64_t need =
+            pool_->blocksFor(r.inLen + produced) - shared +
+            cfg_.paged.minFreeBlocks;
+        const std::uint64_t free = pool_->freeBlocks();
+        const std::uint64_t want = need > free ? need - free : 1;
+        const std::uint64_t freed = prefix_->evictToFree(want, clock_);
+        if (freed == 0)
+            return false;
+        prefixEvictCounter().add(freed);
+        syncPrefixTally();
+        if (obs::Tracer *t = simTracer(cfg_))
+            t->instant(cfg_.traceLane, "prefix.evict", clock_,
+                       {{"blocks", static_cast<double>(freed)}});
+    }
+}
+
+void
+ContinuousEngine::syncPrefixTally()
+{
+    const PrefixCacheStats &s = prefix_->stats();
+    tally_.prefixHits = s.hits;
+    tally_.prefixMisses = s.misses;
+    tally_.prefixCachedTokens = s.hitTokens;
+    tally_.prefixEvictions = s.evictions;
+    tally_.prefixEvictedBlocks = s.evictedBlocks;
+    tally_.prefixInsertedBlocks = s.insertedBlocks;
+    tally_.prefixPinnedPeak = std::max<std::uint64_t>(
+        tally_.prefixPinnedPeak, prefix_->pinnedBlocks());
 }
 
 /** EPC boundary traffic time to move a `tokens`-token KV image. */
@@ -272,6 +374,18 @@ ContinuousEngine::growActivePaged()
         const bool needs_block =
             pool_->tokens(r->id) % cfg_.kvBlockTokens == 0;
         if (needs_block && pool_->freeBlocks() == 0) {
+            // Cached prefixes are the cheapest thing to give back:
+            // reclaim idle cache blocks before preempting a live
+            // sequence (which costs recompute or swap traffic).
+            if (prefix_) {
+                const std::uint64_t freed =
+                    prefix_->evictToFree(1, clock_);
+                if (freed > 0) {
+                    prefixEvictCounter().add(freed);
+                    syncPrefixTally();
+                    continue;
+                }
+            }
             preemptActive(i + 1 < active_.size() ? active_.size() - 1
                                                  : i);
             continue; // retry the same slot (or fall off the end)
@@ -291,6 +405,11 @@ ContinuousEngine::publishKvGauges() const
         obs::Registry::global().gauge("serve.kv_blocks_free");
     used.set(static_cast<double>(pool_->usedBlocks()));
     free.set(static_cast<double>(pool_->freeBlocks()));
+    if (prefix_) {
+        static obs::Gauge &pinned = obs::Registry::global().gauge(
+            "serve.prefix_pinned_blocks");
+        pinned.set(static_cast<double>(prefix_->pinnedBlocks()));
+    }
 }
 
 // Bounded retry with exponential backoff; a request that spends its
@@ -436,17 +555,38 @@ ContinuousEngine::iterate(double admit_horizon)
             requeue(p.req, p.attempts + 1);
             continue;
         }
-        if (!canAdmit(*p.req, p.produced, kv_factor))
+        if (!admitCheck(*p.req, p.produced, kv_factor, p.swapped))
             break;
         pending_.pop();
         Request *r = p.req;
         const bool paged = cfg_.kvMode == KvMode::Paged;
+        const bool use_cache = prefix_ && !p.swapped &&
+                               !r->promptTokens.empty();
+        PrefixMatch pm;
         if (pool_) {
             // Paged admission allocates only the resident context;
-            // reserved admission pins the full generation up front.
+            // reserved admission pins the full generation up front. A
+            // cached-prefix hit shares the matched blocks instead of
+            // allocating them (and counts exactly once, here, at the
+            // successful admission).
             const unsigned resident =
                 paged ? r->inLen + p.produced : r->inLen + r->outLen;
-            if (!pool_->addSequence(r->id, resident))
+            bool ok;
+            if (use_cache) {
+                pm = prefix_->commitMatch(r->tenant, r->promptTokens,
+                                          clock_);
+                if (pm.tokens > 0)
+                    prefixHitCounter().inc();
+                else
+                    prefixMissCounter().inc();
+                ok = pm.tokens > 0
+                         ? pool_->addSequenceWithPrefix(
+                               r->id, resident, pm.blocks, pm.tokens)
+                         : pool_->addSequence(r->id, resident);
+            } else {
+                ok = pool_->addSequence(r->id, resident);
+            }
+            if (!ok)
                 cllm_panic("KV admission raced the pool");
             if (tr)
                 tr->counterValue(lane, "kv_util", clock_,
@@ -455,13 +595,20 @@ ContinuousEngine::iterate(double admit_horizon)
         const double admit_at = clock_;
         // Cost to make the context live again: a swap-in from EPC
         // for swapped-out victims, else a (re)prefill over prompt
-        // plus any previously generated tokens. Fresh requests have
+        // plus any previously generated tokens — charged only from
+        // the cached-prefix boundary on a hit. Fresh requests have
         // produced == 0, so the reserved-mode cost is unchanged.
         double pf;
         if (paged && p.swapped)
             pf = swapSeconds(r->inLen + p.produced);
+        else if (pm.tokens > 0)
+            pf = step_->prefillFrom(pm.tokens,
+                                    r->inLen + p.produced);
         else
             pf = step_->prefill(r->inLen + p.produced);
+        if (!(paged && p.swapped))
+            tally_.prefillTokensComputed +=
+                r->inLen + p.produced - pm.tokens;
         if (inj_.enabled())
             pf *= inj_.slowdown(clock_);
         clock_ += pf;
@@ -487,6 +634,19 @@ ContinuousEngine::iterate(double admit_horizon)
                     {{"req", static_cast<double>(r->id)},
                      {"in_len",
                       static_cast<double>(r->inLen + p.produced)}});
+        }
+        if (use_cache) {
+            // Cache the freshly prefilled prompt (idempotent on a
+            // full hit: the walk just refreshes LRU stamps).
+            prefix_->insert(r->tenant, r->promptTokens,
+                            pool_->blockTable(r->id), clock_);
+            syncPrefixTally();
+            if (tr && pm.tokens > 0)
+                tr->instant(
+                    lane, "prefix.hit", admit_at,
+                    {{"req", static_cast<double>(r->id)},
+                     {"cached_tokens",
+                      static_cast<double>(pm.tokens)}});
         }
     }
     if (pool_) {
@@ -657,6 +817,14 @@ finalizeRequests(const std::vector<const Request *> &reqs,
     m.kvSwapOuts = tally.kvSwapOuts;
     m.kvSwapIns = tally.kvSwapIns;
     m.kvSwapSeconds = tally.kvSwapSeconds;
+    m.prefixEnabled = tally.prefixEnabled;
+    m.prefixHits = tally.prefixHits;
+    m.prefixMisses = tally.prefixMisses;
+    m.prefixCachedTokens = tally.prefixCachedTokens;
+    m.prefillTokensComputed = tally.prefillTokensComputed;
+    m.prefixEvictions = tally.prefixEvictions;
+    m.prefixEvictedBlocks = tally.prefixEvictedBlocks;
+    m.prefixPinnedPeak = tally.prefixPinnedPeak;
     return m;
 }
 

@@ -18,6 +18,7 @@
 #include <queue>
 #include <vector>
 
+#include "serve/prefix_cache.hh"
 #include "serve/serving.hh"
 
 namespace cllm::serve {
@@ -80,6 +81,14 @@ class ContinuousEngine
     double kvUtilization() const;
     const StepModel &stepModel() const { return *step_; }
 
+    /** Whether automatic prefix caching is live on this engine. */
+    bool prefixEnabled() const { return prefix_.has_value(); }
+    /** Blocks currently pinned by the prefix cache (0 when off). */
+    std::uint64_t prefixPinnedBlocks() const
+    {
+        return prefix_ ? prefix_->pinnedBlocks() : 0;
+    }
+
     // -- Run outcome --------------------------------------------------
     const ServeTally &tally() const { return tally_; }
     double occupancySum() const { return occupancySum_; }
@@ -139,8 +148,18 @@ class ContinuousEngine
         }
     };
 
-    bool canAdmit(const Request &r, unsigned produced,
-                  double factor) const;
+    bool canAdmit(const Request &r, unsigned produced, double factor,
+                  std::uint64_t shared_blocks = 0) const;
+    /**
+     * Admission gate with prefix awareness: probes the cache for the
+     * request's shared-prefix block credit and, when the pool is
+     * still short, evicts LRU cached prefixes until the request fits
+     * or nothing evictable remains. Re-probes after every eviction
+     * round (eviction may have reclaimed part of the match).
+     */
+    bool admitCheck(const Request &r, unsigned produced, double factor,
+                    bool swapped);
+    void syncPrefixTally();
     void requeue(Request *r, unsigned attempts);
     double swapSeconds(unsigned tokens) const;
     void preemptActive(std::size_t idx);
@@ -151,6 +170,7 @@ class ContinuousEngine
     ServerConfig cfg_;
     fault::FaultInjector inj_;
     std::optional<KvBlockPool> pool_;
+    std::optional<PrefixCache> prefix_;
 
     double clock_ = 0.0;
     double occupancySum_ = 0.0;

@@ -1,0 +1,329 @@
+#include "serve/prefix_cache.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cllm::serve {
+
+PrefixCache::PrefixCache(PrefixMode mode, mem::PagedKvCache *pool,
+                         std::uint64_t maxBlocks)
+    : mode_(mode), pool_(pool), maxBlocks_(maxBlocks)
+{
+    if (mode_ == PrefixMode::Off)
+        cllm_fatal("PrefixCache constructed with prefix mode off");
+    if (!pool_)
+        cllm_fatal("PrefixCache requires a paged pool");
+    blockTokens_ = pool_->config().blockTokens;
+}
+
+PrefixCache::Node *
+PrefixCache::rootFor(std::uint32_t tenant)
+{
+    const std::uint64_t key =
+        mode_ == PrefixMode::Global ? 0 : tenant;
+    auto it = roots_.find(key);
+    if (it == roots_.end()) {
+        auto root = std::make_unique<Node>();
+        root->id = nextId_++;
+        it = roots_.emplace(key, std::move(root)).first;
+    }
+    return it->second.get();
+}
+
+PrefixMatch
+PrefixCache::matchImpl(Node *root,
+                       const std::vector<std::int32_t> &tokens,
+                       double now, bool touch)
+{
+    PrefixMatch m;
+    if (tokens.empty())
+        return m;
+    // Always leave at least one prompt token to compute: a request
+    // whose whole prompt is cached would otherwise have nothing to
+    // prefill, and the engine's first-token accounting assumes the
+    // prefill step exists.
+    const std::uint64_t max_blocks =
+        (tokens.size() - 1) / blockTokens_;
+    Node *cur = root;
+    std::size_t pos = 0;
+    while (m.blocks.size() < max_blocks) {
+        auto it = cur->children.find(tokens[pos]);
+        if (it == cur->children.end())
+            break;
+        Node *child = it->second.get();
+        // Count contiguously matching tokens inside the child's span.
+        std::size_t k = 0;
+        while (k < child->tokens.size() && pos + k < tokens.size() &&
+               child->tokens[k] == tokens[pos + k])
+            ++k;
+        const std::uint64_t mb =
+            std::min<std::uint64_t>(k / blockTokens_,
+                                    max_blocks - m.blocks.size());
+        if (mb == 0)
+            break;
+        m.blocks.insert(m.blocks.end(), child->blocks.begin(),
+                        child->blocks.begin() +
+                            static_cast<std::ptrdiff_t>(mb));
+        if (touch)
+            child->lastUsed = now;
+        pos += static_cast<std::size_t>(mb) * blockTokens_;
+        if (mb < child->blocks.size())
+            break; // diverged inside this node
+        cur = child;
+    }
+    m.tokens = static_cast<unsigned>(pos);
+    return m;
+}
+
+PrefixMatch
+PrefixCache::peek(std::uint32_t tenant,
+                  const std::vector<std::int32_t> &tokens)
+{
+    return matchImpl(rootFor(tenant), tokens, 0.0, false);
+}
+
+PrefixMatch
+PrefixCache::commitMatch(std::uint32_t tenant,
+                         const std::vector<std::int32_t> &tokens,
+                         double now)
+{
+    PrefixMatch m = matchImpl(rootFor(tenant), tokens, now, true);
+    if (m.tokens > 0) {
+        ++stats_.hits;
+        stats_.hitTokens += m.tokens;
+    } else {
+        ++stats_.misses;
+    }
+    return m;
+}
+
+void
+PrefixCache::insert(std::uint32_t tenant,
+                    const std::vector<std::int32_t> &tokens,
+                    const std::vector<std::uint32_t> &table,
+                    double now)
+{
+    // Only whole blocks are cacheable; the trailing partial block is
+    // mutable (decode appends into it) and is never pinned.
+    const std::uint64_t nblocks = std::min<std::uint64_t>(
+        tokens.size() / blockTokens_, table.size());
+    if (nblocks == 0)
+        return;
+    Node *cur = rootFor(tenant);
+    std::uint64_t pos = 0; // blocks consumed so far
+    while (pos < nblocks) {
+        auto it = cur->children.find(
+            tokens[static_cast<std::size_t>(pos) * blockTokens_]);
+        if (it == cur->children.end()) {
+            // Append a fresh leaf holding the remaining blocks.
+            // Budget pressure first LRU-evicts cold leaves (the node
+            // we are appending under is protected — we are inserting
+            // into its subtree, so it is hot by definition); whatever
+            // room remains truncates the take.
+            std::uint64_t take = nblocks - pos;
+            if (maxBlocks_ != 0) {
+                while (pinnedBlocks_ + take > maxBlocks_) {
+                    Node *victim = lruVictim(cur);
+                    if (!victim)
+                        break;
+                    evictLeaf(victim);
+                }
+                if (pinnedBlocks_ >= maxBlocks_)
+                    return;
+                take = std::min(take, maxBlocks_ - pinnedBlocks_);
+            }
+            auto leaf = std::make_unique<Node>();
+            leaf->parent = cur;
+            leaf->lastUsed = now;
+            leaf->id = nextId_++;
+            const std::size_t t0 =
+                static_cast<std::size_t>(pos) * blockTokens_;
+            leaf->tokens.assign(
+                tokens.begin() + static_cast<std::ptrdiff_t>(t0),
+                tokens.begin() +
+                    static_cast<std::ptrdiff_t>(t0 + take *
+                                                         blockTokens_));
+            leaf->blocks.assign(
+                table.begin() + static_cast<std::ptrdiff_t>(pos),
+                table.begin() +
+                    static_cast<std::ptrdiff_t>(pos + take));
+            pool_->pin(leaf->blocks);
+            pinnedBlocks_ += take;
+            stats_.insertedBlocks += take;
+            ++nodes_;
+            cur->children.emplace(leaf->tokens.front(),
+                                  std::move(leaf));
+            return;
+        }
+        Node *child = it->second.get();
+        std::size_t k = 0;
+        const std::size_t base =
+            static_cast<std::size_t>(pos) * blockTokens_;
+        const std::size_t limit = static_cast<std::size_t>(
+            (nblocks - pos) * blockTokens_);
+        while (k < child->tokens.size() && k < limit &&
+               child->tokens[k] == tokens[base + k])
+            ++k;
+        const std::uint64_t mb = k / blockTokens_;
+        if (mb == child->blocks.size()) {
+            // Full node match: descend.
+            child->lastUsed = now;
+            cur = child;
+            pos += mb;
+            continue;
+        }
+        if (mb == 0) {
+            // Divergence inside the node's first block. Splitting at
+            // sub-block granularity would share a partial block,
+            // which block-granular KV cannot express — leave the
+            // remainder uncached. (Same first token, different block:
+            // rare under realistic tokenizations.)
+            return;
+        }
+        // Partial node match: split so the shared head becomes an
+        // interior node the new suffix can hang off next time.
+        auto mid = std::make_unique<Node>();
+        mid->parent = cur;
+        mid->lastUsed = child->lastUsed;
+        mid->id = nextId_++;
+        mid->tokens.assign(child->tokens.begin(),
+                           child->tokens.begin() +
+                               static_cast<std::ptrdiff_t>(
+                                   mb * blockTokens_));
+        mid->blocks.assign(child->blocks.begin(),
+                           child->blocks.begin() +
+                               static_cast<std::ptrdiff_t>(mb));
+        // Re-home the child under mid with its head trimmed; pins
+        // move with the blocks, so no pool traffic here.
+        std::unique_ptr<Node> owned = std::move(it->second);
+        cur->children.erase(it);
+        owned->tokens.erase(owned->tokens.begin(),
+                            owned->tokens.begin() +
+                                static_cast<std::ptrdiff_t>(
+                                    mb * blockTokens_));
+        owned->blocks.erase(owned->blocks.begin(),
+                            owned->blocks.begin() +
+                                static_cast<std::ptrdiff_t>(mb));
+        owned->parent = mid.get();
+        mid->children.emplace(owned->tokens.front(),
+                              std::move(owned));
+        ++nodes_;
+        Node *mid_raw = mid.get();
+        cur->children.emplace(mid_raw->tokens.front(),
+                              std::move(mid));
+        mid_raw->lastUsed = now;
+        cur = mid_raw;
+        pos += mb;
+    }
+}
+
+void
+PrefixCache::evictLeaf(Node *leaf)
+{
+    stats_.evictedBlocks += leaf->blocks.size();
+    ++stats_.evictions;
+    pinnedBlocks_ -= leaf->blocks.size();
+    pool_->unpin(leaf->blocks);
+    --nodes_;
+    Node *parent = leaf->parent;
+    parent->children.erase(leaf->tokens.front());
+}
+
+PrefixCache::Node *
+PrefixCache::lruVictim(const Node *exclude)
+{
+    // LRU over evictable leaves: childless, non-root, and every
+    // block cache-only (no running sequence still reads it). Full
+    // scan per round keeps the structure simple; ties break by
+    // creation id for determinism.
+    Node *victim = nullptr;
+    for (auto &[key, root] : roots_) {
+        (void)key;
+        std::vector<Node *> stack{root.get()};
+        while (!stack.empty()) {
+            Node *n = stack.back();
+            stack.pop_back();
+            for (auto &[tok, child] : n->children) {
+                (void)tok;
+                stack.push_back(child.get());
+            }
+            if (n == exclude || n->parent == nullptr ||
+                !n->children.empty())
+                continue;
+            const bool evictable = std::all_of(
+                n->blocks.begin(), n->blocks.end(),
+                [this](std::uint32_t b) {
+                    return pool_->cacheOnly(b);
+                });
+            if (!evictable)
+                continue;
+            if (!victim || n->lastUsed < victim->lastUsed ||
+                (n->lastUsed == victim->lastUsed &&
+                 n->id < victim->id))
+                victim = n;
+        }
+    }
+    return victim;
+}
+
+std::uint64_t
+PrefixCache::evictToFree(std::uint64_t want, double now)
+{
+    (void)now;
+    std::uint64_t freed = 0;
+    while (freed < want) {
+        Node *victim = lruVictim(nullptr);
+        if (!victim)
+            break;
+        const std::uint64_t before = pool_->freeBlocks();
+        evictLeaf(victim);
+        freed += pool_->freeBlocks() - before;
+    }
+    return freed;
+}
+
+bool
+PrefixCache::consistent() const
+{
+    std::uint64_t blocks = 0;
+    std::size_t nodes = 0;
+    for (const auto &[key, root] : roots_) {
+        (void)key;
+        std::vector<const Node *> stack{root.get()};
+        while (!stack.empty()) {
+            const Node *n = stack.back();
+            stack.pop_back();
+            for (const auto &[tok, child] : n->children) {
+                if (child->tokens.empty() ||
+                    child->tokens.front() != tok)
+                    return false;
+                if (child->parent != n)
+                    return false;
+                stack.push_back(child.get());
+            }
+            if (n->parent == nullptr) {
+                if (!n->tokens.empty() || !n->blocks.empty())
+                    return false;
+                continue;
+            }
+            ++nodes;
+            if (n->tokens.size() !=
+                n->blocks.size() * blockTokens_)
+                return false;
+            if (n->blocks.empty())
+                return false;
+            for (std::uint32_t b : n->blocks)
+                if (pool_->pinCount(b) == 0)
+                    return false;
+            blocks += n->blocks.size();
+        }
+    }
+    if (nodes != nodes_)
+        return false;
+    if (maxBlocks_ != 0 && blocks > maxBlocks_)
+        return false;
+    return blocks == pinnedBlocks_;
+}
+
+} // namespace cllm::serve

@@ -140,6 +140,70 @@ kvPreemptPolicyName(KvPreemptPolicy p)
     return "?";
 }
 
+const char *
+prefixModeName(PrefixMode m)
+{
+    switch (m) {
+      case PrefixMode::Off:
+        return "off";
+      case PrefixMode::PerTenant:
+        return "per_tenant";
+      case PrefixMode::Global:
+        return "global";
+    }
+    return "?";
+}
+
+PrefixMode
+parsePrefixMode(const std::string &name)
+{
+    if (name == "off")
+        return PrefixMode::Off;
+    if (name == "per_tenant")
+        return PrefixMode::PerTenant;
+    if (name == "global")
+        return PrefixMode::Global;
+    cllm_fatal("unknown prefix mode '", name,
+               "' (off|per_tenant|global)");
+}
+
+void
+applySharedPrefixMix(std::vector<Request> &trace,
+                     const SharedPrefixMix &mix)
+{
+    if (mix.tenants == 0 || mix.promptsPerTenant == 0)
+        cllm_fatal("applySharedPrefixMix: degenerate mix");
+    // Token streams are split-seeded per request, never touching the
+    // workload generator's RNG: annotating a trace cannot perturb
+    // arrivals or lengths.
+    for (Request &r : trace) {
+        Rng rng(splitSeed(mix.seed, r.id));
+        r.tenant = static_cast<std::uint32_t>(
+            rng.uniformInt(0, mix.tenants - 1));
+        const bool shared = rng.chance(mix.sharedFraction);
+        const unsigned group = static_cast<unsigned>(
+            rng.uniformInt(0, mix.promptsPerTenant - 1));
+        const unsigned plen = std::min(mix.prefixLen, r.inLen);
+        r.promptTokens.resize(r.inLen);
+        for (unsigned j = 0; j < r.inLen; ++j) {
+            // Shared heads are a pure function of (tenant, group,
+            // position); tails and unshared prompts are unique per
+            // request id.
+            const std::uint64_t tok =
+                (shared && j < plen)
+                    ? splitSeed(splitSeed(0x9e3779b97f4a7c15ULL ^
+                                              r.tenant,
+                                          group),
+                                j)
+                    : splitSeed(splitSeed(0xc2b2ae3d27d4eb4fULL,
+                                          r.id),
+                                j);
+            r.promptTokens[j] =
+                static_cast<std::int32_t>(tok & 0x7fffffff);
+        }
+    }
+}
+
 namespace {
 
 /** CPU-backed step model. */
@@ -299,6 +363,9 @@ Server::Server(std::unique_ptr<StepModel> step, ServerConfig cfg)
             cllm_fatal("Server: swap preemption requires KV bytes "
                        "per token");
     }
+    if (cfg_.prefixMode != PrefixMode::Off &&
+        cfg_.kvMode != KvMode::Paged)
+        cllm_fatal("Server: prefix caching requires paged KV");
 }
 
 ServeMetrics
@@ -437,6 +504,16 @@ writeMetrics(JsonWriter &json, const ServeMetrics &m)
     json.field("kv_swap_outs", m.kvSwapOuts);
     json.field("kv_swap_ins", m.kvSwapIns);
     json.field("kv_swap_s", m.kvSwapSeconds);
+    if (m.prefixEnabled) {
+        json.field("prefix_hits", m.prefixHits);
+        json.field("prefix_misses", m.prefixMisses);
+        json.field("prefix_cached_tokens", m.prefixCachedTokens);
+        json.field("prefill_tokens_computed",
+                   m.prefillTokensComputed);
+        json.field("prefix_evictions", m.prefixEvictions);
+        json.field("prefix_evicted_blocks", m.prefixEvictedBlocks);
+        json.field("prefix_pinned_peak_blocks", m.prefixPinnedPeak);
+    }
     json.field("retries", m.retries);
     json.field("shed", m.shed);
     json.field("timed_out", m.timedOut);

@@ -44,6 +44,16 @@ struct Request
     unsigned inLen = 0;
     unsigned outLen = 0;
 
+    /** Tenant owning the request (prefix-cache sharing scope). */
+    std::uint32_t tenant = 0;
+
+    /**
+     * Prompt token IDs, used only by prefix caching. Empty means "no
+     * tokens known" and the request always prefills from scratch;
+     * non-empty must have exactly inLen entries.
+     */
+    std::vector<std::int32_t> promptTokens;
+
     // Filled by the simulation.
     double firstToken = -1.0;  //!< completion time of the first token
     double finish = -1.0;
@@ -93,6 +103,29 @@ struct WorkloadConfig
  * existing seeded traces are stable across the arrival-process seam.
  */
 std::vector<Request> generateWorkload(const WorkloadConfig &cfg);
+
+/**
+ * Shared-system-prompt annotation for a generated trace: the RAG /
+ * chat-serving shape where most requests open with one of a few long
+ * tenant-wide system prompts. Assigns each request a tenant and a
+ * prompt token sequence whose leading `prefixLen` tokens are drawn
+ * from one of `promptsPerTenant` per-tenant prompts (with probability
+ * `sharedFraction`; the rest get fully unique prompts). Tokens are
+ * derived from split seeds keyed by request id, so annotation never
+ * disturbs the trace's arrival/length RNG streams.
+ */
+struct SharedPrefixMix
+{
+    unsigned tenants = 4;
+    unsigned promptsPerTenant = 2;
+    unsigned prefixLen = 256;      //!< tokens of shared prefix
+    double sharedFraction = 0.85;  //!< requests opening with one
+    std::uint64_t seed = 17;
+};
+
+/** Annotate a trace in place with tenants and prompt tokens. */
+void applySharedPrefixMix(std::vector<Request> &trace,
+                          const SharedPrefixMix &mix);
 
 /** Batching policies. */
 enum class BatchPolicy
@@ -180,6 +213,40 @@ struct PagedKvPolicy
 };
 
 /**
+ * Cross-request KV prefix sharing scope. Off is the historical
+ * behaviour (and the byte-identity baseline). PerTenant — the default
+ * once caching is on — only ever shares cached KV between requests
+ * with the same tenant id: inside a TEE, cached KV is plaintext to
+ * every request the enclave serves, so cross-tenant sharing is an
+ * explicit isolation decision, not a free optimisation (a prefix-hit
+ * timing channel can leak whether another tenant asked the same
+ * prefix). Global opts into fleet-wide sharing for single-trust-domain
+ * deployments and is the upper bound on the hit rate.
+ */
+enum class PrefixMode
+{
+    Off,
+    PerTenant,
+    Global,
+};
+
+/** Printable prefix-mode name. */
+const char *prefixModeName(PrefixMode m);
+
+/** Parse "off"/"per_tenant"/"global" (fatal on anything else). */
+PrefixMode parsePrefixMode(const std::string &name);
+
+/** Prefix-cache tuning; only read when `prefixMode` is not Off. */
+struct PrefixCachePolicy
+{
+    /**
+     * Cap on blocks the cache may pin (0 = unbounded, i.e. bounded
+     * only by the pool and by eviction pressure from admissions).
+     */
+    std::uint64_t maxBlocks = 0;
+};
+
+/**
  * How the server responds to faults and overload. Every knob defaults
  * to "off", so a default-constructed policy leaves the simulation
  * byte-identical to a server without one.
@@ -236,6 +303,14 @@ struct ServerConfig
     KvMode kvMode = KvMode::Reserved;
     PagedKvPolicy paged{};
 
+    /**
+     * Automatic prefix caching (radix-tree KV reuse over the paged
+     * pool). Requires `kvMode == Paged`; Off leaves every output
+     * byte-identical to a build without the feature.
+     */
+    PrefixMode prefixMode = PrefixMode::Off;
+    PrefixCachePolicy prefix{};
+
     /** Fault/overload response; defaults are all off. */
     ResiliencePolicy resilience{};
 
@@ -282,6 +357,18 @@ struct ServeTally
     std::size_t kvSwapOuts = 0;    //!< preemptions that swapped to EPC
     std::size_t kvSwapIns = 0;     //!< resumes paid as swap-in
     double kvSwapSeconds = 0.0;    //!< total EPC boundary traffic time
+
+    // Prefix caching (only meaningful when prefixEnabled; the JSON
+    // emitters gate on the flag so off-mode output is byte-stable).
+    bool prefixEnabled = false;
+    std::size_t prefixHits = 0;    //!< admissions reusing cached KV
+    std::size_t prefixMisses = 0;  //!< admissions finding no prefix
+    std::uint64_t prefixCachedTokens = 0;  //!< prefill tokens skipped
+    std::uint64_t prefillTokensComputed = 0; //!< prefill tokens paid
+    std::size_t prefixEvictions = 0;         //!< leaf evictions
+    std::uint64_t prefixEvictedBlocks = 0;
+    std::uint64_t prefixInsertedBlocks = 0;
+    std::uint64_t prefixPinnedPeak = 0;      //!< peak pinned blocks
 };
 
 /** Outcome of serving a trace. */
@@ -317,6 +404,17 @@ struct ServeMetrics
     std::size_t kvSwapIns = 0;
     double kvSwapSeconds = 0.0;
 
+    // Prefix caching (all zero with prefixMode=off; emitted to JSON
+    // only when prefixEnabled so existing output stays byte-stable).
+    bool prefixEnabled = false;
+    std::size_t prefixHits = 0;
+    std::size_t prefixMisses = 0;
+    std::uint64_t prefixCachedTokens = 0;
+    std::uint64_t prefillTokensComputed = 0;
+    std::size_t prefixEvictions = 0;
+    std::uint64_t prefixEvictedBlocks = 0;
+    std::uint64_t prefixPinnedPeak = 0;
+
     /** Per-event fault timeline (empty without a schedule). */
     std::vector<fault::FaultRecord> faultTimeline;
 };
@@ -338,6 +436,23 @@ class StepModel
 
     /** Seconds for one decode step over `nseq` seqs at avg `pos`. */
     virtual double decodeStep(double nseq, double avg_pos) const = 0;
+
+    /**
+     * Seconds to prefill a request of `total` tokens whose leading
+     * `cached` tokens already sit in KV. The default charges the
+     * marginal cost prefill(total) - prefill(cached), which keeps any
+     * superlinear term (attention FLOPs, the EPC/MEE pressure a large
+     * working set induces) attributed to the uncached suffix.
+     */
+    virtual double
+    prefillFrom(unsigned cached, unsigned total) const
+    {
+        if (cached == 0)
+            return prefill(total);
+        const double a = prefill(total);
+        const double b = prefill(cached);
+        return a > b ? a - b : 0.0;
+    }
 };
 
 /** CPU deployment under a TEE backend. */

@@ -364,6 +364,97 @@ TEST_P(KvStormGrid, ConservationHoldsThroughRandomOps)
     EXPECT_TRUE(kv.consistent());
 }
 
+// The same storm with the prefix cache's pin plumbing in the mix:
+// external pins on full-block prefixes, admissions that re-reference
+// pinned blocks (addSequenceWithPrefix), and unpins, interleaved with
+// the add/append/release churn. The extended conservation law —
+// table refs + pins equal refcounts, pinned blocks never on the free
+// list — must hold after every op, and a full drain (release all,
+// unpin all) must return every block.
+TEST_P(KvStormGrid, ConservationHoldsWithPinsAndPrefixSharing)
+{
+    const auto [blocks, block_tokens, seed] = GetParam();
+    mem::PagedKvCache kv({blocks, block_tokens});
+    Rng rng(seed + 1000);
+
+    std::vector<mem::KvSeqId> live;
+    // Each entry: pinned full-block prefix + the tokens it covers.
+    std::vector<std::pair<std::vector<std::uint32_t>, unsigned>> pins;
+    mem::KvSeqId next_id = 1;
+    for (int op = 0; op < 400; ++op) {
+        const double roll = rng.uniform();
+        if (roll < 0.30 || (live.empty() && pins.empty())) {
+            const unsigned toks = static_cast<unsigned>(
+                rng.uniformInt(1, 3ULL * block_tokens));
+            if (kv.addSequence(next_id, toks))
+                live.push_back(next_id);
+            ++next_id;
+        } else if (roll < 0.45 && !live.empty()) {
+            const std::size_t i = static_cast<std::size_t>(
+                rng.uniformInt(0, live.size() - 1));
+            kv.appendToken(live[i]); // may fail; must not corrupt
+        } else if (roll < 0.60 && !live.empty()) {
+            // Pin a live sequence's full-block prefix (what the
+            // radix cache pins on insert; the mutable tail never
+            // qualifies).
+            const std::size_t i = static_cast<std::size_t>(
+                rng.uniformInt(0, live.size() - 1));
+            const unsigned full =
+                kv.tokens(live[i]) / block_tokens;
+            if (full > 0) {
+                const auto &table = kv.blockTable(live[i]);
+                std::vector<std::uint32_t> prefix(
+                    table.begin(), table.begin() + full);
+                kv.pin(prefix);
+                pins.emplace_back(std::move(prefix),
+                                  full * block_tokens);
+            }
+        } else if (roll < 0.75 && !pins.empty()) {
+            // Admit a sharer over a pinned prefix, tail allocated
+            // fresh.
+            const std::size_t j = static_cast<std::size_t>(
+                rng.uniformInt(0, pins.size() - 1));
+            const unsigned toks =
+                pins[j].second +
+                static_cast<unsigned>(
+                    rng.uniformInt(1, 2ULL * block_tokens));
+            if (kv.addSequenceWithPrefix(next_id, toks,
+                                         pins[j].first,
+                                         pins[j].second))
+                live.push_back(next_id);
+            ++next_id;
+        } else if (roll < 0.90 && !pins.empty()) {
+            const std::size_t j = static_cast<std::size_t>(
+                rng.uniformInt(0, pins.size() - 1));
+            kv.unpin(pins[j].first);
+            pins.erase(pins.begin() +
+                       static_cast<std::ptrdiff_t>(j));
+        } else if (!live.empty()) {
+            const std::size_t i = static_cast<std::size_t>(
+                rng.uniformInt(0, live.size() - 1));
+            kv.release(live[i]);
+            live.erase(live.begin() +
+                       static_cast<std::ptrdiff_t>(i));
+        }
+        ASSERT_TRUE(kv.consistent()) << "op " << op;
+        ASSERT_EQ(kv.usedBlocks() + kv.freeBlocks(),
+                  kv.totalBlocks());
+    }
+
+    // Drain both the tables and the pins: nothing may leak.
+    for (mem::KvSeqId id : live)
+        kv.release(id);
+    for (auto &[prefix, toks] : pins) {
+        (void)toks;
+        kv.unpin(prefix);
+    }
+    EXPECT_EQ(kv.usedBlocks(), 0u);
+    EXPECT_EQ(kv.freeBlocks(), kv.totalBlocks());
+    EXPECT_EQ(kv.pinnedBlocks(), 0u);
+    EXPECT_EQ(kv.stats().blockAllocs, kv.stats().blockFrees);
+    EXPECT_TRUE(kv.consistent());
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Storms, KvStormGrid,
     ::testing::Combine(::testing::Values(16u, 64u, 256u),
