@@ -164,6 +164,28 @@ applyPagedKv(serve::ServerConfig &cfg, const llm::ModelConfig &model,
 }
 
 /**
+ * Consume a `--<flag> <mode>` pair at argv[i] (advancing `i` past the
+ * operand); false when argv[i] is some other flag. One helper behind
+ * the `--kv`, `--prefix`, and `--chunk` mode flags instead of three
+ * copies of the same bounds-check-then-parse dance: `parse` maps the
+ * operand onto the mode enum (and is fatal on junk), `operands` is
+ * the usage hint printed when the operand is missing.
+ */
+template <typename Mode>
+inline bool
+parseModeArg(const char *flag, Mode (*parse)(const std::string &),
+             Mode &mode, int argc, char **argv, int &i,
+             const char *operands)
+{
+    if (std::strcmp(argv[i], flag) != 0)
+        return false;
+    if (i + 1 >= argc)
+        cllm_fatal(flag, " needs a mode (", operands, ")");
+    mode = parse(argv[++i]);
+    return true;
+}
+
+/**
  * Consume `--kv <reserved|paged>` at argv[i]; false otherwise. The
  * flag is strictly additive: without it the binaries run reserved and
  * their stdout stays byte-identical.
@@ -171,12 +193,8 @@ applyPagedKv(serve::ServerConfig &cfg, const llm::ModelConfig &model,
 inline bool
 parseKvArg(serve::KvMode &mode, int argc, char **argv, int &i)
 {
-    if (std::strcmp(argv[i], "--kv") != 0)
-        return false;
-    if (i + 1 >= argc)
-        cllm_fatal("--kv needs a mode (reserved|paged)");
-    mode = serve::parseKvMode(argv[++i]);
-    return true;
+    return parseModeArg("--kv", serve::parseKvMode, mode, argc, argv,
+                        i, "reserved|paged");
 }
 
 /**
@@ -216,13 +234,9 @@ prefixUsage()
 inline bool
 parsePrefixArg(PrefixOptions &opt, int argc, char **argv, int &i)
 {
-    if (std::strcmp(argv[i], "--prefix") == 0) {
-        if (i + 1 >= argc)
-            cllm_fatal("--prefix needs a mode "
-                       "(off|per_tenant|global)");
-        opt.mode = serve::parsePrefixMode(argv[++i]);
+    if (parseModeArg("--prefix", serve::parsePrefixMode, opt.mode,
+                     argc, argv, i, "off|per_tenant|global"))
         return true;
-    }
     if (std::strcmp(argv[i], "--prefix-tenants") == 0) {
         if (i + 1 >= argc)
             cllm_fatal("--prefix-tenants needs a count");
@@ -263,6 +277,71 @@ inline void
 applyPrefixCache(serve::ServerConfig &cfg, const PrefixOptions &opt)
 {
     cfg.prefixMode = opt.mode;
+}
+
+/**
+ * Chunked-prefill options shared by `serve_slo`, `fleet_capacity`,
+ * and `examples/chunked_serving`. Defaults leave chunking off, so a
+ * binary that never sees the flags stays byte-identical.
+ */
+struct ChunkOptions
+{
+    serve::ChunkMode mode = serve::ChunkMode::Off;
+    unsigned chunkTokens = 256;
+    unsigned stepTokenBudget = 0; //!< 0 = chunkTokens + maxBatch
+};
+
+/** Usage text for the shared chunked-prefill flags. */
+inline const char *
+chunkUsage()
+{
+    return "  --chunk <off|decode|prefill>\n"
+           "                      enable chunked prefill with mixed "
+           "prefill/decode\n"
+           "                      steps under the given scheduling "
+           "priority\n"
+           "  --chunk-tokens N    max prompt tokens per prefill slice "
+           "(default 256)\n"
+           "  --chunk-budget N    per-step token budget (default: "
+           "chunk + batch)\n";
+}
+
+/**
+ * Consume argv[i] (advancing `i` past any operand) when it is one of
+ * the shared chunked-prefill flags; false otherwise.
+ */
+inline bool
+parseChunkArg(ChunkOptions &opt, int argc, char **argv, int &i)
+{
+    if (parseModeArg("--chunk", serve::parseChunkMode, opt.mode,
+                     argc, argv, i, "off|decode|prefill"))
+        return true;
+    if (std::strcmp(argv[i], "--chunk-tokens") == 0) {
+        if (i + 1 >= argc)
+            cllm_fatal("--chunk-tokens needs a token count");
+        opt.chunkTokens =
+            static_cast<unsigned>(std::stoul(argv[++i]));
+        if (opt.chunkTokens == 0)
+            cllm_fatal("--chunk-tokens must be positive");
+        return true;
+    }
+    if (std::strcmp(argv[i], "--chunk-budget") == 0) {
+        if (i + 1 >= argc)
+            cllm_fatal("--chunk-budget needs a token count");
+        opt.stepTokenBudget =
+            static_cast<unsigned>(std::stoul(argv[++i]));
+        return true;
+    }
+    return false;
+}
+
+/** Apply parsed chunked-prefill options to a server config. */
+inline void
+applyChunkedPrefill(serve::ServerConfig &cfg, const ChunkOptions &opt)
+{
+    cfg.chunkedPrefill.mode = opt.mode;
+    cfg.chunkedPrefill.chunkTokens = opt.chunkTokens;
+    cfg.chunkedPrefill.stepTokenBudget = opt.stepTokenBudget;
 }
 
 /** Shared-ownership wrapper around a freshly built TEE backend. */

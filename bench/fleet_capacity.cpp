@@ -38,14 +38,16 @@ void
 usage(std::ostream &os)
 {
     os << "usage: fleet_capacity [--kv reserved|paged] "
-          "[--prefix <mode>] [--trace [path]] [--metrics-out path]\n\n"
+          "[--prefix <mode>] [--chunk <mode>] [--trace [path]] "
+          "[--metrics-out path]\n\n"
           "  --kv mode           KV discipline on every node: "
           "'reserved' (default,\n"
           "                      whole-request block reservation) or "
           "'paged'\n"
           "                      (headroom admission with recompute "
           "preemption)\n"
-       << bench::prefixUsage() << bench::obsUsage();
+       << bench::prefixUsage() << bench::chunkUsage()
+       << bench::obsUsage();
 }
 
 /** Sustainable request rate of one node at full batch, from its own
@@ -95,7 +97,7 @@ sizeFleet(fleet::FleetConfig cfg,
 
 void
 sweep(double ttft_slo, const std::vector<double> &rates,
-      serve::KvMode kv_mode)
+      serve::KvMode kv_mode, const bench::ChunkOptions &copt)
 {
     fleet::NodeTemplate cpu = fleet::cpuTdxNode();
     fleet::NodeTemplate gpu = fleet::cgpuH100Node();
@@ -104,6 +106,8 @@ sweep(double ttft_slo, const std::vector<double> &rates,
         bench::applyPagedKv(cpu.server, model);
         bench::applyPagedKv(gpu.server, model);
     }
+    bench::applyChunkedPrefill(cpu.server, copt);
+    bench::applyChunkedPrefill(gpu.server, copt);
 
     serve::WorkloadConfig base = bench::serveSeedWorkload();
     const double cpu_rate = nodeReqRate(cpu, base);
@@ -272,6 +276,53 @@ prefixComparison(const bench::PrefixOptions &popt)
 }
 
 /**
+ * Chunked-prefill comparison on a homogeneous 4-node TDX fleet: the
+ * same trace replayed monolithic and chunked, so the fleet-level ITL
+ * and max-step-prefill aggregation (and the router's chunk-aware TTFT
+ * projection) is exercised end to end.
+ */
+void
+chunkedComparison(const bench::ChunkOptions &copt)
+{
+    std::cout << "--- chunked prefill: "
+              << serve::chunkModeName(copt.mode) << "-priority "
+              << copt.chunkTokens
+              << "-token slices on a 4-node TDX fleet ---\n\n";
+
+    const llm::ModelConfig model = llm::llama2_7b();
+    fleet::NodeTemplate cpu = fleet::cpuTdxNode();
+    bench::applyPagedKv(cpu.server, model);
+
+    serve::WorkloadConfig load = bench::serveSeedWorkload();
+    load.arrivalRate = 1.2;
+    load.numRequests = 400;
+    const std::vector<serve::Request> trace =
+        serve::generateWorkload(load);
+
+    Table t({"schedule", "max step pf", "TTFT p99 [s]",
+             "ITL p99 [ms]", "tok/s", "$/1k tok"});
+    for (bool chunked : {false, true}) {
+        fleet::NodeTemplate node = cpu;
+        if (chunked)
+            bench::applyChunkedPrefill(node.server, copt);
+        fleet::FleetConfig cfg;
+        cfg.ttftSlo = 2.0;
+        cfg.policy = fleet::RouterPolicy::LeastOutstanding;
+        cfg.initialNodes = {0, 0, 0, 0};
+        fleet::FleetSimulator sim(cfg, {node});
+        const fleet::FleetMetrics m = sim.run(trace);
+        t.addRow({chunked ? "chunked" : "monolithic",
+                  fmtInt(m.maxStepPrefillTokens), fmt(m.ttft.p99, 3),
+                  chunked ? fmt(1e3 * m.itl.p99, 1)
+                          : std::string("-"),
+                  fmt(m.tokensPerSecond),
+                  fmt(m.costPer1kTokens, 4)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+/**
  * Trace one representative scenario: the mixed cost-aware fleet at
  * 1 req/s under the paper SLO. The sweep itself fans out across
  * cores, so the traced run is a separate serial replay — same seeded
@@ -310,6 +361,7 @@ main(int argc, char **argv)
 {
     bench::ObsOptions opt;
     bench::PrefixOptions popt;
+    bench::ChunkOptions copt;
     serve::KvMode kv_mode = serve::KvMode::Reserved;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--help") == 0 ||
@@ -320,6 +372,8 @@ main(int argc, char **argv)
         if (bench::parseKvArg(kv_mode, argc, argv, i))
             continue;
         if (bench::parsePrefixArg(popt, argc, argv, i))
+            continue;
+        if (bench::parseChunkArg(copt, argc, argv, i))
             continue;
         if (bench::parseObsArg(opt, argc, argv, i))
             continue;
@@ -336,17 +390,24 @@ main(int argc, char **argv)
     if (kv_mode == serve::KvMode::Paged)
         std::cout << "KV discipline: paged (headroom admission, "
                      "recompute preemption)\n\n";
+    if (copt.mode != serve::ChunkMode::Off)
+        std::cout << "chunked prefill: "
+                  << serve::chunkModeName(copt.mode) << " priority, "
+                  << copt.chunkTokens << "-token slices\n\n";
 
     const std::vector<double> rates = {0.25, 0.5, 1.0, 2.0,
                                        4.0, 8.0};
     std::cout << "--- paper SLO: TTFT 2 s ---\n";
-    sweep(2.0, rates, kv_mode);
+    sweep(2.0, rates, kv_mode, copt);
     std::cout << "--- tightened SLO: TTFT 0.5 s (crossover moves "
                  "toward the GPU) ---\n";
-    sweep(0.5, rates, kv_mode);
+    sweep(0.5, rates, kv_mode, copt);
 
     if (popt.mode != serve::PrefixMode::Off)
         prefixComparison(popt);
+
+    if (copt.mode != serve::ChunkMode::Off)
+        chunkedComparison(copt);
 
     if (opt.trace)
         traceRepresentativeRun(opt);

@@ -41,7 +41,8 @@ void
 usage(std::ostream &os)
 {
     os << "usage: serve_slo [--faults [seed]] [--kv-sweep] "
-          "[--prefix-sweep] [--trace [path]] [--metrics-out path]\n\n"
+          "[--prefix-sweep] [--chunk-sweep] [--trace [path]] "
+          "[--metrics-out path]\n\n"
           "  --faults [seed]     run the resilience experiment "
           "(seeded fault schedule\n"
           "                      against a TDX deployment) instead of "
@@ -57,7 +58,14 @@ usage(std::ostream &os)
           "mix; TTFT and\n"
           "                      $/1k-token deltas); honours the "
           "--prefix-* mix flags\n"
-       << bench::prefixUsage() << bench::obsUsage();
+          "  --chunk-sweep       run the chunked-prefill sweep "
+          "(monolithic baseline vs\n"
+          "                      64..512-token slices; TTFT/ITL "
+          "percentiles, max\n"
+          "                      single-step prefill tokens, "
+          "$/1k-token deltas)\n"
+       << bench::prefixUsage() << bench::chunkUsage()
+       << bench::obsUsage();
 }
 
 /** Export the recorded trace and report where it went. */
@@ -362,7 +370,127 @@ runPrefixSweepMode(const bench::PrefixOptions &popt,
 }
 
 int
-runSloMode(const bench::ObsOptions &opt)
+runChunkSweepMode(const bench::ObsOptions &opt)
+{
+    std::cout << "=== Chunked prefill: bounding the per-step TEE "
+                 "working set ===\n";
+    std::cout << "Llama2-7B bf16 on TDX, paged KV (2560 blocks x 16 "
+                 "tokens); monolithic\nbaseline vs decode-priority "
+                 "chunking at 64..512-token slices\n\n";
+
+    const hw::CpuSpec cpu = hw::emr2();
+    const llm::ModelConfig model = llm::llama2_7b();
+    const llm::RunParams deploy = serveDeployParams(cpu);
+    const std::vector<Request> base =
+        generateWorkload(serveSeedWorkload());
+
+    // Spot-priced node bill so the latency shift prices out as a
+    // $/1k-token delta, mirroring the prefix sweep.
+    const double instance_hr = cost::cpuInstanceHr(
+        cost::gcpSpotUsEast1(), deploy.cores, 256.0);
+
+    obs::Tracer tracer(opt.trace ? obs::TraceMode::Sim
+                                 : obs::TraceMode::Off);
+    std::uint32_t lane = 0;
+
+    struct Run
+    {
+        std::string name;
+        unsigned chunkTokens; //!< 0 = chunking off
+        ServeMetrics m{};
+        double usdPer1k = 0.0;
+    };
+    std::vector<Run> runs;
+    runs.push_back({"off", 0});
+    for (unsigned chunk : {64u, 128u, 256u, 512u})
+        runs.push_back({"chunk " + std::to_string(chunk), chunk});
+
+    Table t({"schedule", "max step pf", "TTFT p50 [s]", "TTFT p99 [s]",
+             "ITL p50 [ms]", "ITL p99 [ms]", "tok/s", "$/1k tok"});
+    for (Run &run : runs) {
+        ServerConfig cfg;
+        cfg.policy = BatchPolicy::Continuous;
+        cfg.kvBlocks = 2560;
+        cfg.kvBlockTokens = 16;
+        cfg.kvMode = KvMode::Paged;
+        cfg.paged.kvBytesPerToken =
+            model.kvBytesPerToken(hw::Dtype::Bf16);
+        if (run.chunkTokens) {
+            cfg.chunkedPrefill.mode = ChunkMode::DecodePriority;
+            cfg.chunkedPrefill.chunkTokens = run.chunkTokens;
+        }
+        if (opt.trace) {
+            cfg.tracer = &tracer;
+            cfg.traceLane = lane;
+            tracer.laneName(lane, "chunk " + run.name);
+        }
+        ++lane;
+        Server server(
+            makeCpuStepModel(cpu, sharedBackend(tee::makeTdx()),
+                             model, deploy),
+            cfg);
+        run.m = server.run(base);
+        run.usdPer1k = cost::costPer1kTokens(
+            run.m.outputTokens,
+            cost::nodeSecondsUsd(instance_hr, run.m.makespan));
+        t.addRow({run.name, fmtInt(run.m.maxStepPrefillTokens),
+                  fmt(run.m.ttft.p50, 3), fmt(run.m.ttft.p99, 3),
+                  fmt(1e3 * run.m.itl.p50, 1),
+                  fmt(1e3 * run.m.itl.p99, 1),
+                  fmt(run.m.tokensPerSecond),
+                  fmt(run.usdPer1k, 5)});
+    }
+    t.print(std::cout);
+
+    const Run &off = runs[0];
+    std::cout << "\nchunk sweep (JSON):\n";
+    JsonWriter json(std::cout);
+    json.beginObject();
+    json.field("pool_blocks", 2560);
+    json.field("block_tokens", 16);
+    json.field("mode", std::string("decode"));
+    json.key("runs");
+    json.beginArray();
+    for (const Run &run : runs) {
+        json.beginObject();
+        json.field("chunk_tokens", run.chunkTokens);
+        json.field("max_step_prefill_tokens",
+                   run.m.maxStepPrefillTokens);
+        json.field("ttft_p50_s", run.m.ttft.p50);
+        json.field("ttft_p99_s", run.m.ttft.p99);
+        json.field("itl_p50_s", run.m.itl.p50);
+        json.field("itl_p99_s", run.m.itl.p99);
+        json.field("tokens_per_s", run.m.tokensPerSecond);
+        json.field("makespan_s", run.m.makespan);
+        json.field("completed", run.m.completed);
+        json.field("output_tokens", run.m.outputTokens);
+        json.field("chunk_slices", run.m.chunkSlices);
+        json.field("mixed_steps", run.m.mixedSteps);
+        json.field("starvation_kicks", run.m.starvationKicks);
+        json.field("cost_per_1k_tokens_usd", run.usdPer1k);
+        // Improvements over the monolithic baseline (positive =
+        // chunking won).
+        json.field("itl_p99_improvement_s",
+                   off.m.itl.p99 - run.m.itl.p99);
+        json.field("ttft_p99_improvement_s",
+                   off.m.ttft.p99 - run.m.ttft.p99);
+        json.field("cost_per_1k_tokens_improvement_usd",
+                   off.usdPer1k - run.usdPer1k);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    std::cout << "\n";
+
+    if (opt.trace)
+        finishTrace(tracer, opt);
+    bench::writeMetricsSnapshot(opt.metricsOut);
+    return 0;
+}
+
+int
+runSloMode(const bench::ChunkOptions &copt,
+           const bench::ObsOptions &opt)
 {
     std::cout << "=== Serving extension: SLO attainment under TEEs "
                  "===\n";
@@ -407,6 +535,10 @@ runSloMode(const bench::ObsOptions &opt)
         for (auto &d : deployments) {
             ServerConfig cfg;
             cfg.policy = policy;
+            // Chunked prefill requires continuous batching; the
+            // static-batch rows stay monolithic.
+            if (policy == BatchPolicy::Continuous)
+                bench::applyChunkedPrefill(cfg, copt);
             if (opt.trace) {
                 cfg.tracer = &tracer;
                 cfg.traceLane = lane;
@@ -451,9 +583,11 @@ main(int argc, char **argv)
 {
     bench::ObsOptions opt;
     bench::PrefixOptions popt;
+    bench::ChunkOptions copt;
     bool fault_mode = false;
     bool kv_sweep = false;
     bool prefix_sweep = false;
+    bool chunk_sweep = false;
     std::uint64_t fault_seed = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--help") == 0 ||
@@ -475,7 +609,13 @@ main(int argc, char **argv)
             prefix_sweep = true;
             continue;
         }
+        if (std::strcmp(argv[i], "--chunk-sweep") == 0) {
+            chunk_sweep = true;
+            continue;
+        }
         if (bench::parsePrefixArg(popt, argc, argv, i))
+            continue;
+        if (bench::parseChunkArg(copt, argc, argv, i))
             continue;
         if (bench::parseObsArg(opt, argc, argv, i))
             continue;
@@ -490,5 +630,7 @@ main(int argc, char **argv)
         return runKvSweepMode(opt);
     if (prefix_sweep)
         return runPrefixSweepMode(popt, opt);
-    return runSloMode(opt);
+    if (chunk_sweep)
+        return runChunkSweepMode(opt);
+    return runSloMode(copt, opt);
 }

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Chunked-prefill walkthrough: how slicing long prompts bounds the
+ * per-step TEE working set and what that buys (and costs). The same
+ * prefill-heavy Poisson trace replays against one TDX serving
+ * instance three times — monolithic prefill (today's behaviour),
+ * decode-priority chunking, and prefill-priority chunking — and
+ * prints the TTFT/ITL comparison plus the mixed-step accounting.
+ *
+ * The interesting regime is inLen >> outLen: a monolithic 1.5k-token
+ * prefill monopolises the enclave for hundreds of milliseconds while
+ * every decoding request waits, which is exactly the inter-token
+ * stall chunking removes. Decode-priority trades TTFT for smooth
+ * ITL; prefill-priority leans the other way.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "serve/serving.hh"
+#include "util/table.hh"
+
+using namespace cllm;
+using namespace cllm::serve;
+
+namespace {
+
+std::shared_ptr<const tee::TeeBackend>
+shared(std::unique_ptr<tee::TeeBackend> p)
+{
+    return std::shared_ptr<const tee::TeeBackend>(std::move(p));
+}
+
+} // namespace
+
+int
+main()
+{
+    const hw::CpuSpec cpu = hw::emr2();
+    const llm::ModelConfig model = llm::llama2_7b();
+    llm::RunParams deploy;
+    deploy.inLen = 1024;
+    deploy.outLen = 256;
+    deploy.batch = 32;
+    deploy.sockets = 1;
+    deploy.cores = cpu.coresPerSocket;
+
+    // Prefill-heavy document shape: long prompts, short answers.
+    WorkloadConfig load;
+    load.arrivalRate = 0.3;
+    load.numRequests = 120;
+    load.meanInLen = 1024;
+    load.meanOutLen = 192;
+    load.seed = 41;
+
+    std::cout << "Chunked prefill on a TDX instance "
+                 "(Llama2-7B bf16)\n";
+    std::cout << "pool: 2048 blocks x 16 tokens; long prompts, "
+                 "short generations;\nchunk 256 tokens, step budget "
+                 "= chunk + batch\n\n";
+
+    struct Run
+    {
+        const char *name;
+        ChunkMode mode;
+    };
+    const Run runs[] = {
+        {"monolithic", ChunkMode::Off},
+        {"chunk/decode-pri", ChunkMode::DecodePriority},
+        {"chunk/prefill-pri", ChunkMode::PrefillPriority},
+    };
+
+    Table t({"schedule", "max step pf", "TTFT p50 [s]",
+             "TTFT p95 [s]", "ITL p50 [ms]", "ITL p99 [ms]",
+             "mixed steps", "tok/s"});
+    for (const Run &r : runs) {
+        ServerConfig cfg;
+        cfg.policy = BatchPolicy::Continuous;
+        cfg.kvBlocks = 2048;
+        cfg.kvBlockTokens = 16;
+        cfg.kvMode = KvMode::Paged;
+        cfg.paged.kvBytesPerToken =
+            model.kvBytesPerToken(hw::Dtype::Bf16);
+        cfg.chunkedPrefill.mode = r.mode;
+        cfg.chunkedPrefill.chunkTokens = 256;
+
+        Server server(
+            makeCpuStepModel(cpu, shared(tee::makeTdx()), model,
+                             deploy),
+            cfg);
+        const ServeMetrics m = server.run(generateWorkload(load));
+        t.addRow({r.name, fmtInt(m.maxStepPrefillTokens),
+                  fmt(m.ttft.p50, 2), fmt(m.ttft.p95, 2),
+                  fmt(1e3 * m.itl.p50, 1), fmt(1e3 * m.itl.p99, 1),
+                  fmtInt(m.mixedSteps), fmt(m.tokensPerSecond)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nMonolithic prefill admits a whole prompt as one "
+                 "step, so a decoding request\ncan stall behind 1.5k "
+                 "prefill tokens; chunking caps any step's prefill "
+                 "work at\nbudget + chunk tokens and co-schedules "
+                 "slices with decode, so the tail of the\ninter-token "
+                 "latency distribution collapses at a modest TTFT "
+                 "cost.\n";
+    return 0;
+}

@@ -36,6 +36,16 @@ writeFleetMetrics(JsonWriter &json, const FleetMetrics &m)
         json.field("prefix_evicted_blocks", m.prefixEvictedBlocks);
         json.field("prefix_pinned_peak_blocks", m.prefixPinnedPeak);
     }
+    if (m.chunkedEnabled) {
+        json.field("itl_p50_s", m.itl.p50);
+        json.field("itl_p95_s", m.itl.p95);
+        json.field("itl_p99_s", m.itl.p99);
+        json.field("chunk_slices", m.chunkSlices);
+        json.field("chunk_prefill_tokens", m.chunkPrefillTokens);
+        json.field("mixed_steps", m.mixedSteps);
+        json.field("starvation_kicks", m.starvationKicks);
+        json.field("max_step_prefill_tokens", m.maxStepPrefillTokens);
+    }
     json.field("total_cost_usd", m.totalCostUsd);
     json.field("cost_per_1k_tokens_usd", m.costPer1kTokens);
     json.field("peak_nodes", m.peakNodes);

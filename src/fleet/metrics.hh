@@ -66,6 +66,19 @@ struct FleetMetrics
     std::uint64_t prefixEvictedBlocks = 0;
     std::uint64_t prefixPinnedPeak = 0; //!< max across nodes
 
+    // Chunked prefill (sums over nodes except the max; emitted to
+    // JSON only when any node ran with chunking on). The fleet ITL
+    // summary pools every node's per-token gap samples in node-id
+    // order, so it is a distribution over tokens, not a mean of
+    // per-node summaries.
+    bool chunkedEnabled = false;
+    SampleSummary itl{};
+    std::size_t chunkSlices = 0;
+    std::uint64_t chunkPrefillTokens = 0;
+    std::size_t mixedSteps = 0;
+    std::size_t starvationKicks = 0;
+    std::uint64_t maxStepPrefillTokens = 0; //!< max across nodes
+
     // Fleet economics.
     double totalCostUsd = 0.0;
     double costPer1kTokens = 0.0;

@@ -46,7 +46,33 @@ Node::Node(unsigned id, std::size_t template_index,
     cfg_.tracer = tracer;
     cfg_.traceLane = traceLane();
     engine_ = std::make_unique<serve::ContinuousEngine>(*step_, cfg_);
-    estPrefill_ = step_->prefill(tmpl.meanInLenHint);
+    if (cfg_.chunkedPrefill.mode != serve::ChunkMode::Off)
+        estDecode_ =
+            step_->decodeStep(cfg_.maxBatch / 2.0,
+                              static_cast<double>(tmpl.meanInLenHint));
+    estPrefill_ = estimatePrefill(tmpl.meanInLenHint);
+}
+
+double
+Node::estimatePrefill(unsigned in_len) const
+{
+    if (cfg_.chunkedPrefill.mode == serve::ChunkMode::Off)
+        return step_->prefill(in_len);
+    const unsigned chunk = cfg_.chunkedPrefill.chunkTokens;
+    double sec = 0.0;
+    unsigned done = 0;
+    unsigned slices = 0;
+    while (done < in_len) {
+        const unsigned take = std::min(chunk, in_len - done);
+        // Project the loaded case: every slice rides a step that is
+        // already streaming the weights for a decode batch.
+        sec += step_->prefillChunk(done, take, true);
+        done += take;
+        ++slices;
+    }
+    if (slices > 1)
+        sec += static_cast<double>(slices - 1) * estDecode_;
+    return sec;
 }
 
 void
@@ -72,7 +98,7 @@ Node::projectedTtft(double now, unsigned in_len) const
     const double lag = std::max(0.0, engine_->clock() - now);
     return lag +
            static_cast<double>(engine_->outstanding()) * estPrefill_ +
-           step_->prefill(in_len);
+           estimatePrefill(in_len);
 }
 
 double

@@ -125,6 +125,17 @@ class Node
     serve::ServeMetrics metrics() const;
 
   private:
+    /**
+     * Prefill-latency estimate honouring the node's scheduling
+     * discipline: monolithic prefill(in_len) when chunking is off;
+     * with chunking on, the sum of the prompt's slice costs (each
+     * priced as a rider on a shared step) plus one decode step of
+     * ride-along delay per extra slice — chunked admission returns
+     * the first token later, and the router's TTFT projection must
+     * see that, not the monolithic number.
+     */
+    double estimatePrefill(unsigned in_len) const;
+
     unsigned id_;
     std::size_t tmplIndex_;
     std::string name_;
@@ -139,6 +150,7 @@ class Node
     serve::ServerConfig cfg_;
     std::unique_ptr<serve::ContinuousEngine> engine_;
     double estPrefill_ = 0.0;
+    double estDecode_ = 0.0; //!< per-slice ride-along (chunked only)
 };
 
 } // namespace cllm::fleet

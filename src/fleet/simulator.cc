@@ -266,6 +266,19 @@ FleetSimulator::finalize(const std::vector<serve::Request> &trace,
         tally.prefixInsertedBlocks += t.prefixInsertedBlocks;
         tally.prefixPinnedPeak = std::max<std::uint64_t>(
             tally.prefixPinnedPeak, t.prefixPinnedPeak);
+        tally.chunkedEnabled =
+            tally.chunkedEnabled || t.chunkedEnabled;
+        tally.chunkSlices += t.chunkSlices;
+        tally.chunkPrefillTokens += t.chunkPrefillTokens;
+        tally.mixedSteps += t.mixedSteps;
+        tally.starvationKicks += t.starvationKicks;
+        tally.maxStepPrefillTokens = std::max(
+            tally.maxStepPrefillTokens, t.maxStepPrefillTokens);
+        // Pool every node's per-token gaps (node-id order, so the
+        // fleet ITL summary is deterministic at any thread count).
+        tally.itlSamples.insert(tally.itlSamples.end(),
+                                t.itlSamples.begin(),
+                                t.itlSamples.end());
         occupancy_sum += e.occupancySum();
         steps += e.steps();
         kv_peak = std::max(kv_peak, e.kvPeak());
@@ -305,6 +318,13 @@ FleetSimulator::finalize(const std::vector<serve::Request> &trace,
     m.prefixEvictions = tally.prefixEvictions;
     m.prefixEvictedBlocks = tally.prefixEvictedBlocks;
     m.prefixPinnedPeak = tally.prefixPinnedPeak;
+    m.chunkedEnabled = tally.chunkedEnabled;
+    m.itl = agg.itl;
+    m.chunkSlices = tally.chunkSlices;
+    m.chunkPrefillTokens = tally.chunkPrefillTokens;
+    m.mixedSteps = tally.mixedSteps;
+    m.starvationKicks = tally.starvationKicks;
+    m.maxStepPrefillTokens = tally.maxStepPrefillTokens;
     m.retries = tally.retries;
     m.shed = tally.shed;
     m.timedOut = tally.timedOut;

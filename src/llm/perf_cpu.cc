@@ -173,6 +173,38 @@ CpuPerfModel::prefillSeconds(const DeploymentRates &r,
            tot.opCount * r.tax.perOpFixedSec + r.tax.perTokenFixedSec;
 }
 
+double
+CpuPerfModel::prefillChunkSeconds(const DeploymentRates &r,
+                                  const ModelConfig &model,
+                                  const RunParams &params,
+                                  unsigned done, unsigned chunk,
+                                  bool shared) const
+{
+    const double s = chunk;
+    const double t0 = done;
+    const double t1 = t0 + s;
+    // The quadratic attention term telescopes: summed over a prompt's
+    // slices it reproduces prefillSeconds' 2*L*H*s^2 exactly, so
+    // chunking never hides FLOPs — it only bounds how many hit one
+    // step.
+    const double flops =
+        2.0 * static_cast<double>(model.matmulParams()) * s +
+        2.0 * model.layers * model.hidden * (t1 * t1 - t0 * t0);
+    const double weight_bytes =
+        static_cast<double>(model.numParams()) * r.weightBytesPerParam;
+    const double kv_write = model.kvBytesPerToken(params.dtype) * s;
+    const double kv_read = model.kvBytesPerToken(params.dtype) * t0;
+    const StepTotals tot =
+        stepTotals(model, params.dtype, t0 + s / 2.0);
+    const double bytes = (shared ? 0.0 : weight_bytes) +
+                         tot.actBytesPerSeq * s * r.actFactor * 0.25 +
+                         kv_write + kv_read;
+    const double t_comp = flops / r.prefillRate;
+    const double t_mem = bytes / r.bw + bytes * r.tax.extraSecPerByte;
+    return rooflineTime(t_comp, t_mem, cfg_.overlapBeta) +
+           tot.opCount * r.tax.perOpFixedSec + r.tax.perTokenFixedSec;
+}
+
 
 TimingResult
 CpuPerfModel::run(const hw::CpuSpec &cpu, const tee::TeeBackend &backend,

@@ -146,6 +146,24 @@ class CpuPerfModel
                           const RunParams &params,
                           unsigned in_len) const;
 
+    /**
+     * Seconds to prefill a `chunk`-token slice of a prompt whose
+     * leading `done` tokens already sit in KV, priced on the slice's
+     * marginal working set: its own attention FLOPs (the quadratic
+     * term over [done, done+chunk)), its activations, the KV it
+     * writes plus the prefix KV it re-reads — and the weights only
+     * when `shared` is false. A step shared with a decode batch (or a
+     * preceding slice) already streamed the weights through the
+     * encrypted memory path once, so a rider slice skips that byte
+     * tax; per-op fixed costs are paid in full by every slice.
+     * Identity: prefillChunkSeconds(r, m, p, 0, n, false) ==
+     * prefillSeconds(r, m, p, n).
+     */
+    double prefillChunkSeconds(const DeploymentRates &r,
+                               const ModelConfig &model,
+                               const RunParams &params, unsigned done,
+                               unsigned chunk, bool shared) const;
+
     const CpuPerfConfig &config() const { return cfg_; }
 
   private:

@@ -92,6 +92,41 @@ prefixEvictCounter()
     return c;
 }
 
+// Chunked-prefill counters follow the same lazy-registration rule:
+// only chunked paths ever touch them, so an off-mode run's registry
+// snapshot stays byte-identical to older builds.
+obs::Counter &
+chunkSliceCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("serve.chunk_slices");
+    return c;
+}
+
+obs::Counter &
+chunkTokenCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("serve.chunk_prefill_tokens");
+    return c;
+}
+
+obs::Counter &
+mixedStepCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("serve.chunk_mixed_steps");
+    return c;
+}
+
+obs::Counter &
+starvationCounter()
+{
+    static obs::Counter &c = obs::Registry::global().counter(
+        "serve.chunk_starvation_kicks");
+    return c;
+}
+
 /** The config's tracer when sim recording is live, else null. */
 obs::Tracer *
 simTracer(const ServerConfig &cfg)
@@ -136,6 +171,20 @@ ContinuousEngine::ContinuousEngine(const StepModel &step,
         cfg_.kvMode != KvMode::Paged)
         cllm_fatal("ContinuousEngine: prefix caching requires paged "
                    "KV");
+    if (cfg_.chunkedPrefill.mode != ChunkMode::Off) {
+        if (cfg_.chunkedPrefill.chunkTokens == 0)
+            cllm_fatal("ContinuousEngine: zero chunk size");
+        if (cfg_.chunkedPrefill.stepTokenBudget != 0 &&
+            cfg_.chunkedPrefill.stepTokenBudget <
+                cfg_.chunkedPrefill.chunkTokens)
+            cllm_fatal("ContinuousEngine: step token budget below "
+                       "the chunk size");
+        if (cfg_.chunkedPrefill.starvationIters == 0)
+            cllm_fatal("ContinuousEngine: zero starvation-guard "
+                       "window");
+        chunked_ = true;
+        tally_.chunkedEnabled = true;
+    }
     if (cfg_.kvBlocks)
         pool_.emplace(KvPoolConfig{cfg_.kvBlocks, cfg_.kvBlockTokens});
     if (cfg_.prefixMode != PrefixMode::Off) {
@@ -154,7 +203,7 @@ ContinuousEngine::submit(Request *r, double ready_at, unsigned attempts)
         cllm_fatal("ContinuousEngine: prompt token count mismatch "
                    "for request ",
                    r->id);
-    pending_.push({r, ready_at, attempts, 0, false});
+    pending_.push({r, ready_at, attempts, 0, false, -1.0});
     submitted_.push_back(r);
     if (obs::Tracer *t = simTracer(cfg_); t && attempts == 0)
         t->asyncBegin(cfg_.traceLane, kReqCat, r->id, "req",
@@ -339,7 +388,13 @@ ContinuousEngine::preemptActive(std::size_t idx)
                      {"produced",
                       static_cast<double>(victim.produced)}});
     bool swapped = false;
-    if (cfg_.paged.preempt == KvPreemptPolicy::SwapToEpc) {
+    // A victim still mid-prefill (chunked mode only) always resumes
+    // by recomputation: its KV image is partial, so swapping it out
+    // would pay EPC traffic for blocks holding nothing worth keeping.
+    const bool mid_prefill =
+        victim.prefillDone < victim.prefillTarget;
+    if (cfg_.paged.preempt == KvPreemptPolicy::SwapToEpc &&
+        !mid_prefill) {
         const double t0 = clock_;
         const double sec =
             swapSeconds(victim.req->inLen + victim.produced);
@@ -357,7 +412,7 @@ ContinuousEngine::preemptActive(std::size_t idx)
     // Not a fault retry: re-enters the queue at the same attempt
     // count, ordered by (readyAt, id) like any other pending request.
     pending_.push({victim.req, clock_, victim.attempts,
-                   victim.produced, swapped});
+                   victim.produced, swapped, victim.lastEmit});
 }
 
 // Before a paged decode step every active sequence must be able to
@@ -396,6 +451,43 @@ ContinuousEngine::growActivePaged()
     }
 }
 
+// Chunked-mode growth: prefilling sequences already hold their whole
+// resident context (allocated at admission), so only decoding
+// sequences need a token's worth of room this step. Victim selection
+// is unchanged — LIFO from the batch tail, whatever phase the victim
+// is in; preemptActive downgrades mid-prefill victims to recompute.
+void
+ContinuousEngine::growDecodingPaged()
+{
+    for (std::size_t i = 0; i < active_.size();) {
+        ActiveSeq &a = active_[i];
+        if (a.prefillDone < a.prefillTarget) {
+            ++i;
+            continue;
+        }
+        Request *r = a.req;
+        const bool needs_block =
+            pool_->tokens(r->id) % cfg_.kvBlockTokens == 0;
+        if (needs_block && pool_->freeBlocks() == 0) {
+            if (prefix_) {
+                const std::uint64_t freed =
+                    prefix_->evictToFree(1, clock_);
+                if (freed > 0) {
+                    prefixEvictCounter().add(freed);
+                    syncPrefixTally();
+                    continue;
+                }
+            }
+            preemptActive(i + 1 < active_.size() ? active_.size() - 1
+                                                 : i);
+            continue;
+        }
+        if (!pool_->appendToken(r->id))
+            cllm_panic("paged KV append failed with free blocks");
+        ++i;
+    }
+}
+
 void
 ContinuousEngine::publishKvGauges() const
 {
@@ -415,7 +507,8 @@ ContinuousEngine::publishKvGauges() const
 // Bounded retry with exponential backoff; a request that spends its
 // budget is dropped for good.
 void
-ContinuousEngine::requeue(Request *r, unsigned attempts)
+ContinuousEngine::requeue(Request *r, unsigned attempts,
+                          double last_emit)
 {
     const ResiliencePolicy &rp = cfg_.resilience;
     obs::Tracer *t = simTracer(cfg_);
@@ -433,7 +526,8 @@ ContinuousEngine::requeue(Request *r, unsigned attempts)
     double backoff = rp.retryBackoff;
     for (unsigned i = 1; i < attempts; ++i)
         backoff *= rp.backoffMultiplier;
-    pending_.push({r, clock_ + backoff, attempts});
+    pending_.push({r, clock_ + backoff, attempts, 0, false,
+                   last_emit});
     if (t)
         t->asyncInstant(cfg_.traceLane, kReqCat, r->id, "retry",
                         clock_);
@@ -482,7 +576,7 @@ ContinuousEngine::iterate(double admit_horizon)
                 for (ActiveSeq &a : active_) {
                     if (pool_)
                         pool_->release(a.req->id);
-                    requeue(a.req, a.attempts + 1);
+                    requeue(a.req, a.attempts + 1, a.lastEmit);
                 }
                 active_.clear();
             }
@@ -552,7 +646,7 @@ ContinuousEngine::iterate(double admit_horizon)
                 tr->instant(
                     lane, "attest_reject", clock_,
                     {{"req", static_cast<double>(p.req->id)}});
-            requeue(p.req, p.attempts + 1);
+            requeue(p.req, p.attempts + 1, p.lastEmit);
             continue;
         }
         if (!admitCheck(*p.req, p.produced, kv_factor, p.swapped))
@@ -598,23 +692,44 @@ ContinuousEngine::iterate(double admit_horizon)
         // plus any previously generated tokens — charged only from
         // the cached-prefix boundary on a hit. Fresh requests have
         // produced == 0, so the reserved-mode cost is unchanged.
+        // Chunked mode defers all prefill work to token-budgeted
+        // steps: admission just records the progress target (a
+        // swap-in still restores the full KV image in one bulk move,
+        // so swapped victims resume straight into decode).
+        const bool chunk_defer = chunked_ && !(paged && p.swapped);
         double pf;
         if (paged && p.swapped)
             pf = swapSeconds(r->inLen + p.produced);
+        else if (chunk_defer)
+            pf = 0.0;
         else if (pm.tokens > 0)
             pf = step_->prefillFrom(pm.tokens,
                                     r->inLen + p.produced);
         else
             pf = step_->prefill(r->inLen + p.produced);
-        if (!(paged && p.swapped))
-            tally_.prefillTokensComputed +=
+        if (!(paged && p.swapped) && !chunk_defer) {
+            const std::uint64_t computed =
                 r->inLen + p.produced - pm.tokens;
+            tally_.prefillTokensComputed += computed;
+            // Monolithic prefill hits one step with the whole
+            // uncached prompt — the working-set bound chunking exists
+            // to shrink; tracked in every mode so the differential
+            // tests can compare.
+            tally_.maxStepPrefillTokens = std::max(
+                tally_.maxStepPrefillTokens, computed);
+        }
         if (inj_.enabled())
             pf *= inj_.slowdown(clock_);
         clock_ += pf;
-        if (r->firstToken < 0.0)
+        if (!chunk_defer && r->firstToken < 0.0)
             r->firstToken = clock_;
-        active_.push_back({r, p.produced, p.attempts});
+        ActiveSeq seq{r, p.produced, p.attempts};
+        seq.lastEmit = p.lastEmit >= 0.0 ? p.lastEmit : clock_;
+        if (chunk_defer) {
+            seq.prefillDone = pm.tokens;
+            seq.prefillTarget = r->inLen + p.produced;
+        }
+        active_.push_back(seq);
         if (tr)
             tr->asyncInstant(lane, kReqCat, r->id, "admit",
                              admit_at);
@@ -626,7 +741,7 @@ ContinuousEngine::iterate(double admit_horizon)
                 tr->complete(lane, "kv.swap", admit_at, clock_,
                              {{"req", static_cast<double>(r->id)},
                               {"dir", 1.0}});
-        } else {
+        } else if (!chunk_defer) {
             prefillCounter().inc();
             if (tr)
                 tr->complete(
@@ -637,10 +752,15 @@ ContinuousEngine::iterate(double admit_horizon)
         }
         if (use_cache) {
             // Cache the freshly prefilled prompt (idempotent on a
-            // full hit: the walk just refreshes LRU stamps).
-            prefix_->insert(r->tenant, r->promptTokens,
-                            pool_->blockTable(r->id), clock_);
-            syncPrefixTally();
+            // full hit: the walk just refreshes LRU stamps). Chunked
+            // admissions have nothing prefilled yet — their prompt is
+            // inserted when the last slice lands, so another request
+            // can never share KV that has not been computed.
+            if (!chunk_defer) {
+                prefix_->insert(r->tenant, r->promptTokens,
+                                pool_->blockTable(r->id), clock_);
+                syncPrefixTally();
+            }
             if (tr && pm.tokens > 0)
                 tr->instant(
                     lane, "prefix.hit", admit_at,
@@ -687,6 +807,23 @@ ContinuousEngine::iterate(double admit_horizon)
     if (active_.empty())
         return; // everything remaining was dropped
 
+    // Chunked mode with any sequence still prefilling runs one mixed
+    // token-budgeted step instead of the monolithic decode below;
+    // once every active sequence is decoding the paths converge.
+    if (chunked_) {
+        bool any_prefilling = false;
+        for (const ActiveSeq &a : active_) {
+            if (a.prefillDone < a.prefillTarget) {
+                any_prefilling = true;
+                break;
+            }
+        }
+        if (any_prefilling) {
+            chunkedStep();
+            return;
+        }
+    }
+
     // Paged mode: make room for this step's tokens, evicting from the
     // batch tail when the pool is exhausted.
     if (pool_ && cfg_.kvMode == KvMode::Paged) {
@@ -721,6 +858,11 @@ ContinuousEngine::iterate(double admit_horizon)
 
     for (auto it = active_.begin(); it != active_.end();) {
         ++it->produced;
+        // Inter-token gap, measured client-side: from the previous
+        // emission (wherever it happened — before a preemption, even
+        // before a restart) to this one.
+        tally_.itlSamples.push_back(clock_ - it->lastEmit);
+        it->lastEmit = clock_;
         if (it->produced >= it->req->outLen) {
             it->req->finish = clock_;
             finished_.push_back(it->req);
@@ -748,6 +890,220 @@ ContinuousEngine::iterate(double admit_horizon)
         } else {
             ++it;
         }
+    }
+    if (pool_) {
+        publishKvGauges();
+        if (tr)
+            tr->counterValue(lane, "kv_util", clock_,
+                             pool_->utilization());
+    }
+}
+
+// One mixed prefill/decode iteration under the token budget. Every
+// decoding sequence emits a token; prefilling sequences advance by at
+// most one chunk each, planned in admission order from whatever
+// budget decode left over (DecodePriority) or ahead of decode
+// (PrefillPriority — decode still runs, it just stops constraining
+// the slices). The step is priced as one fused launch: the decode
+// batch streams the weights once, and every slice after the first
+// co-scheduled phase rides that stream, paying only its marginal
+// working set (its attention FLOPs, its activations, the KV it
+// writes, the prefix KV it re-reads) plus its own per-op fixed costs.
+void
+ContinuousEngine::chunkedStep()
+{
+    const ResiliencePolicy &rp = cfg_.resilience;
+    obs::Tracer *tr = simTracer(cfg_);
+    const std::uint32_t lane = cfg_.traceLane;
+    const ChunkedPrefillPolicy &cp = cfg_.chunkedPrefill;
+    // The default budget always fits one full slice beside a full
+    // decode batch, so no legal configuration can deadlock.
+    const unsigned budget =
+        cp.stepTokenBudget ? cp.stepTokenBudget
+                           : cp.chunkTokens + cfg_.maxBatch;
+
+    // Decoding sequences need a token's worth of KV room; growth may
+    // preempt from the tail (possibly a prefilling sequence), so
+    // partition phases only afterwards.
+    if (pool_ && cfg_.kvMode == KvMode::Paged) {
+        growDecodingPaged();
+        kvPeak_ = std::max(kvPeak_, pool_->utilization());
+        if (active_.empty())
+            return; // whole batch preempted (pathological pool)
+    }
+
+    std::vector<std::size_t> decoding, prefilling;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+        if (active_[i].prefillDone < active_[i].prefillTarget)
+            prefilling.push_back(i);
+        else
+            decoding.push_back(i);
+    }
+    const unsigned ndecode =
+        static_cast<unsigned>(decoding.size());
+
+    // Plan the slices. DecodePriority reserves one budget token per
+    // decoding sequence before any slice is cut; PrefillPriority
+    // hands the whole budget to the slices. A sequence starved of
+    // budget for starvationIters consecutive iterations gets a
+    // forced slice — at most one forced slice per step (contended in
+    // admission order), which keeps the step's prefill tokens under
+    // budget + chunkTokens while still bounding every sequence's
+    // wait no matter how busy decode keeps the step.
+    unsigned rem = cp.mode == ChunkMode::DecodePriority
+                       ? (budget > ndecode ? budget - ndecode : 0)
+                       : budget;
+    struct Slice
+    {
+        std::size_t idx;
+        unsigned tokens;
+        bool forced;
+    };
+    std::vector<Slice> slices;
+    bool forced_used = false;
+    for (std::size_t idx : prefilling) {
+        ActiveSeq &a = active_[idx];
+        const unsigned remaining = a.prefillTarget - a.prefillDone;
+        unsigned take =
+            std::min(std::min(cp.chunkTokens, remaining), rem);
+        bool forced = false;
+        if (take == 0) {
+            if (a.stallIters < cp.starvationIters)
+                ++a.stallIters;
+            if (a.stallIters < cp.starvationIters || forced_used)
+                continue;
+            take = std::min(cp.chunkTokens, remaining);
+            forced = forced_used = true;
+        }
+        a.stallIters = 0;
+        rem -= std::min(take, rem);
+        slices.push_back({idx, take, forced});
+    }
+
+    // Price the fused step: decode first, then the slices in plan
+    // order, each laid out sequentially on the trace timeline. The
+    // first phase of the step streams the weights; everything after
+    // it is marginal.
+    const double step_t0 = clock_;
+    const double slow = inj_.enabled() ? inj_.slowdown(clock_) : 1.0;
+    double t = clock_;
+    if (ndecode) {
+        double avg_pos = 0.0;
+        for (std::size_t idx : decoding)
+            avg_pos += active_[idx].req->inLen +
+                       active_[idx].produced;
+        avg_pos /= ndecode;
+        const double dec_sec =
+            step_->decodeStep(ndecode, avg_pos) * slow;
+        t += dec_sec;
+        if (tr)
+            tr->complete(
+                lane, "decode", step_t0, t,
+                {{"batch", static_cast<double>(ndecode)},
+                 {"avg_pos", avg_pos}});
+    }
+    bool shared = ndecode > 0;
+    std::uint64_t step_prefill_tokens = 0;
+    for (const Slice &s : slices) {
+        ActiveSeq &a = active_[s.idx];
+        const double sec =
+            step_->prefillChunk(a.prefillDone, s.tokens, shared) *
+            slow;
+        shared = true;
+        if (tr)
+            tr->complete(
+                lane, "prefill.chunk", t, t + sec,
+                {{"req", static_cast<double>(a.req->id)},
+                 {"done", static_cast<double>(a.prefillDone)},
+                 {"tokens", static_cast<double>(s.tokens)}});
+        t += sec;
+        a.prefillDone += s.tokens;
+        step_prefill_tokens += s.tokens;
+        tally_.prefillTokensComputed += s.tokens;
+        ++tally_.chunkSlices;
+        tally_.chunkPrefillTokens += s.tokens;
+        chunkSliceCounter().inc();
+        chunkTokenCounter().add(s.tokens);
+        if (s.forced) {
+            ++tally_.starvationKicks;
+            starvationCounter().inc();
+        }
+    }
+    clock_ = t;
+    tally_.maxStepPrefillTokens =
+        std::max(tally_.maxStepPrefillTokens, step_prefill_tokens);
+    if (ndecode && !slices.empty()) {
+        ++tally_.mixedSteps;
+        mixedStepCounter().inc();
+    }
+    if (ndecode) {
+        occupancySum_ += static_cast<double>(ndecode);
+        decodeStepCounter().inc();
+        tokenCounter().add(ndecode);
+    }
+    maxActive_ = std::max(maxActive_, active_.size());
+    kvUtilSum_ += pool_ ? pool_->utilization() : 0.0;
+    ++steps_;
+
+    // Sequences whose final slice landed become decoding next
+    // iteration; their first token completes with this step.
+    for (const Slice &s : slices) {
+        ActiveSeq &a = active_[s.idx];
+        if (a.prefillDone < a.prefillTarget)
+            continue;
+        Request *r = a.req;
+        if (r->firstToken < 0.0) {
+            r->firstToken = clock_;
+            a.lastEmit = clock_;
+        }
+        prefillCounter().inc();
+        if (prefix_ && !r->promptTokens.empty()) {
+            // The prompt's KV is fully computed only now — cache it.
+            prefix_->insert(r->tenant, r->promptTokens,
+                            pool_->blockTable(r->id), clock_);
+            syncPrefixTally();
+        }
+    }
+
+    // Token emission for decoding sequences, deadline checks for
+    // everyone (a prefilling sequence can blow its budget too).
+    std::vector<char> was_decoding(active_.size(), 0);
+    for (std::size_t idx : decoding)
+        was_decoding[idx] = 1;
+    std::size_t i = 0;
+    for (auto it = active_.begin(); it != active_.end(); ++i) {
+        if (was_decoding[i]) {
+            ++it->produced;
+            tally_.itlSamples.push_back(clock_ - it->lastEmit);
+            it->lastEmit = clock_;
+            if (it->produced >= it->req->outLen) {
+                it->req->finish = clock_;
+                finished_.push_back(it->req);
+                if (pool_)
+                    pool_->release(it->req->id);
+                if (tr)
+                    tr->asyncEnd(lane, kReqCat, it->req->id,
+                                 "complete", clock_);
+                it = active_.erase(it);
+                continue;
+            }
+        }
+        if (rp.requestTimeout > 0.0 &&
+            clock_ - it->req->arrival > rp.requestTimeout) {
+            ++tally_.timedOut;
+            if (pool_)
+                pool_->release(it->req->id);
+            if (tr) {
+                tr->instant(
+                    lane, "timeout_decoding", clock_,
+                    {{"req", static_cast<double>(it->req->id)}});
+                tr->asyncEnd(lane, kReqCat, it->req->id, "timeout",
+                             clock_);
+            }
+            it = active_.erase(it);
+            continue;
+        }
+        ++it;
     }
     if (pool_) {
         publishKvGauges();
@@ -825,6 +1181,14 @@ finalizeRequests(const std::vector<const Request *> &reqs,
     m.prefixEvictions = tally.prefixEvictions;
     m.prefixEvictedBlocks = tally.prefixEvictedBlocks;
     m.prefixPinnedPeak = tally.prefixPinnedPeak;
+    m.chunkedEnabled = tally.chunkedEnabled;
+    if (!tally.itlSamples.empty())
+        m.itl = summarize(tally.itlSamples, 0.0);
+    m.chunkSlices = tally.chunkSlices;
+    m.chunkPrefillTokens = tally.chunkPrefillTokens;
+    m.mixedSteps = tally.mixedSteps;
+    m.starvationKicks = tally.starvationKicks;
+    m.maxStepPrefillTokens = tally.maxStepPrefillTokens;
     return m;
 }
 

@@ -122,6 +122,19 @@ class ContinuousEngine
         Request *req;
         unsigned produced = 0;
         unsigned attempts = 0;
+        // Chunked-prefill progress: prompt tokens whose KV is live
+        // (prefillDone) against the tokens this life must prefill
+        // (prefillTarget). A sequence decodes only once
+        // prefillDone >= prefillTarget; monolithic admissions set
+        // both to 0, so the predicate is phase-agnostic.
+        unsigned prefillDone = 0;
+        unsigned prefillTarget = 0;
+        // Consecutive budget-starved iterations (starvation guard).
+        unsigned stallIters = 0;
+        // Completion time of this sequence's last emitted token, the
+        // baseline for inter-token-latency samples. Carried across
+        // preemptions and retries so ITL stays client-perceived.
+        double lastEmit = -1.0;
     };
 
     struct PendingReq
@@ -134,6 +147,8 @@ class ContinuousEngine
         // swapped out in EPC-backed memory rather than discarded.
         unsigned produced = 0;
         bool swapped = false;
+        // Last token-emission time before the requeue (ITL carry).
+        double lastEmit = -1.0;
     };
 
     /** Min-heap order: earliest readyAt first, ties by request id. */
@@ -160,14 +175,26 @@ class ContinuousEngine
     bool admitCheck(const Request &r, unsigned produced, double factor,
                     bool swapped);
     void syncPrefixTally();
-    void requeue(Request *r, unsigned attempts);
+    void requeue(Request *r, unsigned attempts,
+                 double last_emit = -1.0);
     double swapSeconds(unsigned tokens) const;
     void preemptActive(std::size_t idx);
     void growActivePaged();
+    /** Like growActivePaged, but only decoding sequences append. */
+    void growDecodingPaged();
+    /**
+     * One token-budgeted mixed prefill/decode step: every decoding
+     * sequence emits a token while prefilling sequences advance by at
+     * most one `chunkTokens` slice each, planned in admission order
+     * under the per-iteration budget. Only called when chunking is on
+     * and at least one active sequence is still prefilling.
+     */
+    void chunkedStep();
     void publishKvGauges() const;
 
     const StepModel *step_;
     ServerConfig cfg_;
+    bool chunked_ = false;
     fault::FaultInjector inj_;
     std::optional<KvBlockPool> pool_;
     std::optional<PrefixCache> prefix_;

@@ -167,6 +167,33 @@ parsePrefixMode(const std::string &name)
                "' (off|per_tenant|global)");
 }
 
+const char *
+chunkModeName(ChunkMode m)
+{
+    switch (m) {
+      case ChunkMode::Off:
+        return "off";
+      case ChunkMode::DecodePriority:
+        return "decode";
+      case ChunkMode::PrefillPriority:
+        return "prefill";
+    }
+    return "?";
+}
+
+ChunkMode
+parseChunkMode(const std::string &name)
+{
+    if (name == "off")
+        return ChunkMode::Off;
+    if (name == "decode")
+        return ChunkMode::DecodePriority;
+    if (name == "prefill")
+        return ChunkMode::PrefillPriority;
+    cllm_fatal("unknown chunk mode '", name,
+               "' (off|decode|prefill)");
+}
+
 void
 applySharedPrefixMix(std::vector<Request> &trace,
                      const SharedPrefixMix &mix)
@@ -231,6 +258,14 @@ class CpuStepModel : public StepModel
     {
         return perf_.decodeStepSeconds(rates_, model_, params_, nseq,
                                        avg_pos);
+    }
+
+    double
+    prefillChunk(unsigned done, unsigned chunk,
+                 bool shared) const override
+    {
+        return perf_.prefillChunkSeconds(rates_, model_, params_,
+                                         done, chunk, shared);
     }
 
   private:
@@ -300,6 +335,41 @@ class GpuStepModel : public StepModel
                nseq * cfg.hostBytesPerToken / host_bw;
     }
 
+    double
+    prefillChunk(unsigned done, unsigned chunk,
+                 bool shared) const override
+    {
+        // Marginal working set of one slice: its own attention FLOPs
+        // (the s^2 term over [done, done+chunk)), the KV it writes
+        // plus the prefix KV it re-reads — and the weights only when
+        // the slice runs alone. A shared step already streamed the
+        // weights through the CC bounce buffer for the co-scheduled
+        // work, so the slice rides along; the per-launch encryption
+        // cost, however, is paid in full by every slice, which is
+        // exactly the unamortized overhead that makes tiny chunks
+        // expensive on a confidential GPU.
+        const double s = chunk;
+        const double t1 = static_cast<double>(done) + s;
+        const double t0 = done;
+        const llm::GpuPerfConfig &cfg = perf_.config();
+        const double flops =
+            2.0 * static_cast<double>(model_.matmulParams()) * s +
+            2.0 * model_.layers * model_.hidden * (t1 * t1 - t0 * t0);
+        const double rate = gpu_.peakOps(dtype_) * cfg.computeEff;
+        const double bytes =
+            (shared ? 0.0 : model_.weightBytes(dtype_)) +
+            model_.kvBytesPerToken(dtype_) * (s + t0);
+        const double bw =
+            gpu_.hbmBwBytes * cfg.memEff * tax_.hbmBwFactor;
+        const double launch =
+            gpu_.kernelLaunchUs * 1e-6 + tax_.launchExtraSec;
+        const double host_bw = tax_.hostLinkBwBytes > 0.0
+                                   ? tax_.hostLinkBwBytes
+                                   : gpu_.pcieBwBytes;
+        return std::max(flops / rate, bytes / bw) +
+               cfg.launchesPerStep * launch + s * 4.0 / host_bw;
+    }
+
   private:
     hw::GpuSpec gpu_;
     llm::ModelConfig model_;
@@ -366,6 +436,20 @@ Server::Server(std::unique_ptr<StepModel> step, ServerConfig cfg)
     if (cfg_.prefixMode != PrefixMode::Off &&
         cfg_.kvMode != KvMode::Paged)
         cllm_fatal("Server: prefix caching requires paged KV");
+    if (cfg_.chunkedPrefill.mode != ChunkMode::Off) {
+        if (cfg_.policy == BatchPolicy::Static)
+            cllm_fatal("Server: chunked prefill requires continuous "
+                       "batching");
+        if (cfg_.chunkedPrefill.chunkTokens == 0)
+            cllm_fatal("Server: zero chunk size");
+        if (cfg_.chunkedPrefill.stepTokenBudget != 0 &&
+            cfg_.chunkedPrefill.stepTokenBudget <
+                cfg_.chunkedPrefill.chunkTokens)
+            cllm_fatal("Server: step token budget below the chunk "
+                       "size");
+        if (cfg_.chunkedPrefill.starvationIters == 0)
+            cllm_fatal("Server: zero starvation-guard window");
+    }
 }
 
 ServeMetrics
@@ -513,6 +597,16 @@ writeMetrics(JsonWriter &json, const ServeMetrics &m)
         json.field("prefix_evictions", m.prefixEvictions);
         json.field("prefix_evicted_blocks", m.prefixEvictedBlocks);
         json.field("prefix_pinned_peak_blocks", m.prefixPinnedPeak);
+    }
+    if (m.chunkedEnabled) {
+        json.field("itl_p50_s", m.itl.p50);
+        json.field("itl_p95_s", m.itl.p95);
+        json.field("itl_p99_s", m.itl.p99);
+        json.field("chunk_slices", m.chunkSlices);
+        json.field("chunk_prefill_tokens", m.chunkPrefillTokens);
+        json.field("mixed_steps", m.mixedSteps);
+        json.field("starvation_kicks", m.starvationKicks);
+        json.field("max_step_prefill_tokens", m.maxStepPrefillTokens);
     }
     json.field("retries", m.retries);
     json.field("shed", m.shed);

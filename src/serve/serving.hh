@@ -247,6 +247,56 @@ struct PrefixCachePolicy
 };
 
 /**
+ * Chunked-prefill scheduling mode. Off is the historical behaviour
+ * (one monolithic prefill step per admission, byte-identical to a
+ * build without the feature). The other two modes split each prompt's
+ * prefill into `chunkTokens`-sized slices and co-schedule them with
+ * decode steps under a per-iteration token budget — the Sarathi/vLLM
+ * discipline that bounds the per-step TEE working set so one long
+ * prompt can no longer blow past the EPC and stall every decoding
+ * sequence's inter-token latency. The modes differ only in who claims
+ * budget first when it is scarce.
+ */
+enum class ChunkMode
+{
+    Off,
+    DecodePriority,  //!< decode claims the budget, prefill gets rest
+    PrefillPriority, //!< prefill slices claim first, decode rides
+};
+
+/** Printable chunk-mode name. */
+const char *chunkModeName(ChunkMode m);
+
+/** Parse "off"/"decode"/"prefill" (fatal on anything else). */
+ChunkMode parseChunkMode(const std::string &name);
+
+/** Chunked-prefill tuning; only read when `mode` is not Off. */
+struct ChunkedPrefillPolicy
+{
+    ChunkMode mode = ChunkMode::Off;
+
+    /** Max prompt tokens one slice may prefill. Must be > 0. */
+    unsigned chunkTokens = 256;
+
+    /**
+     * Per-iteration token budget shared by decode (one token per
+     * decoding sequence) and prefill slices. 0 derives
+     * chunkTokens + maxBatch, which always leaves room for one full
+     * slice beside a full decode batch. Must be >= chunkTokens when
+     * set, or a step could never fit a slice.
+     */
+    unsigned stepTokenBudget = 0;
+
+    /**
+     * Starvation guard: a prefilling sequence that makes no progress
+     * for this many consecutive iterations gets a forced slice
+     * regardless of the budget, so every admitted request finishes
+     * prefill in a bounded number of iterations. Must be > 0.
+     */
+    unsigned starvationIters = 8;
+};
+
+/**
  * How the server responds to faults and overload. Every knob defaults
  * to "off", so a default-constructed policy leaves the simulation
  * byte-identical to a server without one.
@@ -311,6 +361,13 @@ struct ServerConfig
     PrefixMode prefixMode = PrefixMode::Off;
     PrefixCachePolicy prefix{};
 
+    /**
+     * Chunked prefill + mixed prefill/decode batching. Requires
+     * continuous batching; Off leaves every output byte-identical to
+     * a build without the feature.
+     */
+    ChunkedPrefillPolicy chunkedPrefill{};
+
     /** Fault/overload response; defaults are all off. */
     ResiliencePolicy resilience{};
 
@@ -369,6 +426,18 @@ struct ServeTally
     std::uint64_t prefixEvictedBlocks = 0;
     std::uint64_t prefixInsertedBlocks = 0;
     std::uint64_t prefixPinnedPeak = 0;      //!< peak pinned blocks
+
+    // Chunked prefill (counters are only nonzero when chunking is on;
+    // maxStepPrefillTokens and itlSamples are tracked in every mode —
+    // the differential tests compare them across modes — but only
+    // emitted to JSON when chunkedEnabled keeps off-mode byte-stable).
+    bool chunkedEnabled = false;
+    std::size_t chunkSlices = 0;      //!< prefill slices executed
+    std::uint64_t chunkPrefillTokens = 0; //!< tokens across all slices
+    std::size_t mixedSteps = 0;       //!< steps running both phases
+    std::size_t starvationKicks = 0;  //!< forced slices past budget
+    std::uint64_t maxStepPrefillTokens = 0; //!< worst single step
+    std::vector<double> itlSamples;   //!< per-token decode gaps [s]
 };
 
 /** Outcome of serving a trace. */
@@ -415,6 +484,16 @@ struct ServeMetrics
     std::uint64_t prefixEvictedBlocks = 0;
     std::uint64_t prefixPinnedPeak = 0;
 
+    // Chunked prefill (all zero with chunk mode off; emitted to JSON
+    // only when chunkedEnabled so existing output stays byte-stable).
+    bool chunkedEnabled = false;
+    SampleSummary itl{};              //!< inter-token decode gaps
+    std::size_t chunkSlices = 0;
+    std::uint64_t chunkPrefillTokens = 0;
+    std::size_t mixedSteps = 0;
+    std::size_t starvationKicks = 0;
+    std::uint64_t maxStepPrefillTokens = 0;
+
     /** Per-event fault timeline (empty without a schedule). */
     std::vector<fault::FaultRecord> faultTimeline;
 };
@@ -452,6 +531,27 @@ class StepModel
         const double a = prefill(total);
         const double b = prefill(cached);
         return a > b ? a - b : 0.0;
+    }
+
+    /**
+     * Seconds to prefill a `chunk`-token slice of a prompt whose
+     * leading `done` tokens already sit in KV, inside a step that is
+     * `shared` with other work (a decode batch or a preceding slice).
+     * The default is the telescoping marginal cost
+     * prefillFrom(done, done + chunk), which sums back to
+     * prefill(total) exactly — time-neutral chunking. Concrete models
+     * override it to price the slice on its *marginal* working set:
+     * a shared step streams the weights once for everyone, so a slice
+     * riding along only pays its own activations + KV traffic through
+     * the TEE byte tax, while per-slice fixed op/launch costs are paid
+     * in full — small chunks genuinely shrink the modeled EPC
+     * pressure but buy that with per-launch overhead.
+     */
+    virtual double
+    prefillChunk(unsigned done, unsigned chunk, bool shared) const
+    {
+        (void)shared;
+        return prefillFrom(done, done + chunk);
     }
 };
 

@@ -373,6 +373,59 @@ TEST(FleetMetricsJson, TimelineAndCostsAreCoherent)
               std::string::npos);
 }
 
+TEST(FleetChunked, AggregationSumsNodesAndGatesJsonKeys)
+{
+    // A fault-free homogeneous TDX fleet with chunked prefill on:
+    // the fleet rollup must sum the per-node chunk counters, take
+    // the max of the per-node step bounds, pool the ITL samples,
+    // and emit the gated JSON keys — while a chunking-off run of
+    // the same fleet emits none of them.
+    const llm::ModelConfig model = llm::llama2_7b();
+    NodeTemplate node = cpuTdxNode();
+    bench::applyPagedKv(node.server, model);
+    node.server.chunkedPrefill.mode = serve::ChunkMode::DecodePriority;
+    node.server.chunkedPrefill.chunkTokens = 128;
+
+    FleetConfig cfg;
+    cfg.policy = RouterPolicy::LeastOutstanding;
+    cfg.ttftSlo = 2.0;
+    cfg.initialNodes = {0, 0};
+
+    const auto trace = burstyTrace(1.0, 150);
+    FleetSimulator sim(cfg, {node});
+    const FleetMetrics m = sim.run(trace);
+
+    EXPECT_TRUE(m.chunkedEnabled);
+    std::size_t slices = 0;
+    std::uint64_t tokens = 0, max_step = 0;
+    for (const NodeSummary &n : m.nodes) {
+        slices += n.serve.chunkSlices;
+        tokens += n.serve.chunkPrefillTokens;
+        max_step =
+            std::max(max_step, n.serve.maxStepPrefillTokens);
+    }
+    EXPECT_GT(slices, 0u);
+    EXPECT_EQ(m.chunkSlices, slices);
+    EXPECT_EQ(m.chunkPrefillTokens, tokens);
+    EXPECT_EQ(m.maxStepPrefillTokens, max_step);
+    EXPECT_GT(m.itl.p99, 0.0);
+
+    const std::string js = fleetJson(m);
+    EXPECT_NE(js.find("\"chunk_slices\""), std::string::npos);
+    EXPECT_NE(js.find("\"itl_p99_s\""), std::string::npos);
+    EXPECT_NE(js.find("\"max_step_prefill_tokens\""),
+              std::string::npos);
+
+    NodeTemplate off_node = node;
+    off_node.server.chunkedPrefill.mode = serve::ChunkMode::Off;
+    FleetSimulator off_sim(cfg, {off_node});
+    const std::string off_js = fleetJson(off_sim.run(trace));
+    EXPECT_EQ(off_js.find("chunk_"), std::string::npos)
+        << "off-mode fleet JSON must stay byte-identical to the "
+           "pre-chunking format";
+    EXPECT_EQ(off_js.find("itl_"), std::string::npos);
+}
+
 TEST(FleetGolden, MixedFleetMatchesGolden)
 {
     std::map<std::string, double> out;

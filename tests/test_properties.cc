@@ -468,8 +468,9 @@ INSTANTIATE_TEST_SUITE_P(
 
 // ---- Serving-engine accounting across KV modes and pool sizes ----------
 
-using KvEngineCase = std::tuple<serve::KvMode, std::uint64_t, unsigned>;
-// (mode, kvBlocks, workload seed)
+using KvEngineCase = std::tuple<serve::KvMode, std::uint64_t, unsigned,
+                                serve::ChunkMode>;
+// (mode, kvBlocks, workload seed, prefill scheduling)
 
 class KvEngineGrid : public ::testing::TestWithParam<KvEngineCase>
 {
@@ -501,7 +502,7 @@ kvGridModel()
 // token (batch-slot steps == output tokens in a fault-free run).
 TEST_P(KvEngineGrid, AccountingClosesAndTokensAreEmittedOnce)
 {
-    const auto [mode, blocks, seed] = GetParam();
+    const auto [mode, blocks, seed, chunk] = GetParam();
 
     serve::WorkloadConfig load;
     load.arrivalRate = 1.0;
@@ -518,6 +519,8 @@ TEST_P(KvEngineGrid, AccountingClosesAndTokensAreEmittedOnce)
     cfg.kvBlockTokens = 16;
     cfg.kvMode = mode;
     cfg.paged.kvBytesPerToken = 1.0; // unused by Recompute
+    cfg.chunkedPrefill.mode = chunk;
+    cfg.chunkedPrefill.chunkTokens = 48; // ~2 slices per prompt
 
     auto step = kvGridModel();
     serve::ContinuousEngine eng(*step, cfg);
@@ -550,22 +553,101 @@ TEST_P(KvEngineGrid, AccountingClosesAndTokensAreEmittedOnce)
         EXPECT_EQ(t.kvPreemptions, 0u);
         EXPECT_EQ(t.kvSwapOuts, 0u);
     }
+    if (chunk != serve::ChunkMode::Off) {
+        EXPECT_TRUE(t.chunkedEnabled);
+        // Chunked accounting closure: absent recompute (which
+        // legitimately re-prefills) and prefix caching (off here),
+        // every admitted prompt token is sliced exactly once.
+        if (t.kvPreemptions == 0) {
+            std::uint64_t prompt_tokens = 0;
+            for (const auto &r : trace)
+                if (r.finish >= 0.0)
+                    prompt_tokens += r.inLen;
+            EXPECT_EQ(t.chunkPrefillTokens, prompt_tokens);
+        }
+    } else {
+        EXPECT_EQ(t.chunkSlices, 0u);
+        EXPECT_EQ(t.chunkPrefillTokens, 0u);
+    }
     // The drained pool must be empty in either discipline.
     EXPECT_EQ(eng.kvUsedBlocks(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     ModesAndPools, KvEngineGrid,
-    ::testing::Combine(::testing::Values(serve::KvMode::Reserved,
-                                         serve::KvMode::Paged),
-                       ::testing::Values(96ULL, 256ULL, 4096ULL),
-                       ::testing::Values(5u, 21u)),
+    ::testing::Combine(
+        ::testing::Values(serve::KvMode::Reserved,
+                          serve::KvMode::Paged),
+        ::testing::Values(96ULL, 256ULL, 4096ULL),
+        ::testing::Values(5u, 21u),
+        ::testing::Values(serve::ChunkMode::Off,
+                          serve::ChunkMode::DecodePriority)),
     [](const ::testing::TestParamInfo<KvEngineCase> &info) {
         return std::string(serve::kvModeName(
                    std::get<0>(info.param))) +
                "_blk" + std::to_string(std::get<1>(info.param)) +
-               "_s" + std::to_string(std::get<2>(info.param));
+               "_s" + std::to_string(std::get<2>(info.param)) + "_" +
+               serve::chunkModeName(std::get<3>(info.param));
     });
+
+// Scheduling must never change what gets served: with an ample pool
+// the reserved, paged, and chunked engines complete the identical
+// request set with identical per-request output token counts.
+TEST(KvEngineEquivalence, ReservedPagedChunkedServeTheSameSet)
+{
+    serve::WorkloadConfig load;
+    load.arrivalRate = 1.0;
+    load.numRequests = 40;
+    load.meanInLen = 96;
+    load.meanOutLen = 160;
+    load.seed = 13;
+
+    struct Variant
+    {
+        serve::KvMode kv;
+        serve::ChunkMode chunk;
+    };
+    const Variant variants[] = {
+        {serve::KvMode::Reserved, serve::ChunkMode::Off},
+        {serve::KvMode::Paged, serve::ChunkMode::Off},
+        {serve::KvMode::Reserved, serve::ChunkMode::DecodePriority},
+        {serve::KvMode::Paged, serve::ChunkMode::DecodePriority},
+        {serve::KvMode::Paged, serve::ChunkMode::PrefillPriority},
+    };
+
+    std::vector<std::vector<serve::Request>> traces;
+    for (const Variant &v : variants) {
+        serve::ServerConfig cfg;
+        cfg.policy = serve::BatchPolicy::Continuous;
+        cfg.maxBatch = 16;
+        cfg.kvBlocks = 4096;
+        cfg.kvBlockTokens = 16;
+        cfg.kvMode = v.kv;
+        cfg.paged.kvBytesPerToken = 1.0;
+        cfg.chunkedPrefill.mode = v.chunk;
+        cfg.chunkedPrefill.chunkTokens = 48;
+
+        auto trace = serve::generateWorkload(load);
+        auto step = kvGridModel();
+        serve::ContinuousEngine eng(*step, cfg);
+        for (auto &r : trace)
+            eng.submit(&r, r.arrival);
+        while (!eng.idle())
+            eng.iterate();
+        traces.push_back(std::move(trace));
+    }
+
+    const auto &base = traces.front();
+    for (std::size_t v = 1; v < traces.size(); ++v) {
+        ASSERT_EQ(traces[v].size(), base.size());
+        for (std::size_t i = 0; i < base.size(); ++i) {
+            EXPECT_EQ(traces[v][i].finish >= 0.0,
+                      base[i].finish >= 0.0)
+                << "variant " << v << " request " << base[i].id;
+            EXPECT_EQ(traces[v][i].outLen, base[i].outLen);
+        }
+    }
+}
 
 // ---- Reserved and paged complete the same request set ------------------
 
