@@ -344,6 +344,88 @@ applyChunkedPrefill(serve::ServerConfig &cfg, const ChunkOptions &opt)
     cfg.chunkedPrefill.stepTokenBudget = opt.stepTokenBudget;
 }
 
+/**
+ * Speculative-decoding options shared by `serve_slo`,
+ * `fleet_capacity`, and `examples/speculative_serving`. Defaults
+ * leave speculation off, so a binary that never sees the flags stays
+ * byte-identical.
+ */
+struct SpecOptions
+{
+    bool enabled = false;
+    unsigned draftTokens = 4;
+    double draftCostRatio = 0.15;
+    double acceptProb = 0.7;
+};
+
+/** Usage text for the shared speculative-decoding flags. */
+inline const char *
+specUsage()
+{
+    return "  --spec              enable speculative decoding "
+           "(draft + fused verify\n"
+           "                      steps; amortizes per-step TEE "
+           "overheads)\n"
+           "  --spec-k N          draft tokens per verify cycle "
+           "(default 4)\n"
+           "  --spec-ratio F      draft-model cost as a fraction of "
+           "the target's\n"
+           "                      decode step, in (0, 1) (default "
+           "0.15)\n"
+           "  --spec-accept F     per-position draft acceptance "
+           "probability, in\n"
+           "                      [0, 1] (default 0.7)\n";
+}
+
+/**
+ * Consume argv[i] (advancing `i` past any operand) when it is one of
+ * the shared speculative-decoding flags; false otherwise.
+ */
+inline bool
+parseSpecArg(SpecOptions &opt, int argc, char **argv, int &i)
+{
+    if (std::strcmp(argv[i], "--spec") == 0) {
+        opt.enabled = true;
+        return true;
+    }
+    if (std::strcmp(argv[i], "--spec-k") == 0) {
+        if (i + 1 >= argc)
+            cllm_fatal("--spec-k needs a token count");
+        opt.draftTokens =
+            static_cast<unsigned>(std::stoul(argv[++i]));
+        if (opt.draftTokens == 0)
+            cllm_fatal("--spec-k must be positive");
+        return true;
+    }
+    if (std::strcmp(argv[i], "--spec-ratio") == 0) {
+        if (i + 1 >= argc)
+            cllm_fatal("--spec-ratio needs a fraction");
+        opt.draftCostRatio = std::stod(argv[++i]);
+        if (opt.draftCostRatio <= 0.0 || opt.draftCostRatio >= 1.0)
+            cllm_fatal("--spec-ratio outside (0, 1)");
+        return true;
+    }
+    if (std::strcmp(argv[i], "--spec-accept") == 0) {
+        if (i + 1 >= argc)
+            cllm_fatal("--spec-accept needs a probability");
+        opt.acceptProb = std::stod(argv[++i]);
+        if (opt.acceptProb < 0.0 || opt.acceptProb > 1.0)
+            cllm_fatal("--spec-accept outside [0, 1]");
+        return true;
+    }
+    return false;
+}
+
+/** Apply parsed speculative-decoding options to a server config. */
+inline void
+applySpecDecode(serve::ServerConfig &cfg, const SpecOptions &opt)
+{
+    cfg.specDecode.enabled = opt.enabled;
+    cfg.specDecode.draftTokens = opt.draftTokens;
+    cfg.specDecode.draftCostRatio = opt.draftCostRatio;
+    cfg.specDecode.acceptProb = opt.acceptProb;
+}
+
 /** Shared-ownership wrapper around a freshly built TEE backend. */
 inline std::shared_ptr<const tee::TeeBackend>
 sharedBackend(std::unique_ptr<tee::TeeBackend> p)

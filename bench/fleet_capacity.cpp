@@ -38,8 +38,8 @@ void
 usage(std::ostream &os)
 {
     os << "usage: fleet_capacity [--kv reserved|paged] "
-          "[--prefix <mode>] [--chunk <mode>] [--trace [path]] "
-          "[--metrics-out path]\n\n"
+          "[--prefix <mode>] [--chunk <mode>] [--spec] "
+          "[--trace [path]] [--metrics-out path]\n\n"
           "  --kv mode           KV discipline on every node: "
           "'reserved' (default,\n"
           "                      whole-request block reservation) or "
@@ -47,7 +47,7 @@ usage(std::ostream &os)
           "                      (headroom admission with recompute "
           "preemption)\n"
        << bench::prefixUsage() << bench::chunkUsage()
-       << bench::obsUsage();
+       << bench::specUsage() << bench::obsUsage();
 }
 
 /** Sustainable request rate of one node at full batch, from its own
@@ -97,7 +97,8 @@ sizeFleet(fleet::FleetConfig cfg,
 
 void
 sweep(double ttft_slo, const std::vector<double> &rates,
-      serve::KvMode kv_mode, const bench::ChunkOptions &copt)
+      serve::KvMode kv_mode, const bench::ChunkOptions &copt,
+      const bench::SpecOptions &sopt)
 {
     fleet::NodeTemplate cpu = fleet::cpuTdxNode();
     fleet::NodeTemplate gpu = fleet::cgpuH100Node();
@@ -108,6 +109,10 @@ sweep(double ttft_slo, const std::vector<double> &rates,
     }
     bench::applyChunkedPrefill(cpu.server, copt);
     bench::applyChunkedPrefill(gpu.server, copt);
+    if (sopt.enabled) {
+        bench::applySpecDecode(cpu.server, sopt);
+        bench::applySpecDecode(gpu.server, sopt);
+    }
 
     serve::WorkloadConfig base = bench::serveSeedWorkload();
     const double cpu_rate = nodeReqRate(cpu, base);
@@ -323,6 +328,59 @@ chunkedComparison(const bench::ChunkOptions &copt)
 }
 
 /**
+ * Speculative-decoding comparison on a homogeneous 4-node TDX fleet:
+ * the same trace replayed with speculation off and on, so the
+ * fleet-level accepted-length rollups (and the router's spec-aware
+ * decode estimate) are exercised end to end.
+ */
+void
+specComparison(const bench::SpecOptions &sopt)
+{
+    std::cout << "--- speculative decoding: k=" << sopt.draftTokens
+              << " drafts (cost ratio " << fmt(sopt.draftCostRatio, 2)
+              << ", acceptance " << fmt(sopt.acceptProb, 2)
+              << ") on a 4-node TDX fleet ---\n\n";
+
+    const llm::ModelConfig model = llm::llama2_7b();
+    fleet::NodeTemplate cpu = fleet::cpuTdxNode();
+    bench::applyPagedKv(cpu.server, model);
+
+    serve::WorkloadConfig load = bench::serveSeedWorkload();
+    load.arrivalRate = 1.2;
+    load.numRequests = 400;
+    const std::vector<serve::Request> trace =
+        serve::generateWorkload(load);
+
+    Table t({"variant", "verify steps", "mean acc len",
+             "ITL p99 [ms]", "tok/s", "$/1k tok"});
+    for (bool spec : {false, true}) {
+        fleet::NodeTemplate node = cpu;
+        if (spec)
+            bench::applySpecDecode(node.server, sopt);
+        fleet::FleetConfig cfg;
+        cfg.ttftSlo = 2.0;
+        cfg.policy = fleet::RouterPolicy::LeastOutstanding;
+        cfg.initialNodes = {0, 0, 0, 0};
+        fleet::FleetSimulator sim(cfg, {node});
+        const fleet::FleetMetrics m = sim.run(trace);
+        // Per-sequence verify cycles end in a bonus token or a
+        // rejection resample, so their sum counts cycles.
+        const std::uint64_t cycles = m.specBonus + m.specRejected;
+        const double mean_acc =
+            cycles ? static_cast<double>(m.specAccepted) /
+                         static_cast<double>(cycles)
+                   : 0.0;
+        t.addRow({spec ? "speculative" : "autoregressive",
+                  spec ? fmtInt(m.specVerifySteps) : std::string("-"),
+                  spec ? fmt(mean_acc, 2) : std::string("-"),
+                  fmt(1e3 * m.itl.p99, 1), fmt(m.tokensPerSecond),
+                  fmt(m.costPer1kTokens, 4)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+/**
  * Trace one representative scenario: the mixed cost-aware fleet at
  * 1 req/s under the paper SLO. The sweep itself fans out across
  * cores, so the traced run is a separate serial replay — same seeded
@@ -362,6 +420,7 @@ main(int argc, char **argv)
     bench::ObsOptions opt;
     bench::PrefixOptions popt;
     bench::ChunkOptions copt;
+    bench::SpecOptions sopt;
     serve::KvMode kv_mode = serve::KvMode::Reserved;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--help") == 0 ||
@@ -374,6 +433,8 @@ main(int argc, char **argv)
         if (bench::parsePrefixArg(popt, argc, argv, i))
             continue;
         if (bench::parseChunkArg(copt, argc, argv, i))
+            continue;
+        if (bench::parseSpecArg(sopt, argc, argv, i))
             continue;
         if (bench::parseObsArg(opt, argc, argv, i))
             continue;
@@ -394,20 +455,28 @@ main(int argc, char **argv)
         std::cout << "chunked prefill: "
                   << serve::chunkModeName(copt.mode) << " priority, "
                   << copt.chunkTokens << "-token slices\n\n";
+    if (sopt.enabled)
+        std::cout << "speculative decoding: k=" << sopt.draftTokens
+                  << " drafts, cost ratio "
+                  << fmt(sopt.draftCostRatio, 2) << ", acceptance "
+                  << fmt(sopt.acceptProb, 2) << "\n\n";
 
     const std::vector<double> rates = {0.25, 0.5, 1.0, 2.0,
                                        4.0, 8.0};
     std::cout << "--- paper SLO: TTFT 2 s ---\n";
-    sweep(2.0, rates, kv_mode, copt);
+    sweep(2.0, rates, kv_mode, copt, sopt);
     std::cout << "--- tightened SLO: TTFT 0.5 s (crossover moves "
                  "toward the GPU) ---\n";
-    sweep(0.5, rates, kv_mode, copt);
+    sweep(0.5, rates, kv_mode, copt, sopt);
 
     if (popt.mode != serve::PrefixMode::Off)
         prefixComparison(popt);
 
     if (copt.mode != serve::ChunkMode::Off)
         chunkedComparison(copt);
+
+    if (sopt.enabled)
+        specComparison(sopt);
 
     if (opt.trace)
         traceRepresentativeRun(opt);

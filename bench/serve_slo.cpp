@@ -41,8 +41,8 @@ void
 usage(std::ostream &os)
 {
     os << "usage: serve_slo [--faults [seed]] [--kv-sweep] "
-          "[--prefix-sweep] [--chunk-sweep] [--trace [path]] "
-          "[--metrics-out path]\n\n"
+          "[--prefix-sweep] [--chunk-sweep] [--spec-sweep] "
+          "[--trace [path]] [--metrics-out path]\n\n"
           "  --faults [seed]     run the resilience experiment "
           "(seeded fault schedule\n"
           "                      against a TDX deployment) instead of "
@@ -64,8 +64,15 @@ usage(std::ostream &os)
           "percentiles, max\n"
           "                      single-step prefill tokens, "
           "$/1k-token deltas)\n"
+          "  --spec-sweep        run the speculative-decoding sweep "
+          "(draft depth k = 1..8\n"
+          "                      vs a non-speculative baseline; "
+          "accepted length,\n"
+          "                      verify steps, ITL percentiles, "
+          "$/1k-token deltas);\n"
+          "                      honours --spec-ratio / --spec-accept\n"
        << bench::prefixUsage() << bench::chunkUsage()
-       << bench::obsUsage();
+       << bench::specUsage() << bench::obsUsage();
 }
 
 /** Export the recorded trace and report where it went. */
@@ -489,7 +496,151 @@ runChunkSweepMode(const bench::ObsOptions &opt)
 }
 
 int
+runSpecSweepMode(const bench::SpecOptions &sopt,
+                 const bench::ObsOptions &opt)
+{
+    std::cout << "=== Speculative decoding: amortizing per-step TEE "
+                 "overheads ===\n";
+    std::cout << "Llama2-7B bf16 on TDX, paged KV (2560 blocks x 16 "
+                 "tokens); non-speculative\nbaseline vs draft depth "
+                 "k = 1..8 (draft cost ratio "
+              << fmt(sopt.draftCostRatio, 2) << ", acceptance "
+              << fmt(sopt.acceptProb, 2) << ")\n\n";
+
+    const hw::CpuSpec cpu = hw::emr2();
+    const llm::ModelConfig model = llm::llama2_7b();
+    const llm::RunParams deploy = serveDeployParams(cpu);
+    // The seed trace backed off to 0.40 req/s: at 0.45 the queue is
+    // saturated enough that monolithic-prefill stalls, not decode
+    // cadence, set the ITL tail, and deep drafts cannot shift it.
+    WorkloadConfig load = serveSeedWorkload();
+    load.arrivalRate = 0.40;
+    const std::vector<Request> base = generateWorkload(load);
+
+    // Spot-priced node bill so fewer target steps price out as a
+    // $/1k-token delta, mirroring the chunk sweep.
+    const double instance_hr = cost::cpuInstanceHr(
+        cost::gcpSpotUsEast1(), deploy.cores, 256.0);
+
+    obs::Tracer tracer(opt.trace ? obs::TraceMode::Sim
+                                 : obs::TraceMode::Off);
+    std::uint32_t lane = 0;
+
+    struct Run
+    {
+        std::string name;
+        unsigned draftTokens; //!< 0 = speculation off
+        ServeMetrics m{};
+        double usdPer1k = 0.0;
+    };
+    std::vector<Run> runs;
+    runs.push_back({"off", 0});
+    for (unsigned k = 1; k <= 8; ++k)
+        runs.push_back({"k=" + std::to_string(k), k});
+
+    Table t({"run", "target steps", "mean acc len", "ITL p50 [ms]",
+             "ITL p99 [ms]", "tok/s", "$/1k tok"});
+    for (Run &run : runs) {
+        ServerConfig cfg;
+        cfg.policy = BatchPolicy::Continuous;
+        cfg.kvBlocks = 2560;
+        cfg.kvBlockTokens = 16;
+        cfg.kvMode = KvMode::Paged;
+        cfg.paged.kvBytesPerToken =
+            model.kvBytesPerToken(hw::Dtype::Bf16);
+        if (run.draftTokens) {
+            bench::SpecOptions per_k = sopt;
+            per_k.enabled = true;
+            per_k.draftTokens = run.draftTokens;
+            bench::applySpecDecode(cfg, per_k);
+        }
+        if (opt.trace) {
+            cfg.tracer = &tracer;
+            cfg.traceLane = lane;
+            tracer.laneName(lane, "spec " + run.name);
+        }
+        ++lane;
+        Server server(
+            makeCpuStepModel(cpu, sharedBackend(tee::makeTdx()),
+                             model, deploy),
+            cfg);
+        run.m = server.run(base);
+        run.usdPer1k = cost::costPer1kTokens(
+            run.m.outputTokens,
+            cost::nodeSecondsUsd(instance_hr, run.m.makespan));
+        // Per-sequence verify cycles end in a bonus token or a
+        // rejection resample, so their sum counts cycles.
+        const std::uint64_t cycles =
+            run.m.specBonus + run.m.specRejected;
+        const double mean_acc =
+            cycles ? static_cast<double>(run.m.specAccepted) /
+                         static_cast<double>(cycles)
+                   : 0.0;
+        t.addRow({run.name, fmtInt(run.m.decodeSteps),
+                  run.draftTokens ? fmt(mean_acc, 2)
+                                  : std::string("-"),
+                  fmt(1e3 * run.m.itl.p50, 1),
+                  fmt(1e3 * run.m.itl.p99, 1),
+                  fmt(run.m.tokensPerSecond),
+                  fmt(run.usdPer1k, 5)});
+    }
+    t.print(std::cout);
+
+    const Run &off = runs[0];
+    std::cout << "\nspec sweep (JSON):\n";
+    JsonWriter json(std::cout);
+    json.beginObject();
+    json.field("pool_blocks", 2560);
+    json.field("block_tokens", 16);
+    json.field("draft_cost_ratio", sopt.draftCostRatio);
+    json.field("accept_prob", sopt.acceptProb);
+    json.key("runs");
+    json.beginArray();
+    for (const Run &run : runs) {
+        json.beginObject();
+        json.field("draft_tokens", run.draftTokens);
+        json.field("spec_verify_steps", run.m.specVerifySteps);
+        json.field("spec_draft_tokens", run.m.specDraftTokens);
+        json.field("spec_accepted_tokens", run.m.specAccepted);
+        json.field("spec_rejected_tokens", run.m.specRejected);
+        json.field("spec_bonus_tokens", run.m.specBonus);
+        json.field("spec_mean_accepted_len",
+                   run.m.specBonus + run.m.specRejected
+                       ? static_cast<double>(run.m.specAccepted) /
+                             static_cast<double>(run.m.specBonus +
+                                                 run.m.specRejected)
+                       : 0.0);
+        json.field("decode_steps", run.m.decodeSteps);
+        json.field("itl_p50_s", run.m.itl.p50);
+        json.field("itl_p99_s", run.m.itl.p99);
+        json.field("tokens_per_s", run.m.tokensPerSecond);
+        json.field("makespan_s", run.m.makespan);
+        json.field("completed", run.m.completed);
+        json.field("output_tokens", run.m.outputTokens);
+        json.field("cost_per_1k_tokens_usd", run.usdPer1k);
+        // Improvements over the non-speculative baseline (positive =
+        // speculation won).
+        json.field("itl_p50_improvement_s",
+                   off.m.itl.p50 - run.m.itl.p50);
+        json.field("itl_p99_improvement_s",
+                   off.m.itl.p99 - run.m.itl.p99);
+        json.field("cost_per_1k_tokens_improvement_usd",
+                   off.usdPer1k - run.usdPer1k);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    std::cout << "\n";
+
+    if (opt.trace)
+        finishTrace(tracer, opt);
+    bench::writeMetricsSnapshot(opt.metricsOut);
+    return 0;
+}
+
+int
 runSloMode(const bench::ChunkOptions &copt,
+           const bench::SpecOptions &sopt,
            const bench::ObsOptions &opt)
 {
     std::cout << "=== Serving extension: SLO attainment under TEEs "
@@ -535,10 +686,14 @@ runSloMode(const bench::ChunkOptions &copt,
         for (auto &d : deployments) {
             ServerConfig cfg;
             cfg.policy = policy;
-            // Chunked prefill requires continuous batching; the
-            // static-batch rows stay monolithic.
-            if (policy == BatchPolicy::Continuous)
+            // Chunked prefill and speculative decoding require
+            // continuous batching; the static-batch rows stay
+            // monolithic and non-speculative.
+            if (policy == BatchPolicy::Continuous) {
                 bench::applyChunkedPrefill(cfg, copt);
+                if (sopt.enabled)
+                    bench::applySpecDecode(cfg, sopt);
+            }
             if (opt.trace) {
                 cfg.tracer = &tracer;
                 cfg.traceLane = lane;
@@ -584,10 +739,12 @@ main(int argc, char **argv)
     bench::ObsOptions opt;
     bench::PrefixOptions popt;
     bench::ChunkOptions copt;
+    bench::SpecOptions sopt;
     bool fault_mode = false;
     bool kv_sweep = false;
     bool prefix_sweep = false;
     bool chunk_sweep = false;
+    bool spec_sweep = false;
     std::uint64_t fault_seed = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--help") == 0 ||
@@ -613,9 +770,15 @@ main(int argc, char **argv)
             chunk_sweep = true;
             continue;
         }
+        if (std::strcmp(argv[i], "--spec-sweep") == 0) {
+            spec_sweep = true;
+            continue;
+        }
         if (bench::parsePrefixArg(popt, argc, argv, i))
             continue;
         if (bench::parseChunkArg(copt, argc, argv, i))
+            continue;
+        if (bench::parseSpecArg(sopt, argc, argv, i))
             continue;
         if (bench::parseObsArg(opt, argc, argv, i))
             continue;
@@ -632,5 +795,7 @@ main(int argc, char **argv)
         return runPrefixSweepMode(popt, opt);
     if (chunk_sweep)
         return runChunkSweepMode(opt);
-    return runSloMode(copt, opt);
+    if (spec_sweep)
+        return runSpecSweepMode(sopt, opt);
+    return runSloMode(copt, sopt, opt);
 }

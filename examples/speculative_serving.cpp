@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Speculative-decoding walkthrough: why drafting tokens ahead is
+ * worth more inside a TEE than outside. Every decode step pays fixed
+ * costs that do not scale with the tokens it produces — the weight
+ * stream through the memory-encryption engine, per-op kernel floors,
+ * and the paged-attention walk — so emitting several tokens per
+ * target pass amortizes exactly the overheads confidential computing
+ * adds. The same Poisson trace replays against one TDX serving
+ * instance with speculation off and at increasing draft depths, and
+ * prints the step-count/latency comparison plus the acceptance
+ * accounting.
+ *
+ * A draft model proposes k tokens per sequence per cycle (priced at
+ * a fraction of the target's decode step), the target then scores
+ * all k+1 positions in one fused verify pass, and the leading run of
+ * accepted drafts — plus one bonus or correction token — is emitted.
+ * Rejected drafts are rolled back from the paged KV pool, so the
+ * cache holds exactly the verified prefix afterwards.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "serve/serving.hh"
+#include "util/table.hh"
+
+using namespace cllm;
+using namespace cllm::serve;
+
+namespace {
+
+std::shared_ptr<const tee::TeeBackend>
+shared(std::unique_ptr<tee::TeeBackend> p)
+{
+    return std::shared_ptr<const tee::TeeBackend>(std::move(p));
+}
+
+} // namespace
+
+int
+main()
+{
+    const hw::CpuSpec cpu = hw::emr2();
+    const llm::ModelConfig model = llm::llama2_7b();
+    llm::RunParams deploy;
+    deploy.inLen = 1024;
+    deploy.outLen = 256;
+    deploy.batch = 32;
+    deploy.sockets = 1;
+    deploy.cores = cpu.coresPerSocket;
+
+    // Decode-heavy chat shape: short prompts, long generations, so
+    // the run spends most of its time in the regime speculation
+    // targets.
+    WorkloadConfig load;
+    load.arrivalRate = 0.25;
+    load.numRequests = 120;
+    load.meanInLen = 256;
+    load.meanOutLen = 192;
+    load.seed = 43;
+
+    std::cout << "Speculative decoding on a TDX instance "
+                 "(Llama2-7B bf16)\n";
+    std::cout << "pool: 2048 blocks x 16 tokens; short prompts, "
+                 "long generations;\ndraft cost ratio 0.15, "
+                 "acceptance probability 0.7\n\n";
+
+    struct Run
+    {
+        const char *name;
+        unsigned draftTokens; //!< 0 = speculation off
+    };
+    const Run runs[] = {
+        {"off", 0}, {"k=2", 2}, {"k=4", 4}, {"k=6", 6},
+    };
+
+    Table t({"run", "target steps", "drafted", "accepted",
+             "mean acc len", "ITL p50 [ms]", "ITL p99 [ms]",
+             "tok/s"});
+    for (const Run &r : runs) {
+        ServerConfig cfg;
+        cfg.policy = BatchPolicy::Continuous;
+        cfg.kvBlocks = 2048;
+        cfg.kvBlockTokens = 16;
+        cfg.kvMode = KvMode::Paged;
+        cfg.paged.kvBytesPerToken =
+            model.kvBytesPerToken(hw::Dtype::Bf16);
+        if (r.draftTokens) {
+            cfg.specDecode.enabled = true;
+            cfg.specDecode.draftTokens = r.draftTokens;
+            cfg.specDecode.draftCostRatio = 0.15;
+            cfg.specDecode.acceptProb = 0.7;
+        }
+
+        Server server(
+            makeCpuStepModel(cpu, shared(tee::makeTdx()), model,
+                             deploy),
+            cfg);
+        const ServeMetrics m = server.run(generateWorkload(load));
+        // Each per-sequence verify cycle ends in a bonus token or a
+        // rejection resample, so their sum counts cycles.
+        const std::uint64_t cycles = m.specBonus + m.specRejected;
+        t.addRow({r.name, fmtInt(m.decodeSteps),
+                  fmtInt(m.specDraftTokens), fmtInt(m.specAccepted),
+                  cycles ? fmt(static_cast<double>(m.specAccepted) /
+                                   static_cast<double>(cycles),
+                               2)
+                         : std::string("-"),
+                  fmt(1e3 * m.itl.p50, 1), fmt(1e3 * m.itl.p99, 1),
+                  fmt(m.tokensPerSecond)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nEvery accepted draft rides a target pass that "
+                 "was already streaming the\nencrypted weights, so "
+                 "the per-step MEE/EPC tax is split across more "
+                 "emitted\ntokens and the inter-token latency drops. "
+                 "The completion stream is\nbit-identical to the "
+                 "non-speculative run — speculation changes when "
+                 "tokens\narrive, never which tokens arrive — and "
+                 "deeper drafts trade wasted draft\nwork (rejected "
+                 "tokens are rolled back from the KV pool) against "
+                 "fewer\ntarget passes.\n";
+    return 0;
+}

@@ -46,6 +46,22 @@ writeFleetMetrics(JsonWriter &json, const FleetMetrics &m)
         json.field("starvation_kicks", m.starvationKicks);
         json.field("max_step_prefill_tokens", m.maxStepPrefillTokens);
     }
+    if (m.specEnabled) {
+        json.field("spec_verify_steps", m.specVerifySteps);
+        json.field("spec_draft_tokens", m.specDraftTokens);
+        json.field("spec_accepted_tokens", m.specAccepted);
+        json.field("spec_rejected_tokens", m.specRejected);
+        json.field("spec_bonus_tokens", m.specBonus);
+        // Per-sequence verify cycles end in a bonus token or a
+        // rejection resample; accepted / (bonus + rejected) is the
+        // mean accepted draft length per cycle.
+        json.field("spec_mean_accepted_len",
+                   m.specBonus + m.specRejected
+                       ? static_cast<double>(m.specAccepted) /
+                             static_cast<double>(m.specBonus +
+                                                 m.specRejected)
+                       : 0.0);
+    }
     json.field("total_cost_usd", m.totalCostUsd);
     json.field("cost_per_1k_tokens_usd", m.costPer1kTokens);
     json.field("peak_nodes", m.peakNodes);

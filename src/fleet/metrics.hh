@@ -79,6 +79,17 @@ struct FleetMetrics
     std::size_t starvationKicks = 0;
     std::uint64_t maxStepPrefillTokens = 0; //!< max across nodes
 
+    // Speculative decoding (sums over nodes; emitted to JSON only
+    // when any node ran with speculation on). The accepted-length
+    // rollup meanAcceptedLen is fleet-wide: total accepted draft
+    // tokens over total verify cycles.
+    bool specEnabled = false;
+    std::size_t specVerifySteps = 0;
+    std::uint64_t specDraftTokens = 0;
+    std::uint64_t specAccepted = 0;
+    std::uint64_t specRejected = 0;
+    std::uint64_t specBonus = 0;
+
     // Fleet economics.
     double totalCostUsd = 0.0;
     double costPer1kTokens = 0.0;

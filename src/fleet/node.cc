@@ -46,10 +46,21 @@ Node::Node(unsigned id, std::size_t template_index,
     cfg_.tracer = tracer;
     cfg_.traceLane = traceLane();
     engine_ = std::make_unique<serve::ContinuousEngine>(*step_, cfg_);
-    if (cfg_.chunkedPrefill.mode != serve::ChunkMode::Off)
-        estDecode_ =
-            step_->decodeStep(cfg_.maxBatch / 2.0,
-                              static_cast<double>(tmpl.meanInLenHint));
+    if (cfg_.chunkedPrefill.mode != serve::ChunkMode::Off) {
+        const double nseq = cfg_.maxBatch / 2.0;
+        const double pos =
+            static_cast<double>(tmpl.meanInLenHint);
+        if (cfg_.specDecode.enabled) {
+            // With speculation on, a prefill slice rides a full
+            // propose->verify cycle, not a plain decode step.
+            const double k = cfg_.specDecode.draftTokens;
+            estDecode_ = cfg_.specDecode.draftCostRatio * k *
+                             step_->decodeStep(nseq, pos) +
+                         step_->verifyStep(nseq, k, pos);
+        } else {
+            estDecode_ = step_->decodeStep(nseq, pos);
+        }
+    }
     estPrefill_ = estimatePrefill(tmpl.meanInLenHint);
 }
 

@@ -274,6 +274,12 @@ FleetSimulator::finalize(const std::vector<serve::Request> &trace,
         tally.starvationKicks += t.starvationKicks;
         tally.maxStepPrefillTokens = std::max(
             tally.maxStepPrefillTokens, t.maxStepPrefillTokens);
+        tally.specEnabled = tally.specEnabled || t.specEnabled;
+        tally.specVerifySteps += t.specVerifySteps;
+        tally.specDraftTokens += t.specDraftTokens;
+        tally.specAccepted += t.specAccepted;
+        tally.specRejected += t.specRejected;
+        tally.specBonus += t.specBonus;
         // Pool every node's per-token gaps (node-id order, so the
         // fleet ITL summary is deterministic at any thread count).
         tally.itlSamples.insert(tally.itlSamples.end(),
@@ -325,6 +331,12 @@ FleetSimulator::finalize(const std::vector<serve::Request> &trace,
     m.mixedSteps = tally.mixedSteps;
     m.starvationKicks = tally.starvationKicks;
     m.maxStepPrefillTokens = tally.maxStepPrefillTokens;
+    m.specEnabled = tally.specEnabled;
+    m.specVerifySteps = tally.specVerifySteps;
+    m.specDraftTokens = tally.specDraftTokens;
+    m.specAccepted = tally.specAccepted;
+    m.specRejected = tally.specRejected;
+    m.specBonus = tally.specBonus;
     m.retries = tally.retries;
     m.shed = tally.shed;
     m.timedOut = tally.timedOut;

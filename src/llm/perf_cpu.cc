@@ -151,6 +151,35 @@ CpuPerfModel::decodeStepSeconds(const DeploymentRates &r,
 }
 
 double
+CpuPerfModel::verifyStepSeconds(const DeploymentRates &r,
+                                const ModelConfig &model,
+                                const RunParams &params, double nseq,
+                                double k, double pos) const
+{
+    // k+1 positions scored per sequence; attention at the mean depth.
+    const double width = k + 1.0;
+    const StepTotals tot =
+        stepTotals(model, params.dtype, pos + k / 2.0, nseq);
+    const double flops = nseq * tot.flopsPerSeq * width;
+    const double weight_traffic =
+        tot.weightBytes *
+        (r.weightBytesPerParam / hw::dtypeBytes(params.dtype));
+    // Weights once per step; activations and KV per scored position.
+    const double bytes =
+        weight_traffic +
+        nseq * width *
+            (tot.actBytesPerSeq * r.actFactor + tot.kvBytesPerSeq);
+    const double t_comp = flops / r.decodeRate;
+    const double t_mem = bytes / r.bw + bytes * r.tax.extraSecPerByte;
+    const double op_factor =
+        params.dtype == hw::Dtype::Int8 ? 1.25 : 1.0;
+    // Fixed costs once per step — the amortized TEE tax.
+    return rooflineTime(t_comp, t_mem, cfg_.overlapBeta) +
+           tot.opCount * op_factor * r.tax.perOpFixedSec +
+           r.tax.perTokenFixedSec;
+}
+
+double
 CpuPerfModel::prefillSeconds(const DeploymentRates &r,
                              const ModelConfig &model,
                              const RunParams &params,

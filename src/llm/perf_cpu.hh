@@ -164,6 +164,24 @@ class CpuPerfModel
                                const RunParams &params, unsigned done,
                                unsigned chunk, bool shared) const;
 
+    /**
+     * Seconds for one fused speculative-verify step: `nseq` sequences
+     * at mean context `pos`, each scoring `k` draft tokens plus the
+     * bonus position in a single target pass. Matmul FLOPs and
+     * activation/KV traffic scale with the k+1 scored positions
+     * (attention priced at the mean depth pos + k/2), but the weight
+     * stream crosses the encrypted memory path ONCE and the per-op /
+     * per-step fixed costs — enclave transitions, the MEE/EPC tax —
+     * are paid once per step, not per token. That asymmetry is the
+     * amortization speculative decoding buys inside a TEE. Identity:
+     * verifyStepSeconds(r, m, p, n, 0, pos) ==
+     * decodeStepSeconds(r, m, p, n, pos).
+     */
+    double verifyStepSeconds(const DeploymentRates &r,
+                             const ModelConfig &model,
+                             const RunParams &params, double nseq,
+                             double k, double pos) const;
+
     const CpuPerfConfig &config() const { return cfg_; }
 
   private:

@@ -185,6 +185,24 @@ PagedKvCache::fork(KvSeqId parent, KvSeqId child)
 }
 
 void
+PagedKvCache::trimTokens(KvSeqId id, unsigned tokens)
+{
+    auto it = seqs_.find(id);
+    if (it == seqs_.end())
+        cllm_fatal("PagedKvCache: trim of unknown sequence ", id);
+    Seq &s = it->second;
+    if (tokens > s.tokens)
+        cllm_fatal("PagedKvCache: trim target ", tokens,
+                   " beyond sequence length ", s.tokens);
+    const std::uint64_t keep = blocksFor(tokens);
+    while (s.blocks.size() > keep) {
+        unref(s.blocks.back());
+        s.blocks.pop_back();
+    }
+    s.tokens = tokens;
+}
+
+void
 PagedKvCache::release(KvSeqId id)
 {
     auto it = seqs_.find(id);

@@ -105,6 +105,17 @@ class PagedKvCache
      */
     std::uint64_t unpin(const std::vector<std::uint32_t> &blocks);
 
+    /**
+     * Trim a sequence's tail back to `tokens` (<= its current count)
+     * — the speculative-decoding rollback path, dropping the KV of
+     * rejected draft tokens. Blocks that fall wholly past the new
+     * length lose this table's reference; a trimmed block that is
+     * shared or externally pinned stays alive for its other holders,
+     * so refcounts, pins, and `consistent()` are preserved. Fatal on
+     * an unknown sequence or a target beyond the current length.
+     */
+    void trimTokens(KvSeqId id, unsigned tokens);
+
     /** Release a sequence's table (decrement shared refcounts). */
     void release(KvSeqId id);
 

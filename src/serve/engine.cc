@@ -8,6 +8,7 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "util/logging.hh"
+#include "util/rng.hh"
 
 namespace cllm::serve {
 
@@ -127,6 +128,63 @@ starvationCounter()
     return c;
 }
 
+// Speculative-decoding counters are lazy for the same reason: a
+// specDecode=off run never registers them, keeping its registry
+// snapshot byte-identical to older builds.
+obs::Counter &
+specVerifyCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("serve.spec_verify_steps");
+    return c;
+}
+
+obs::Counter &
+specDraftCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("serve.spec_draft_tokens");
+    return c;
+}
+
+obs::Counter &
+specAcceptCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("serve.spec_accepted_tokens");
+    return c;
+}
+
+obs::Counter &
+specRejectCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("serve.spec_rejected_tokens");
+    return c;
+}
+
+obs::Counter &
+specBonusCounter()
+{
+    static obs::Counter &c =
+        obs::Registry::global().counter("serve.spec_bonus_tokens");
+    return c;
+}
+
+/**
+ * Whether the target accepts draft position `pos` (0-based output
+ * index) of request `id`: a uniform draw in [0, 1) keyed purely on
+ * (spec seed, request id, position), so the outcome is identical at
+ * any CLLM_THREADS setting and replays bit-exactly when a preempted
+ * or restarted sequence regenerates the same positions.
+ */
+bool
+specAccept(const SpecDecodePolicy &sp, std::uint32_t id, unsigned pos)
+{
+    const std::uint64_t h = splitSeed(splitSeed(sp.seed, id), pos);
+    return static_cast<double>(h >> 11) * 0x1.0p-53 < sp.acceptProb;
+}
+
 /** The config's tracer when sim recording is live, else null. */
 obs::Tracer *
 simTracer(const ServerConfig &cfg)
@@ -184,6 +242,21 @@ ContinuousEngine::ContinuousEngine(const StepModel &step,
                        "window");
         chunked_ = true;
         tally_.chunkedEnabled = true;
+    }
+    if (cfg_.specDecode.enabled) {
+        if (cfg_.specDecode.draftTokens == 0)
+            cllm_fatal("ContinuousEngine: speculative decoding with "
+                       "zero draft tokens");
+        if (cfg_.specDecode.draftCostRatio <= 0.0 ||
+            cfg_.specDecode.draftCostRatio >= 1.0)
+            cllm_fatal("ContinuousEngine: draft cost ratio outside "
+                       "(0, 1)");
+        if (cfg_.specDecode.acceptProb < 0.0 ||
+            cfg_.specDecode.acceptProb > 1.0)
+            cllm_fatal("ContinuousEngine: acceptance probability "
+                       "outside [0, 1]");
+        spec_ = true;
+        tally_.specEnabled = true;
     }
     if (cfg_.kvBlocks)
         pool_.emplace(KvPoolConfig{cfg_.kvBlocks, cfg_.kvBlockTokens});
@@ -378,6 +451,11 @@ ContinuousEngine::preemptActive(std::size_t idx)
     ActiveSeq victim = active_[idx];
     active_.erase(active_.begin() +
                   static_cast<std::ptrdiff_t>(idx));
+    // Read before the release: a spec victim caught between growth and
+    // emission still holds unverified draft KV past inLen + produced.
+    const bool mid_verify =
+        spec_ && pool_->tokens(victim.req->id) >
+                     victim.req->inLen + victim.produced;
     pool_->release(victim.req->id);
     ++tally_.kvPreemptions;
     preemptCounter().inc();
@@ -391,10 +469,13 @@ ContinuousEngine::preemptActive(std::size_t idx)
     // A victim still mid-prefill (chunked mode only) always resumes
     // by recomputation: its KV image is partial, so swapping it out
     // would pay EPC traffic for blocks holding nothing worth keeping.
+    // The same goes for a victim caught mid-verify: its trailing
+    // draft KV is speculative, so it recomputes from its last
+    // verified token instead of swapping unverified state.
     const bool mid_prefill =
         victim.prefillDone < victim.prefillTarget;
     if (cfg_.paged.preempt == KvPreemptPolicy::SwapToEpc &&
-        !mid_prefill) {
+        !mid_prefill && !mid_verify) {
         const double t0 = clock_;
         const double sec =
             swapSeconds(victim.req->inLen + victim.produced);
@@ -425,7 +506,18 @@ void
 ContinuousEngine::growActivePaged()
 {
     for (std::size_t i = 0; i < active_.size();) {
-        Request *r = active_[i].req;
+        const ActiveSeq &a = active_[i];
+        Request *r = a.req;
+        // A spec cycle appends k drafts plus the verified emission;
+        // plain decode appends one token. draftK <= outLen-produced-1
+        // keeps the target inside the admission-checked full context,
+        // so the head of the batch can still always finish.
+        const unsigned target =
+            r->inLen + a.produced + (spec_ ? a.draftK + 1u : 1u);
+        if (pool_->tokens(r->id) >= target) {
+            ++i;
+            continue;
+        }
         const bool needs_block =
             pool_->tokens(r->id) % cfg_.kvBlockTokens == 0;
         if (needs_block && pool_->freeBlocks() == 0) {
@@ -447,7 +539,6 @@ ContinuousEngine::growActivePaged()
         }
         if (!pool_->appendToken(r->id))
             cllm_panic("paged KV append failed with free blocks");
-        ++i;
     }
 }
 
@@ -466,6 +557,12 @@ ContinuousEngine::growDecodingPaged()
             continue;
         }
         Request *r = a.req;
+        const unsigned target =
+            r->inLen + a.produced + (spec_ ? a.draftK + 1u : 1u);
+        if (pool_->tokens(r->id) >= target) {
+            ++i;
+            continue;
+        }
         const bool needs_block =
             pool_->tokens(r->id) % cfg_.kvBlockTokens == 0;
         if (needs_block && pool_->freeBlocks() == 0) {
@@ -484,7 +581,6 @@ ContinuousEngine::growDecodingPaged()
         }
         if (!pool_->appendToken(r->id))
             cllm_panic("paged KV append failed with free blocks");
-        ++i;
     }
 }
 
@@ -606,11 +702,16 @@ ContinuousEngine::iterate(double admit_horizon)
         if (pending_.empty() || pending_.top().readyAt > clock_)
             break;
         const PendingReq p = pending_.top();
-        // Deadline: reject queued work already past its budget.
+        // Deadline: reject queued work already past its budget. A
+        // preempted victim timing out here takes its already-emitted
+        // tokens back out of the occupancy sum — only completed
+        // requests bill tokens, so occupancySum == outputTokens holds
+        // in any restart-free run, timeouts included.
         if (rp.requestTimeout > 0.0 &&
             clock_ - p.req->arrival > rp.requestTimeout) {
             pending_.pop();
             ++tally_.timedOut;
+            occupancySum_ -= static_cast<double>(p.produced);
             if (tr) {
                 tr->instant(
                     lane, "timeout_queued", clock_,
@@ -824,6 +925,13 @@ ContinuousEngine::iterate(double admit_horizon)
         }
     }
 
+    // Speculative decoding runs its own propose->verify cycle (which
+    // does its own KV growth: draft widths must be fixed first).
+    if (spec_) {
+        specStep();
+        return;
+    }
+
     // Paged mode: make room for this step's tokens, evicting from the
     // batch tail when the pool is exhausted.
     if (pool_ && cfg_.kvMode == KvMode::Paged) {
@@ -844,20 +952,43 @@ ContinuousEngine::iterate(double admit_horizon)
     if (inj_.enabled())
         step_sec *= inj_.slowdown(clock_);
     clock_ += step_sec;
-    occupancySum_ += static_cast<double>(active_.size());
     maxActive_ = std::max(maxActive_, active_.size());
     kvUtilSum_ += pool_ ? pool_->utilization() : 0.0;
     ++steps_;
+    ++tally_.decodeSteps;
     decodeStepCounter().inc();
-    tokenCounter().add(active_.size());
     if (tr)
         tr->complete(
             lane, "decode", step_t0, clock_,
             {{"batch", static_cast<double>(active_.size())},
              {"avg_pos", avg_pos}});
 
+    std::uint64_t emitted_total = 0;
     for (auto it = active_.begin(); it != active_.end();) {
+        // Deadline first: a token completing past the deadline is
+        // never delivered, so it enters neither itlSamples nor the
+        // occupancy sum, and the victim's earlier emissions come back
+        // out of the sum — only completed requests bill tokens, and
+        // occupancySum == outputTokens holds in any restart-free run.
+        if (rp.requestTimeout > 0.0 &&
+            clock_ - it->req->arrival > rp.requestTimeout) {
+            ++tally_.timedOut;
+            occupancySum_ -= static_cast<double>(it->produced);
+            if (pool_)
+                pool_->release(it->req->id);
+            if (tr) {
+                tr->instant(
+                    lane, "timeout_decoding", clock_,
+                    {{"req",
+                      static_cast<double>(it->req->id)}});
+                tr->asyncEnd(lane, kReqCat, it->req->id, "timeout",
+                             clock_);
+            }
+            it = active_.erase(it);
+            continue;
+        }
         ++it->produced;
+        ++emitted_total;
         // Inter-token gap, measured client-side: from the previous
         // emission (wherever it happened — before a preemption, even
         // before a restart) to this one.
@@ -872,10 +1003,106 @@ ContinuousEngine::iterate(double admit_horizon)
                 tr->asyncEnd(lane, kReqCat, it->req->id,
                              "complete", clock_);
             it = active_.erase(it);
-        } else if (rp.requestTimeout > 0.0 &&
-                   clock_ - it->req->arrival > rp.requestTimeout) {
-            // Deadline blown mid-generation: abort and release.
+        } else {
+            ++it;
+        }
+    }
+    occupancySum_ += static_cast<double>(emitted_total);
+    tokenCounter().add(emitted_total);
+    if (pool_) {
+        publishKvGauges();
+        if (tr)
+            tr->counterValue(lane, "kv_util", clock_,
+                             pool_->utilization());
+    }
+}
+
+// One speculative propose->verify cycle. The draft model proposes up
+// to k tokens per sequence (capped so the cycle never runs past the
+// sequence's last token — the verify emission covers it); the target
+// scores all drafts in one fused verify step, paying the weight
+// stream and the per-step TEE tax (MEE/EPC traffic, enclave
+// transitions, launch encryption) once for up to k+1 tokens. Each
+// sequence then emits its accepted draft prefix plus one token: the
+// bonus token when every draft survived, the rejection-resampled
+// correction otherwise. Rejected draft KV rolls back out of the
+// paged pool so reuse, forks, and pins stay consistent.
+void
+ContinuousEngine::specStep()
+{
+    const ResiliencePolicy &rp = cfg_.resilience;
+    obs::Tracer *tr = simTracer(cfg_);
+    const std::uint32_t lane = cfg_.traceLane;
+    const SpecDecodePolicy &sp = cfg_.specDecode;
+
+    // Fix draft widths first: KV growth must know how many tokens of
+    // room each sequence needs this cycle.
+    for (ActiveSeq &a : active_) {
+        const unsigned remaining = a.req->outLen - a.produced;
+        a.draftK = std::min(sp.draftTokens, remaining - 1);
+    }
+    if (pool_ && cfg_.kvMode == KvMode::Paged) {
+        growActivePaged();
+        kvPeak_ = std::max(kvPeak_, pool_->utilization());
+        if (active_.empty())
+            return; // whole batch preempted (pathological pool)
+    }
+
+    const double n = static_cast<double>(active_.size());
+    double avg_pos = 0.0;
+    double mean_k = 0.0;
+    for (const ActiveSeq &a : active_) {
+        avg_pos += a.req->inLen + a.produced;
+        mean_k += a.draftK;
+    }
+    avg_pos /= n;
+    mean_k /= n;
+
+    // Price one draft pass plus one fused verify step. The draft
+    // model runs k sequential decode steps at draftCostRatio of the
+    // target's price; the verify streams the weights once for the
+    // whole k+1-token window.
+    const double step_t0 = clock_;
+    const double slow = inj_.enabled() ? inj_.slowdown(clock_) : 1.0;
+    const double draft_sec =
+        mean_k > 0.0
+            ? sp.draftCostRatio * mean_k *
+                  step_->decodeStep(n, avg_pos) * slow
+            : 0.0;
+    const double verify_sec =
+        step_->verifyStep(n, mean_k, avg_pos) * slow;
+    clock_ += draft_sec + verify_sec;
+    maxActive_ = std::max(maxActive_, active_.size());
+    kvUtilSum_ += pool_ ? pool_->utilization() : 0.0;
+    ++steps_;
+    ++tally_.decodeSteps;
+    ++tally_.specVerifySteps;
+    decodeStepCounter().inc();
+    specVerifyCounter().inc();
+    if (tr) {
+        const double draft_end = step_t0 + draft_sec;
+        if (draft_sec > 0.0)
+            tr->complete(lane, "decode.draft", step_t0, draft_end,
+                         {{"batch", n}, {"draft_k", mean_k}});
+        tr->complete(lane, "decode.verify", draft_end, clock_,
+                     {{"batch", n},
+                      {"draft_k", mean_k},
+                      {"avg_pos", avg_pos}});
+    }
+
+    const bool paged = pool_ && cfg_.kvMode == KvMode::Paged;
+    std::uint64_t emitted_total = 0;
+    std::uint64_t drafted = 0;
+    std::uint64_t accepted_total = 0;
+    std::uint64_t bonus_total = 0;
+    std::uint64_t reject_total = 0;
+    for (auto it = active_.begin(); it != active_.end();) {
+        // Deadline first, before anything from this cycle is
+        // delivered (see the monolithic loop).
+        if (rp.requestTimeout > 0.0 &&
+            clock_ - it->req->arrival > rp.requestTimeout) {
             ++tally_.timedOut;
+            occupancySum_ -= static_cast<double>(it->produced);
             if (pool_)
                 pool_->release(it->req->id);
             if (tr) {
@@ -887,10 +1114,64 @@ ContinuousEngine::iterate(double admit_horizon)
                              clock_);
             }
             it = active_.erase(it);
+            continue;
+        }
+        // Longest accepted draft prefix: position produced+j is a
+        // pure function of (seed, id, j), replayable anywhere.
+        unsigned acc = 0;
+        while (acc < it->draftK &&
+               specAccept(sp, it->req->id, it->produced + acc))
+            ++acc;
+        const unsigned emit = acc + 1;
+        drafted += it->draftK;
+        accepted_total += acc;
+        tally_.specDraftTokens += it->draftK;
+        tally_.specAccepted += acc;
+        // The +1 token is a bonus token when every draft survived,
+        // else the rejection-resampled correction — so accepted +
+        // rejected + bonus counts every emitted token exactly once.
+        if (acc == it->draftK) {
+            ++tally_.specBonus;
+            ++bonus_total;
+        } else {
+            ++tally_.specRejected;
+            ++reject_total;
+        }
+        // The cycle's tokens reach the client together at the verify
+        // boundary; spread the gap across them so ITL samples keep
+        // their per-token meaning.
+        const double gap = (clock_ - it->lastEmit) /
+                           static_cast<double>(emit);
+        for (unsigned j = 0; j < emit; ++j)
+            tally_.itlSamples.push_back(gap);
+        it->lastEmit = clock_;
+        it->produced += emit;
+        emitted_total += emit;
+        // Roll rejected draft KV back out of the pool (no-op when
+        // every draft survived; reserved mode holds the full
+        // reservation and never trims).
+        if (paged && it->produced < it->req->outLen)
+            pool_->trimTokens(it->req->id,
+                              it->req->inLen + it->produced);
+        if (it->produced >= it->req->outLen) {
+            it->req->finish = clock_;
+            finished_.push_back(it->req);
+            if (pool_)
+                pool_->release(it->req->id);
+            if (tr)
+                tr->asyncEnd(lane, kReqCat, it->req->id,
+                             "complete", clock_);
+            it = active_.erase(it);
         } else {
             ++it;
         }
     }
+    occupancySum_ += static_cast<double>(emitted_total);
+    tokenCounter().add(emitted_total);
+    specDraftCounter().add(drafted);
+    specAcceptCounter().add(accepted_total);
+    specRejectCounter().add(reject_total);
+    specBonusCounter().add(bonus_total);
     if (pool_) {
         publishKvGauges();
         if (tr)
@@ -916,15 +1197,25 @@ ContinuousEngine::chunkedStep()
     obs::Tracer *tr = simTracer(cfg_);
     const std::uint32_t lane = cfg_.traceLane;
     const ChunkedPrefillPolicy &cp = cfg_.chunkedPrefill;
+    const SpecDecodePolicy &sp = cfg_.specDecode;
     // The default budget always fits one full slice beside a full
     // decode batch, so no legal configuration can deadlock.
     const unsigned budget =
         cp.stepTokenBudget ? cp.stepTokenBudget
                            : cp.chunkTokens + cfg_.maxBatch;
 
-    // Decoding sequences need a token's worth of KV room; growth may
-    // preempt from the tail (possibly a prefilling sequence), so
-    // partition phases only afterwards.
+    // Decoding sequences need a token's worth of KV room (a spec
+    // cycle's worth when speculation is on — widths fixed before
+    // growth); growth may preempt from the tail (possibly a
+    // prefilling sequence), so partition phases only afterwards.
+    if (spec_) {
+        for (ActiveSeq &a : active_) {
+            if (a.prefillDone < a.prefillTarget)
+                continue;
+            const unsigned remaining = a.req->outLen - a.produced;
+            a.draftK = std::min(sp.draftTokens, remaining - 1);
+        }
+    }
     if (pool_ && cfg_.kvMode == KvMode::Paged) {
         growDecodingPaged();
         kvPeak_ = std::max(kvPeak_, pool_->utilization());
@@ -989,18 +1280,48 @@ ContinuousEngine::chunkedStep()
     double t = clock_;
     if (ndecode) {
         double avg_pos = 0.0;
-        for (std::size_t idx : decoding)
+        double mean_k = 0.0;
+        for (std::size_t idx : decoding) {
             avg_pos += active_[idx].req->inLen +
                        active_[idx].produced;
+            mean_k += active_[idx].draftK;
+        }
         avg_pos /= ndecode;
-        const double dec_sec =
-            step_->decodeStep(ndecode, avg_pos) * slow;
-        t += dec_sec;
-        if (tr)
-            tr->complete(
-                lane, "decode", step_t0, t,
-                {{"batch", static_cast<double>(ndecode)},
-                 {"avg_pos", avg_pos}});
+        mean_k /= ndecode;
+        if (spec_) {
+            // Propose->verify cycle fused with the slices: the draft
+            // pass runs first, then the verify streams the weights
+            // that the co-scheduled slices ride on.
+            const double draft_sec =
+                mean_k > 0.0
+                    ? sp.draftCostRatio * mean_k *
+                          step_->decodeStep(ndecode, avg_pos) * slow
+                    : 0.0;
+            const double verify_sec =
+                step_->verifyStep(ndecode, mean_k, avg_pos) * slow;
+            if (tr && draft_sec > 0.0)
+                tr->complete(
+                    lane, "decode.draft", t, t + draft_sec,
+                    {{"batch", static_cast<double>(ndecode)},
+                     {"draft_k", mean_k}});
+            t += draft_sec;
+            if (tr)
+                tr->complete(
+                    lane, "decode.verify", t, t + verify_sec,
+                    {{"batch", static_cast<double>(ndecode)},
+                     {"draft_k", mean_k},
+                     {"avg_pos", avg_pos}});
+            t += verify_sec;
+        } else {
+            const double dec_sec =
+                step_->decodeStep(ndecode, avg_pos) * slow;
+            t += dec_sec;
+            if (tr)
+                tr->complete(
+                    lane, "decode", step_t0, t,
+                    {{"batch", static_cast<double>(ndecode)},
+                     {"avg_pos", avg_pos}});
+        }
     }
     bool shared = ndecode > 0;
     std::uint64_t step_prefill_tokens = 0;
@@ -1037,9 +1358,12 @@ ContinuousEngine::chunkedStep()
         mixedStepCounter().inc();
     }
     if (ndecode) {
-        occupancySum_ += static_cast<double>(ndecode);
+        ++tally_.decodeSteps;
         decodeStepCounter().inc();
-        tokenCounter().add(ndecode);
+        if (spec_) {
+            ++tally_.specVerifySteps;
+            specVerifyCounter().inc();
+        }
     }
     maxActive_ = std::max(maxActive_, active_.size());
     kvUtilSum_ += pool_ ? pool_->utilization() : 0.0;
@@ -1067,30 +1391,25 @@ ContinuousEngine::chunkedStep()
 
     // Token emission for decoding sequences, deadline checks for
     // everyone (a prefilling sequence can blow its budget too).
+    // Deadlines are checked before emission: a token completing past
+    // the deadline is never delivered, and a timed-out victim's
+    // earlier emissions come back out of the occupancy sum so
+    // occupancySum == outputTokens holds in any restart-free run.
     std::vector<char> was_decoding(active_.size(), 0);
     for (std::size_t idx : decoding)
         was_decoding[idx] = 1;
+    const bool paged = pool_ && cfg_.kvMode == KvMode::Paged;
+    std::uint64_t emitted_total = 0;
+    std::uint64_t drafted = 0;
+    std::uint64_t accepted_total = 0;
+    std::uint64_t bonus_total = 0;
+    std::uint64_t reject_total = 0;
     std::size_t i = 0;
     for (auto it = active_.begin(); it != active_.end(); ++i) {
-        if (was_decoding[i]) {
-            ++it->produced;
-            tally_.itlSamples.push_back(clock_ - it->lastEmit);
-            it->lastEmit = clock_;
-            if (it->produced >= it->req->outLen) {
-                it->req->finish = clock_;
-                finished_.push_back(it->req);
-                if (pool_)
-                    pool_->release(it->req->id);
-                if (tr)
-                    tr->asyncEnd(lane, kReqCat, it->req->id,
-                                 "complete", clock_);
-                it = active_.erase(it);
-                continue;
-            }
-        }
         if (rp.requestTimeout > 0.0 &&
             clock_ - it->req->arrival > rp.requestTimeout) {
             ++tally_.timedOut;
+            occupancySum_ -= static_cast<double>(it->produced);
             if (pool_)
                 pool_->release(it->req->id);
             if (tr) {
@@ -1103,7 +1422,61 @@ ContinuousEngine::chunkedStep()
             it = active_.erase(it);
             continue;
         }
+        if (was_decoding[i]) {
+            unsigned emit = 1;
+            if (spec_) {
+                // Same pure-function acceptance walk as specStep.
+                unsigned acc = 0;
+                while (acc < it->draftK &&
+                       specAccept(sp, it->req->id,
+                                  it->produced + acc))
+                    ++acc;
+                emit = acc + 1;
+                drafted += it->draftK;
+                accepted_total += acc;
+                tally_.specDraftTokens += it->draftK;
+                tally_.specAccepted += acc;
+                if (acc == it->draftK) {
+                    ++tally_.specBonus;
+                    ++bonus_total;
+                } else {
+                    ++tally_.specRejected;
+                    ++reject_total;
+                }
+            }
+            const double gap = (clock_ - it->lastEmit) /
+                               static_cast<double>(emit);
+            for (unsigned j = 0; j < emit; ++j)
+                tally_.itlSamples.push_back(gap);
+            it->lastEmit = clock_;
+            it->produced += emit;
+            emitted_total += emit;
+            if (spec_ && paged &&
+                it->produced < it->req->outLen)
+                pool_->trimTokens(it->req->id,
+                                  it->req->inLen + it->produced);
+            if (it->produced >= it->req->outLen) {
+                it->req->finish = clock_;
+                finished_.push_back(it->req);
+                if (pool_)
+                    pool_->release(it->req->id);
+                if (tr)
+                    tr->asyncEnd(lane, kReqCat, it->req->id,
+                                 "complete", clock_);
+                it = active_.erase(it);
+                continue;
+            }
+        }
         ++it;
+    }
+    occupancySum_ += static_cast<double>(emitted_total);
+    if (emitted_total)
+        tokenCounter().add(emitted_total);
+    if (spec_ && ndecode) {
+        specDraftCounter().add(drafted);
+        specAcceptCounter().add(accepted_total);
+        specRejectCounter().add(reject_total);
+        specBonusCounter().add(bonus_total);
     }
     if (pool_) {
         publishKvGauges();
@@ -1189,6 +1562,13 @@ finalizeRequests(const std::vector<const Request *> &reqs,
     m.mixedSteps = tally.mixedSteps;
     m.starvationKicks = tally.starvationKicks;
     m.maxStepPrefillTokens = tally.maxStepPrefillTokens;
+    m.decodeSteps = tally.decodeSteps;
+    m.specEnabled = tally.specEnabled;
+    m.specVerifySteps = tally.specVerifySteps;
+    m.specDraftTokens = tally.specDraftTokens;
+    m.specAccepted = tally.specAccepted;
+    m.specRejected = tally.specRejected;
+    m.specBonus = tally.specBonus;
     return m;
 }
 

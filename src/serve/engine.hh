@@ -131,6 +131,10 @@ class ContinuousEngine
         unsigned prefillTarget = 0;
         // Consecutive budget-starved iterations (starvation guard).
         unsigned stallIters = 0;
+        // Draft tokens this speculative cycle proposes for the
+        // sequence (0 outside spec mode); set before KV growth so the
+        // pool can make room for k drafts plus the emitted token.
+        unsigned draftK = 0;
         // Completion time of this sequence's last emitted token, the
         // baseline for inter-token-latency samples. Carried across
         // preemptions and retries so ITL stays client-perceived.
@@ -183,6 +187,15 @@ class ContinuousEngine
     /** Like growActivePaged, but only decoding sequences append. */
     void growDecodingPaged();
     /**
+     * One speculative propose->verify cycle for a pure decode batch:
+     * a draft model proposes up to `draftTokens` tokens per sequence,
+     * the target scores them all in a single fused verify step (paying
+     * the weight stream and the per-step TEE tax once), and every
+     * sequence emits its accepted draft prefix plus one token.
+     * Rejected draft KV is rolled back through the paged pool.
+     */
+    void specStep();
+    /**
      * One token-budgeted mixed prefill/decode step: every decoding
      * sequence emits a token while prefilling sequences advance by at
      * most one `chunkTokens` slice each, planned in admission order
@@ -195,6 +208,7 @@ class ContinuousEngine
     const StepModel *step_;
     ServerConfig cfg_;
     bool chunked_ = false;
+    bool spec_ = false;
     fault::FaultInjector inj_;
     std::optional<KvBlockPool> pool_;
     std::optional<PrefixCache> prefix_;

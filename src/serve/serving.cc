@@ -268,6 +268,13 @@ class CpuStepModel : public StepModel
                                          done, chunk, shared);
     }
 
+    double
+    verifyStep(double nseq, double k, double avg_pos) const override
+    {
+        return perf_.verifyStepSeconds(rates_, model_, params_, nseq,
+                                       k, avg_pos);
+    }
+
   private:
     hw::CpuSpec cpu_;
     std::shared_ptr<const tee::TeeBackend> backend_;
@@ -370,6 +377,40 @@ class GpuStepModel : public StepModel
                cfg.launchesPerStep * launch + s * 4.0 / host_bw;
     }
 
+    double
+    verifyStep(double nseq, double k, double avg_pos) const override
+    {
+        // One fused pass scores k+1 positions per sequence: matmul
+        // FLOPs and attention scale with the width (attention at the
+        // mean depth), KV is read once per scored position, but the
+        // weight stream and — decisively for CC mode — the per-step
+        // kernel launches with their encryption overhead happen once.
+        // Host-link bounce-buffer traffic is per emitted token, so it
+        // scales with the width. k = 0 reduces to decodeStep exactly.
+        const double width = k + 1.0;
+        const double mid = avg_pos + k / 2.0;
+        const llm::GpuPerfConfig &cfg = perf_.config();
+        const double flops =
+            nseq * width *
+            (2.0 * static_cast<double>(model_.matmulParams()) +
+             4.0 * model_.layers * model_.hidden * mid);
+        const double bytes =
+            model_.weightBytes(dtype_) +
+            nseq * model_.kvBytesPerToken(dtype_) * width *
+                (mid + 1.0);
+        const double rate = gpu_.peakOps(dtype_) * cfg.computeEff;
+        const double bw =
+            gpu_.hbmBwBytes * cfg.memEff * tax_.hbmBwFactor;
+        const double launch =
+            gpu_.kernelLaunchUs * 1e-6 + tax_.launchExtraSec;
+        const double host_bw = tax_.hostLinkBwBytes > 0.0
+                                   ? tax_.hostLinkBwBytes
+                                   : gpu_.pcieBwBytes;
+        return std::max(flops / rate, bytes / bw) +
+               cfg.launchesPerStep * launch +
+               nseq * width * cfg.hostBytesPerToken / host_bw;
+    }
+
   private:
     hw::GpuSpec gpu_;
     llm::ModelConfig model_;
@@ -449,6 +490,21 @@ Server::Server(std::unique_ptr<StepModel> step, ServerConfig cfg)
                        "size");
         if (cfg_.chunkedPrefill.starvationIters == 0)
             cllm_fatal("Server: zero starvation-guard window");
+    }
+    if (cfg_.specDecode.enabled) {
+        if (cfg_.policy == BatchPolicy::Static)
+            cllm_fatal("Server: speculative decoding requires "
+                       "continuous batching");
+        if (cfg_.specDecode.draftTokens == 0)
+            cllm_fatal("Server: speculative decoding with zero draft "
+                       "tokens");
+        if (cfg_.specDecode.draftCostRatio <= 0.0 ||
+            cfg_.specDecode.draftCostRatio >= 1.0)
+            cllm_fatal("Server: draft cost ratio outside (0, 1)");
+        if (cfg_.specDecode.acceptProb < 0.0 ||
+            cfg_.specDecode.acceptProb > 1.0)
+            cllm_fatal("Server: acceptance probability outside "
+                       "[0, 1]");
     }
 }
 
@@ -607,6 +663,30 @@ writeMetrics(JsonWriter &json, const ServeMetrics &m)
         json.field("mixed_steps", m.mixedSteps);
         json.field("starvation_kicks", m.starvationKicks);
         json.field("max_step_prefill_tokens", m.maxStepPrefillTokens);
+    }
+    if (m.specEnabled) {
+        json.field("spec_verify_steps", m.specVerifySteps);
+        json.field("spec_draft_tokens", m.specDraftTokens);
+        json.field("spec_accepted_tokens", m.specAccepted);
+        json.field("spec_rejected_tokens", m.specRejected);
+        json.field("spec_bonus_tokens", m.specBonus);
+        // Each per-sequence verify cycle ends in either a bonus
+        // token (k/k accepted) or a rejection resample, so their sum
+        // counts cycles and accepted/cycles is the mean accepted
+        // draft length.
+        json.field("spec_mean_accepted_len",
+                   m.specBonus + m.specRejected
+                       ? static_cast<double>(m.specAccepted) /
+                             static_cast<double>(m.specBonus +
+                                                 m.specRejected)
+                       : 0.0);
+        // ITL is tracked in every mode but emitted by the chunked
+        // block when chunking is on; spec-only runs surface it here.
+        if (!m.chunkedEnabled) {
+            json.field("itl_p50_s", m.itl.p50);
+            json.field("itl_p95_s", m.itl.p95);
+            json.field("itl_p99_s", m.itl.p99);
+        }
     }
     json.field("retries", m.retries);
     json.field("shed", m.shed);

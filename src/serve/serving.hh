@@ -297,6 +297,44 @@ struct ChunkedPrefillPolicy
 };
 
 /**
+ * Speculative decoding: a cheap draft model proposes `draftTokens`
+ * tokens per cycle and the target model scores them all in ONE fused
+ * verify step. The verify step streams the weights once and pays the
+ * per-step fixed costs — SGX/TDX MEE+transition tax, CC-mode kernel
+ * launch and bounce-buffer overhead — once for k+1 scored positions,
+ * which is exactly the per-step TEE tax the paper measures; that is
+ * what speculation amortizes. Disabled (the default) leaves every
+ * output byte-identical to a build without the feature.
+ *
+ * Acceptance is a deterministic per-sequence model: draft token j of
+ * request r is accepted iff a uniform draw keyed by
+ * splitSeed(splitSeed(seed, r.id), position) falls below acceptProb,
+ * so accepted-length streams are reproducible at any thread count and
+ * across preemption/recompute (the draw depends only on the request
+ * id and the absolute output position, never on sim time).
+ */
+struct SpecDecodePolicy
+{
+    bool enabled = false;
+
+    /** Draft tokens proposed per verify cycle (k). Must be > 0. */
+    unsigned draftTokens = 4;
+
+    /**
+     * Cost of one draft-model decode step as a fraction of the target
+     * model's. Must lie in (0, 1): a draft as expensive as the target
+     * can never pay for itself.
+     */
+    double draftCostRatio = 0.15;
+
+    /** Probability each draft token is accepted; in [0, 1]. */
+    double acceptProb = 0.7;
+
+    /** Root seed of the per-sequence acceptance streams. */
+    std::uint64_t seed = 29;
+};
+
+/**
  * How the server responds to faults and overload. Every knob defaults
  * to "off", so a default-constructed policy leaves the simulation
  * byte-identical to a server without one.
@@ -368,6 +406,13 @@ struct ServerConfig
      */
     ChunkedPrefillPolicy chunkedPrefill{};
 
+    /**
+     * Speculative decoding (draft + fused verify steps). Requires
+     * continuous batching; off leaves every output byte-identical to
+     * a build without the feature.
+     */
+    SpecDecodePolicy specDecode{};
+
     /** Fault/overload response; defaults are all off. */
     ResiliencePolicy resilience{};
 
@@ -438,6 +483,20 @@ struct ServeTally
     std::size_t starvationKicks = 0;  //!< forced slices past budget
     std::uint64_t maxStepPrefillTokens = 0; //!< worst single step
     std::vector<double> itlSamples;   //!< per-token decode gaps [s]
+
+    // Speculative decoding (counters only move when spec is on; the
+    // JSON emitters gate on the flag so off-mode output stays
+    // byte-stable). Closure invariant in any restart-free run:
+    // specAccepted + specRejected + specBonus == outputTokens.
+    // decodeSteps is tracked in every mode (the spec differential
+    // tests compare it across modes) but never emitted to JSON.
+    std::size_t decodeSteps = 0;       //!< target decode/verify passes
+    bool specEnabled = false;
+    std::size_t specVerifySteps = 0;   //!< propose->verify cycles
+    std::uint64_t specDraftTokens = 0; //!< draft tokens proposed
+    std::uint64_t specAccepted = 0;    //!< draft tokens accepted
+    std::uint64_t specRejected = 0;    //!< rejection-resampled tokens
+    std::uint64_t specBonus = 0;       //!< bonus tokens (k/k accepted)
 };
 
 /** Outcome of serving a trace. */
@@ -493,6 +552,16 @@ struct ServeMetrics
     std::size_t mixedSteps = 0;
     std::size_t starvationKicks = 0;
     std::uint64_t maxStepPrefillTokens = 0;
+
+    // Speculative decoding (all zero with spec off; emitted to JSON
+    // only when specEnabled so existing output stays byte-stable).
+    std::size_t decodeSteps = 0;      //!< target decode/verify passes
+    bool specEnabled = false;
+    std::size_t specVerifySteps = 0;
+    std::uint64_t specDraftTokens = 0;
+    std::uint64_t specAccepted = 0;
+    std::uint64_t specRejected = 0;
+    std::uint64_t specBonus = 0;
 
     /** Per-event fault timeline (empty without a schedule). */
     std::vector<fault::FaultRecord> faultTimeline;
@@ -552,6 +621,22 @@ class StepModel
     {
         (void)shared;
         return prefillFrom(done, done + chunk);
+    }
+
+    /**
+     * Seconds for one fused speculative-verify step: `nseq` sequences
+     * at mean context depth `avg_pos`, each scoring `k` draft tokens
+     * plus the bonus position in a single target pass. The identity
+     * verifyStep(n, 0, pos) == decodeStep(n, pos) must hold — it is
+     * what makes spec-off runs byte-identical. The default prices k+1
+     * sequential decode steps (time-neutral, no amortization);
+     * concrete models override it to stream the weights once and pay
+     * the per-step fixed TEE costs once for all k+1 positions.
+     */
+    virtual double
+    verifyStep(double nseq, double k, double avg_pos) const
+    {
+        return (k + 1.0) * decodeStep(nseq, avg_pos + k / 2.0);
     }
 };
 

@@ -48,6 +48,12 @@ JsonWriter::escape(const std::string &s)
           case '\\':
             os_ << "\\\\";
             break;
+          case '\b':
+            os_ << "\\b";
+            break;
+          case '\f':
+            os_ << "\\f";
+            break;
           case '\n':
             os_ << "\\n";
             break;
@@ -231,13 +237,57 @@ struct FlatCursor
         expect('"');
         std::string key;
         while (pos < text.size() && text[pos] != '"') {
-            if (text[pos] == '\\') {
+            char ch = text[pos];
+            if (ch == '\\') {
                 ++pos;
-                if (pos >= text.size() ||
-                    (text[pos] != '"' && text[pos] != '\\'))
+                if (pos >= text.size())
+                    cllm_fatal("flat JSON: unterminated key");
+                // Mirror of JsonWriter::escape, so every key the
+                // writer can emit reads back to the original bytes.
+                switch (text[pos]) {
+                  case '"': ch = '"'; break;
+                  case '\\': ch = '\\'; break;
+                  case '/': ch = '/'; break;
+                  case 'b': ch = '\b'; break;
+                  case 'f': ch = '\f'; break;
+                  case 'n': ch = '\n'; break;
+                  case 'r': ch = '\r'; break;
+                  case 't': ch = '\t'; break;
+                  case 'u': {
+                    if (pos + 4 >= text.size())
+                        cllm_fatal("flat JSON: truncated \\u escape "
+                                   "in key");
+                    unsigned code = 0;
+                    for (int i = 1; i <= 4; ++i) {
+                        const char h = text[pos + i];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a') +
+                                    10u;
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A') +
+                                    10u;
+                        else
+                            cllm_fatal("flat JSON: bad hex digit in "
+                                       "\\u escape");
+                    }
+                    // The writer only ever emits \u00XX for ASCII
+                    // control bytes; anything wider would need UTF-8
+                    // re-encoding this flat reader does not do.
+                    if (code > 0x7f)
+                        cllm_fatal("flat JSON: non-ASCII \\u escape "
+                                   "in key");
+                    pos += 4;
+                    ch = static_cast<char>(code);
+                    break;
+                  }
+                  default:
                     cllm_fatal("flat JSON: unsupported escape in key");
+                }
             }
-            key.push_back(text[pos]);
+            key.push_back(ch);
             ++pos;
         }
         if (pos >= text.size())

@@ -86,10 +86,13 @@ class JsonWriter
 
 /**
  * Parse a flat JSON object of numeric values — `{"a.b": 1.5, ...}` —
- * as written by JsonWriter for golden expectation files. Escapes
- * beyond `\"` and `\\` in keys, nesting, and non-numeric values are
- * rejected. Fatal on malformed input (golden files are checked in,
- * so damage is a repo bug, not a runtime condition).
+ * as written by JsonWriter for golden expectation files. Keys decode
+ * every escape the writer emits (the RFC 8259 short escapes `\" \\
+ * \/ \b \f \n \r \t` plus ASCII `\u00XX`), so writer->reader
+ * round-trips are byte-exact; non-ASCII `\u` escapes, nesting, and
+ * non-numeric values are rejected. Fatal on malformed input (golden
+ * files are checked in, so damage is a repo bug, not a runtime
+ * condition).
  */
 std::map<std::string, double> parseFlatJsonNumbers(
     const std::string &text);

@@ -59,18 +59,59 @@ OnlineStats::stddev() const
 double
 percentile(std::vector<double> samples, double p)
 {
-    if (p < 0.0 || p > 100.0)
-        cllm_panic("percentile p out of range: ", p);
-    if (samples.empty())
-        return 0.0;
-    std::sort(samples.begin(), samples.end());
-    if (samples.size() == 1)
-        return samples[0];
-    const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
-    const std::size_t lo = static_cast<std::size_t>(rank);
-    const std::size_t hi = std::min(lo + 1, samples.size() - 1);
-    const double frac = rank - static_cast<double>(lo);
-    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+    return percentiles(std::move(samples), {p})[0];
+}
+
+std::vector<double>
+percentiles(std::vector<double> samples, const std::vector<double> &ps)
+{
+    for (double p : ps)
+        if (p < 0.0 || p > 100.0)
+            cllm_panic("percentile p out of range: ", p);
+    std::vector<double> out(ps.size(), 0.0);
+    if (samples.empty() || ps.empty())
+        return out;
+    if (samples.size() == 1) {
+        std::fill(out.begin(), out.end(), samples[0]);
+        return out;
+    }
+    // Process requested ranks in ascending order: each nth_element
+    // call partitions only the suffix past the previously placed
+    // rank, and every element it places is an exact order statistic —
+    // the same value a full sort would put there.
+    std::vector<std::size_t> order(ps.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&ps](std::size_t a, std::size_t b) {
+                  return ps[a] != ps[b] ? ps[a] < ps[b] : a < b;
+              });
+    const std::size_t n = samples.size();
+    std::ptrdiff_t last = -1; // highest index already exact
+    for (std::size_t oi : order) {
+        const double rank =
+            ps[oi] / 100.0 * static_cast<double>(n - 1);
+        const std::size_t lo = static_cast<std::size_t>(rank);
+        const std::size_t hi = std::min(lo + 1, n - 1);
+        const double frac = rank - static_cast<double>(lo);
+        if (static_cast<std::ptrdiff_t>(lo) > last) {
+            std::nth_element(
+                samples.begin() + (last + 1),
+                samples.begin() + static_cast<std::ptrdiff_t>(lo),
+                samples.end());
+            last = static_cast<std::ptrdiff_t>(lo);
+        }
+        // The interpolation partner one rank up is the minimum of
+        // the unsorted tail left behind by the partition.
+        const double v_hi =
+            hi > lo ? *std::min_element(
+                          samples.begin() +
+                              static_cast<std::ptrdiff_t>(lo) + 1,
+                          samples.end())
+                    : samples[lo];
+        out[oi] = samples[lo] * (1.0 - frac) + v_hi * frac;
+    }
+    return out;
 }
 
 double
@@ -124,9 +165,11 @@ summarize(const std::vector<double> &samples, double z_max)
     s.stddev = st.stddev();
     s.min = st.min();
     s.max = st.max();
-    s.p50 = percentile(kept, 50.0);
-    s.p95 = percentile(kept, 95.0);
-    s.p99 = percentile(kept, 99.0);
+    const std::vector<double> pct =
+        percentiles(std::move(kept), {50.0, 95.0, 99.0});
+    s.p50 = pct[0];
+    s.p95 = pct[1];
+    s.p99 = pct[2];
     return s;
 }
 

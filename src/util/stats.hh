@@ -64,6 +64,19 @@ class OnlineStats
  */
 double percentile(std::vector<double> samples, double p);
 
+/**
+ * Several percentiles of one sample set in a single pass: the samples
+ * are copied once and partially ordered with nth_element per distinct
+ * rank (ascending, over an ever-shrinking suffix) instead of fully
+ * sorted once per percentile. Bit-identical to calling percentile()
+ * for each entry of `ps` — same type-7 interpolation, same edge
+ * cases — just cheaper: O(n · |ps|) worst case instead of
+ * O(n log n · |ps|). Returns one value per entry of `ps`, in the
+ * caller's order (which need not be sorted).
+ */
+std::vector<double> percentiles(std::vector<double> samples,
+                                const std::vector<double> &ps);
+
 /** Median (50th percentile); 0 when empty. */
 double median(std::vector<double> samples);
 

@@ -149,6 +149,46 @@ TEST(Json, ControlCharactersEscapedAsUnicode)
     EXPECT_EQ(os.str(), "[\"\\u0001\"]");
 }
 
+TEST(Json, BackspaceAndFormFeedUseShortEscapes)
+{
+    // RFC 8259 defines two-character escapes for \b and \f; emitting
+    // \u0008/\u000C would be valid but not byte-stable against other
+    // producers.
+    std::ostringstream os;
+    JsonWriter j(os);
+    j.beginArray().value(std::string("a\bb\fc")).endArray();
+    EXPECT_EQ(os.str(), "[\"a\\bb\\fc\"]");
+}
+
+TEST(Json, FlatReaderRoundTripsEscapedKeys)
+{
+    // Keys exercising every escape class the writer emits: the short
+    // escapes, a quote, a backslash, and a \u00XX control character.
+    const std::map<std::string, double> original{
+        {"plain", 1.5},
+        {"quote\"slash\\", 2.0},
+        {"short\b\f\n\r\t", -3.25},
+        {std::string("ctl\x01\x1f"), 4.0},
+    };
+    std::ostringstream os;
+    {
+        JsonWriter j(os);
+        j.beginObject();
+        for (const auto &[k, v] : original)
+            j.key(k).value(v);
+        j.endObject();
+    }
+    const std::map<std::string, double> parsed =
+        parseFlatJsonNumbers(os.str());
+    EXPECT_EQ(parsed, original);
+}
+
+TEST(JsonDeath, FlatReaderRejectsNonAsciiUnicodeEscape)
+{
+    EXPECT_DEATH(parseFlatJsonNumbers("{\"a\\u2603\": 1}"),
+                 "\\\\u escape");
+}
+
 TEST(Json, NonFiniteBecomesNull)
 {
     std::ostringstream os;

@@ -416,6 +416,47 @@ TEST(PrefixDifferential, PerTenantNeverSharesAcrossTenants)
     EXPECT_GT(global.prefixCachedTokens, 0u);
 }
 
+TEST(PrefixDifferential, ComposesWithSpeculativeDecoding)
+{
+    // Prefix caching trims prefill, speculation trims decode; their
+    // savings must stack without disturbing each other's accounting
+    // or the completion stream.
+    const std::vector<Request> trace = sharedPromptTrace();
+
+    std::vector<Request> prefix_out;
+    const ServeMetrics prefix_only =
+        Server(cpuModel(), pagedConfig(4096, PrefixMode::PerTenant))
+            .run(trace, prefix_out);
+
+    ServerConfig both_cfg = pagedConfig(4096, PrefixMode::PerTenant);
+    both_cfg.specDecode.enabled = true;
+    both_cfg.specDecode.draftTokens = 4;
+    std::vector<Request> both_out;
+    const ServeMetrics both =
+        Server(cpuModel(), both_cfg).run(trace, both_out);
+
+    EXPECT_EQ(both.completed, prefix_only.completed);
+    EXPECT_EQ(both.outputTokens, prefix_only.outputTokens);
+    ASSERT_EQ(both_out.size(), prefix_out.size());
+    for (std::size_t i = 0; i < prefix_out.size(); ++i) {
+        EXPECT_EQ(both_out[i].id, prefix_out[i].id);
+        EXPECT_EQ(both_out[i].outLen, prefix_out[i].outLen);
+    }
+
+    // Prefill-side accounting is untouched by speculation: the same
+    // prompts hit the same cached prefixes.
+    EXPECT_EQ(both.prefixHits, prefix_only.prefixHits);
+    EXPECT_EQ(both.prefixCachedTokens, prefix_only.prefixCachedTokens);
+    EXPECT_EQ(both.prefillTokensComputed,
+              prefix_only.prefillTokensComputed);
+
+    // Decode-side accounting closes, in fewer target passes.
+    EXPECT_TRUE(both.specEnabled);
+    EXPECT_EQ(both.specAccepted + both.specRejected + both.specBonus,
+              both.outputTokens);
+    EXPECT_LT(both.decodeSteps, prefix_only.decodeSteps);
+}
+
 // ---------------------------------------------------------------------
 // 4. Regression pins
 // ---------------------------------------------------------------------

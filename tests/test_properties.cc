@@ -649,6 +649,99 @@ TEST(KvEngineEquivalence, ReservedPagedChunkedServeTheSameSet)
     }
 }
 
+// ---- Speculation never changes what gets served ------------------------
+
+using SpecEngineCase =
+    std::tuple<serve::KvMode, serve::ChunkMode, unsigned>;
+// (KV discipline, prefill scheduling, workload seed)
+
+class SpecEngineGrid : public ::testing::TestWithParam<SpecEngineCase>
+{
+};
+
+// For every (discipline x scheduling x trace): replaying with
+// speculation off, k=2, and k=4 completes the identical request set
+// with identical per-request output token counts, and the acceptance
+// accounting closes on the emitted total. Speculation changes when
+// tokens arrive, never which tokens arrive.
+TEST_P(SpecEngineGrid, CompletionSetInvariantAcrossDraftDepths)
+{
+    const auto [mode, chunk, seed] = GetParam();
+
+    serve::WorkloadConfig load;
+    load.arrivalRate = 1.0;
+    load.numRequests = 40;
+    load.meanInLen = 96;
+    load.meanOutLen = 160;
+    load.seed = seed;
+
+    std::vector<std::vector<serve::Request>> traces;
+    std::vector<serve::ServeTally> tallies;
+    for (unsigned k : {0u, 2u, 4u}) {
+        serve::ServerConfig cfg;
+        cfg.policy = serve::BatchPolicy::Continuous;
+        cfg.maxBatch = 16;
+        cfg.kvBlocks = 4096;
+        cfg.kvBlockTokens = 16;
+        cfg.kvMode = mode;
+        cfg.paged.kvBytesPerToken = 1.0;
+        cfg.chunkedPrefill.mode = chunk;
+        cfg.chunkedPrefill.chunkTokens = 48;
+        if (k) {
+            cfg.specDecode.enabled = true;
+            cfg.specDecode.draftTokens = k;
+        }
+
+        auto trace = serve::generateWorkload(load);
+        auto step = kvGridModel();
+        serve::ContinuousEngine eng(*step, cfg);
+        for (auto &r : trace)
+            eng.submit(&r, r.arrival);
+        while (!eng.idle())
+            eng.iterate();
+        traces.push_back(std::move(trace));
+        tallies.push_back(eng.tally());
+    }
+
+    const auto &base = traces.front();
+    for (std::size_t v = 1; v < traces.size(); ++v) {
+        ASSERT_EQ(traces[v].size(), base.size());
+        for (std::size_t i = 0; i < base.size(); ++i) {
+            EXPECT_EQ(traces[v][i].finish >= 0.0,
+                      base[i].finish >= 0.0)
+                << "variant " << v << " request " << base[i].id;
+            EXPECT_EQ(traces[v][i].outLen, base[i].outLen);
+        }
+        std::uint64_t out_tokens = 0;
+        for (const auto &r : traces[v])
+            if (r.finish >= 0.0)
+                out_tokens += r.outLen;
+        const serve::ServeTally &t = tallies[v];
+        EXPECT_TRUE(t.specEnabled);
+        EXPECT_EQ(t.specAccepted + t.specRejected + t.specBonus,
+                  out_tokens)
+            << "variant " << v;
+        EXPECT_LT(t.decodeSteps, tallies.front().decodeSteps)
+            << "variant " << v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DraftDepths, SpecEngineGrid,
+    ::testing::Combine(
+        ::testing::Values(serve::KvMode::Reserved,
+                          serve::KvMode::Paged),
+        ::testing::Values(serve::ChunkMode::Off,
+                          serve::ChunkMode::DecodePriority),
+        ::testing::Values(5u, 21u)),
+    [](const ::testing::TestParamInfo<SpecEngineCase> &info) {
+        return std::string(serve::kvModeName(
+                   std::get<0>(info.param))) +
+               "_" +
+               serve::chunkModeName(std::get<1>(info.param)) +
+               "_s" + std::to_string(std::get<2>(info.param));
+    });
+
 // ---- Reserved and paged complete the same request set ------------------
 
 class KvEquivalenceSeeds : public ::testing::TestWithParam<unsigned>

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "util/stats.hh"
@@ -125,6 +126,51 @@ TEST(PercentileDeath, OutOfRangePanics)
 {
     EXPECT_DEATH(percentile({1.0}, 101.0), "out of range");
     EXPECT_DEATH(percentile({}, -1.0), "out of range");
+}
+
+TEST(Percentiles, BitIdenticalToRepeatedSingleCalls)
+{
+    // The multi-percentile helper promises bit-identity with the
+    // one-at-a-time path on an arbitrary sample set — including
+    // interpolated ranks, duplicates, and unsorted query order.
+    std::vector<double> samples;
+    std::uint64_t x = 88172645463325252ULL; // xorshift64
+    for (int i = 0; i < 257; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        samples.push_back(static_cast<double>(x % 10007) / 7.0);
+    }
+    samples[17] = samples[42]; // force duplicates
+    samples[99] = samples[42];
+
+    const std::vector<double> ps = {99.0, 50.0, 95.0, 0.0,
+                                    100.0, 50.0, 12.5};
+    const std::vector<double> got = percentiles(samples, ps);
+    ASSERT_EQ(got.size(), ps.size());
+    for (std::size_t i = 0; i < ps.size(); ++i)
+        EXPECT_EQ(got[i], percentile(samples, ps[i]))
+            << "p" << ps[i];
+}
+
+TEST(Percentiles, EdgeCasesMatchSingleCallContract)
+{
+    // Empty set: every requested percentile is 0.
+    const std::vector<double> empty = percentiles({}, {0.0, 50.0,
+                                                       100.0});
+    EXPECT_EQ(empty, (std::vector<double>{0.0, 0.0, 0.0}));
+    // Single sample: every percentile is that sample.
+    const std::vector<double> one =
+        percentiles({7.0}, {0.0, 37.5, 100.0});
+    EXPECT_EQ(one, (std::vector<double>{7.0, 7.0, 7.0}));
+    // No percentiles requested: no results.
+    EXPECT_TRUE(percentiles({1.0, 2.0}, {}).empty());
+}
+
+TEST(PercentilesDeath, OutOfRangePanics)
+{
+    EXPECT_DEATH(percentiles({1.0}, {50.0, 101.0}), "out of range");
+    EXPECT_DEATH(percentiles({1.0}, {-0.5}), "out of range");
 }
 
 TEST(ZScoreFilter, RemovesClearOutlier)
