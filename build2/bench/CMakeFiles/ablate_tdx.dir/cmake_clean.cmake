@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_tdx.dir/ablate_tdx.cpp.o"
+  "CMakeFiles/ablate_tdx.dir/ablate_tdx.cpp.o.d"
+  "ablate_tdx"
+  "ablate_tdx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_tdx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

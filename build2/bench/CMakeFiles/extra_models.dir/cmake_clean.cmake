@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_models.dir/extra_models.cpp.o"
+  "CMakeFiles/extra_models.dir/extra_models.cpp.o.d"
+  "extra_models"
+  "extra_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_frameworks.dir/fig03_frameworks.cpp.o"
+  "CMakeFiles/fig03_frameworks.dir/fig03_frameworks.cpp.o.d"
+  "fig03_frameworks"
+  "fig03_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_single_socket.dir/fig04_single_socket.cpp.o"
+  "CMakeFiles/fig04_single_socket.dir/fig04_single_socket.cpp.o.d"
+  "fig04_single_socket"
+  "fig04_single_socket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_single_socket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

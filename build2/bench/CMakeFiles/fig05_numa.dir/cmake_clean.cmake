@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_numa.dir/fig05_numa.cpp.o"
+  "CMakeFiles/fig05_numa.dir/fig05_numa.cpp.o.d"
+  "fig05_numa"
+  "fig05_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_hugepages.dir/fig06_hugepages.cpp.o"
+  "CMakeFiles/fig06_hugepages.dir/fig06_hugepages.cpp.o.d"
+  "fig06_hugepages"
+  "fig06_hugepages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_hugepages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_per_block.dir/fig07_per_block.cpp.o"
+  "CMakeFiles/fig07_per_block.dir/fig07_per_block.cpp.o.d"
+  "fig07_per_block"
+  "fig07_per_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_per_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_amx.dir/fig08_amx.cpp.o"
+  "CMakeFiles/fig08_amx.dir/fig08_amx.cpp.o.d"
+  "fig08_amx"
+  "fig08_amx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_amx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_input_scaling.dir/fig10_input_scaling.cpp.o"
+  "CMakeFiles/fig10_input_scaling.dir/fig10_input_scaling.cpp.o.d"
+  "fig10_input_scaling"
+  "fig10_input_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_input_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_cpu_cost.dir/fig12_cpu_cost.cpp.o"
+  "CMakeFiles/fig12_cpu_cost.dir/fig12_cpu_cost.cpp.o.d"
+  "fig12_cpu_cost"
+  "fig12_cpu_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cpu_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

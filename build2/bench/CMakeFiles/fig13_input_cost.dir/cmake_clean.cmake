@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_input_cost.dir/fig13_input_cost.cpp.o"
+  "CMakeFiles/fig13_input_cost.dir/fig13_input_cost.cpp.o.d"
+  "fig13_input_cost"
+  "fig13_input_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_input_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

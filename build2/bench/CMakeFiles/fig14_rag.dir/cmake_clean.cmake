@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_rag.dir/fig14_rag.cpp.o"
+  "CMakeFiles/fig14_rag.dir/fig14_rag.cpp.o.d"
+  "fig14_rag"
+  "fig14_rag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_rag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

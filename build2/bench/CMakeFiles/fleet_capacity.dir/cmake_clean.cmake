@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_capacity.dir/fleet_capacity.cpp.o"
+  "CMakeFiles/fleet_capacity.dir/fleet_capacity.cpp.o.d"
+  "fleet_capacity"
+  "fleet_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

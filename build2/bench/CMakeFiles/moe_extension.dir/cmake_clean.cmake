@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moe_extension.dir/moe_extension.cpp.o"
+  "CMakeFiles/moe_extension.dir/moe_extension.cpp.o.d"
+  "moe_extension"
+  "moe_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moe_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_slo.dir/serve_slo.cpp.o"
+  "CMakeFiles/serve_slo.dir/serve_slo.cpp.o.d"
+  "serve_slo"
+  "serve_slo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_slo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_scaling.dir/thread_scaling.cpp.o"
+  "CMakeFiles/thread_scaling.dir/thread_scaling.cpp.o.d"
+  "thread_scaling"
+  "thread_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/chunked_serving.cpp" "examples/CMakeFiles/chunked_serving.dir/chunked_serving.cpp.o" "gcc" "examples/CMakeFiles/chunked_serving.dir/chunked_serving.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/core/CMakeFiles/cllm_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/rag/CMakeFiles/cllm_rag.dir/DependInfo.cmake"
+  "/root/repo/build2/src/serve/CMakeFiles/cllm_serve.dir/DependInfo.cmake"
+  "/root/repo/build2/src/cost/CMakeFiles/cllm_cost.dir/DependInfo.cmake"
+  "/root/repo/build2/src/llm/CMakeFiles/cllm_llm.dir/DependInfo.cmake"
+  "/root/repo/build2/src/tee/CMakeFiles/cllm_tee.dir/DependInfo.cmake"
+  "/root/repo/build2/src/hw/CMakeFiles/cllm_hw.dir/DependInfo.cmake"
+  "/root/repo/build2/src/fault/CMakeFiles/cllm_fault.dir/DependInfo.cmake"
+  "/root/repo/build2/src/mem/CMakeFiles/cllm_mem.dir/DependInfo.cmake"
+  "/root/repo/build2/src/crypto/CMakeFiles/cllm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build2/src/par/CMakeFiles/cllm_par.dir/DependInfo.cmake"
+  "/root/repo/build2/src/obs/CMakeFiles/cllm_obs.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/cllm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

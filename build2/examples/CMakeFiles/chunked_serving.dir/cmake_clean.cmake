@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunked_serving.dir/chunked_serving.cpp.o"
+  "CMakeFiles/chunked_serving.dir/chunked_serving.cpp.o.d"
+  "chunked_serving"
+  "chunked_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunked_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confidential_session.dir/confidential_session.cpp.o"
+  "CMakeFiles/confidential_session.dir/confidential_session.cpp.o.d"
+  "confidential_session"
+  "confidential_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confidential_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment_from_config.dir/experiment_from_config.cpp.o"
+  "CMakeFiles/experiment_from_config.dir/experiment_from_config.cpp.o.d"
+  "experiment_from_config"
+  "experiment_from_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment_from_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

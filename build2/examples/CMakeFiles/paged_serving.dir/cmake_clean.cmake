@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paged_serving.dir/paged_serving.cpp.o"
+  "CMakeFiles/paged_serving.dir/paged_serving.cpp.o.d"
+  "paged_serving"
+  "paged_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paged_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

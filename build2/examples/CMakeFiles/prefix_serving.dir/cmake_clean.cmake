@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefix_serving.dir/prefix_serving.cpp.o"
+  "CMakeFiles/prefix_serving.dir/prefix_serving.cpp.o.d"
+  "prefix_serving"
+  "prefix_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefix_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rag_chatbot.dir/rag_chatbot.cpp.o"
+  "CMakeFiles/rag_chatbot.dir/rag_chatbot.cpp.o.d"
+  "rag_chatbot"
+  "rag_chatbot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rag_chatbot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rag_chatbot.
+# This may be replaced when dependencies are built.

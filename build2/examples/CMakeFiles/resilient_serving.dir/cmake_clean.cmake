@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilient_serving.dir/resilient_serving.cpp.o"
+  "CMakeFiles/resilient_serving.dir/resilient_serving.cpp.o.d"
+  "resilient_serving"
+  "resilient_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilient_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

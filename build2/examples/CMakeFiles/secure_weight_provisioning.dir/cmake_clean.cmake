@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_weight_provisioning.dir/secure_weight_provisioning.cpp.o"
+  "CMakeFiles/secure_weight_provisioning.dir/secure_weight_provisioning.cpp.o.d"
+  "secure_weight_provisioning"
+  "secure_weight_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_weight_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for secure_weight_provisioning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for secure_weight_provisioning.
+# This may be replaced when dependencies are built.

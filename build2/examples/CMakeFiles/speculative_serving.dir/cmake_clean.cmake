@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speculative_serving.dir/speculative_serving.cpp.o"
+  "CMakeFiles/speculative_serving.dir/speculative_serving.cpp.o.d"
+  "speculative_serving"
+  "speculative_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speculative_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

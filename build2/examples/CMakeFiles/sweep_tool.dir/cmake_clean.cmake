@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_tool.dir/sweep_tool.cpp.o"
+  "CMakeFiles/sweep_tool.dir/sweep_tool.cpp.o.d"
+  "sweep_tool"
+  "sweep_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

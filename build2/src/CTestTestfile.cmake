@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build2/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("obs")
+subdirs("par")
+subdirs("crypto")
+subdirs("mem")
+subdirs("hw")
+subdirs("tee")
+subdirs("fault")
+subdirs("llm")
+subdirs("rag")
+subdirs("serve")
+subdirs("cost")
+subdirs("fleet")
+subdirs("core")

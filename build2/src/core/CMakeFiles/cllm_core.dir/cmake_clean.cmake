@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cllm_core.dir/experiment.cc.o"
+  "CMakeFiles/cllm_core.dir/experiment.cc.o.d"
+  "CMakeFiles/cllm_core.dir/summary.cc.o"
+  "CMakeFiles/cllm_core.dir/summary.cc.o.d"
+  "libcllm_core.a"
+  "libcllm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cllm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

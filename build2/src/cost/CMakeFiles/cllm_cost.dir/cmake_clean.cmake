@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cllm_cost.dir/pricing.cc.o"
+  "CMakeFiles/cllm_cost.dir/pricing.cc.o.d"
+  "libcllm_cost.a"
+  "libcllm_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cllm_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cc" "src/crypto/CMakeFiles/cllm_crypto.dir/aes.cc.o" "gcc" "src/crypto/CMakeFiles/cllm_crypto.dir/aes.cc.o.d"
+  "/root/repo/src/crypto/ctr.cc" "src/crypto/CMakeFiles/cllm_crypto.dir/ctr.cc.o" "gcc" "src/crypto/CMakeFiles/cllm_crypto.dir/ctr.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/crypto/CMakeFiles/cllm_crypto.dir/hmac.cc.o" "gcc" "src/crypto/CMakeFiles/cllm_crypto.dir/hmac.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/crypto/CMakeFiles/cllm_crypto.dir/sha256.cc.o" "gcc" "src/crypto/CMakeFiles/cllm_crypto.dir/sha256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/util/CMakeFiles/cllm_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/par/CMakeFiles/cllm_par.dir/DependInfo.cmake"
+  "/root/repo/build2/src/obs/CMakeFiles/cllm_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

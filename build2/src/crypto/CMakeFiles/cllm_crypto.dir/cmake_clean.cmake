@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cllm_crypto.dir/aes.cc.o"
+  "CMakeFiles/cllm_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/cllm_crypto.dir/ctr.cc.o"
+  "CMakeFiles/cllm_crypto.dir/ctr.cc.o.d"
+  "CMakeFiles/cllm_crypto.dir/hmac.cc.o"
+  "CMakeFiles/cllm_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/cllm_crypto.dir/sha256.cc.o"
+  "CMakeFiles/cllm_crypto.dir/sha256.cc.o.d"
+  "libcllm_crypto.a"
+  "libcllm_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cllm_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cllm_fault.dir/injector.cc.o"
+  "CMakeFiles/cllm_fault.dir/injector.cc.o.d"
+  "CMakeFiles/cllm_fault.dir/schedule.cc.o"
+  "CMakeFiles/cllm_fault.dir/schedule.cc.o.d"
+  "libcllm_fault.a"
+  "libcllm_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cllm_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cllm_fleet.dir/autoscaler.cc.o"
+  "CMakeFiles/cllm_fleet.dir/autoscaler.cc.o.d"
+  "CMakeFiles/cllm_fleet.dir/metrics.cc.o"
+  "CMakeFiles/cllm_fleet.dir/metrics.cc.o.d"
+  "CMakeFiles/cllm_fleet.dir/node.cc.o"
+  "CMakeFiles/cllm_fleet.dir/node.cc.o.d"
+  "CMakeFiles/cllm_fleet.dir/presets.cc.o"
+  "CMakeFiles/cllm_fleet.dir/presets.cc.o.d"
+  "CMakeFiles/cllm_fleet.dir/router.cc.o"
+  "CMakeFiles/cllm_fleet.dir/router.cc.o.d"
+  "CMakeFiles/cllm_fleet.dir/simulator.cc.o"
+  "CMakeFiles/cllm_fleet.dir/simulator.cc.o.d"
+  "libcllm_fleet.a"
+  "libcllm_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cllm_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

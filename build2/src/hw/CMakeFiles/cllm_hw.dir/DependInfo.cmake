@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cpu.cc" "src/hw/CMakeFiles/cllm_hw.dir/cpu.cc.o" "gcc" "src/hw/CMakeFiles/cllm_hw.dir/cpu.cc.o.d"
+  "/root/repo/src/hw/gpu.cc" "src/hw/CMakeFiles/cllm_hw.dir/gpu.cc.o" "gcc" "src/hw/CMakeFiles/cllm_hw.dir/gpu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/util/CMakeFiles/cllm_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/mem/CMakeFiles/cllm_mem.dir/DependInfo.cmake"
+  "/root/repo/build2/src/crypto/CMakeFiles/cllm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build2/src/par/CMakeFiles/cllm_par.dir/DependInfo.cmake"
+  "/root/repo/build2/src/obs/CMakeFiles/cllm_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

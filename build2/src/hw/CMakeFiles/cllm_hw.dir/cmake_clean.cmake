@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cllm_hw.dir/cpu.cc.o"
+  "CMakeFiles/cllm_hw.dir/cpu.cc.o.d"
+  "CMakeFiles/cllm_hw.dir/gpu.cc.o"
+  "CMakeFiles/cllm_hw.dir/gpu.cc.o.d"
+  "libcllm_hw.a"
+  "libcllm_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cllm_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

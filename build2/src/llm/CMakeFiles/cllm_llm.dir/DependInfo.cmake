@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/llm/collective.cc" "src/llm/CMakeFiles/cllm_llm.dir/collective.cc.o" "gcc" "src/llm/CMakeFiles/cllm_llm.dir/collective.cc.o.d"
+  "/root/repo/src/llm/framework.cc" "src/llm/CMakeFiles/cllm_llm.dir/framework.cc.o" "gcc" "src/llm/CMakeFiles/cllm_llm.dir/framework.cc.o.d"
+  "/root/repo/src/llm/kernels.cc" "src/llm/CMakeFiles/cllm_llm.dir/kernels.cc.o" "gcc" "src/llm/CMakeFiles/cllm_llm.dir/kernels.cc.o.d"
+  "/root/repo/src/llm/model_config.cc" "src/llm/CMakeFiles/cllm_llm.dir/model_config.cc.o" "gcc" "src/llm/CMakeFiles/cllm_llm.dir/model_config.cc.o.d"
+  "/root/repo/src/llm/ops.cc" "src/llm/CMakeFiles/cllm_llm.dir/ops.cc.o" "gcc" "src/llm/CMakeFiles/cllm_llm.dir/ops.cc.o.d"
+  "/root/repo/src/llm/perf_cluster.cc" "src/llm/CMakeFiles/cllm_llm.dir/perf_cluster.cc.o" "gcc" "src/llm/CMakeFiles/cllm_llm.dir/perf_cluster.cc.o.d"
+  "/root/repo/src/llm/perf_cpu.cc" "src/llm/CMakeFiles/cllm_llm.dir/perf_cpu.cc.o" "gcc" "src/llm/CMakeFiles/cllm_llm.dir/perf_cpu.cc.o.d"
+  "/root/repo/src/llm/perf_gpu.cc" "src/llm/CMakeFiles/cllm_llm.dir/perf_gpu.cc.o" "gcc" "src/llm/CMakeFiles/cllm_llm.dir/perf_gpu.cc.o.d"
+  "/root/repo/src/llm/runtime.cc" "src/llm/CMakeFiles/cllm_llm.dir/runtime.cc.o" "gcc" "src/llm/CMakeFiles/cllm_llm.dir/runtime.cc.o.d"
+  "/root/repo/src/llm/tensor.cc" "src/llm/CMakeFiles/cllm_llm.dir/tensor.cc.o" "gcc" "src/llm/CMakeFiles/cllm_llm.dir/tensor.cc.o.d"
+  "/root/repo/src/llm/tokenizer.cc" "src/llm/CMakeFiles/cllm_llm.dir/tokenizer.cc.o" "gcc" "src/llm/CMakeFiles/cllm_llm.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/util/CMakeFiles/cllm_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/par/CMakeFiles/cllm_par.dir/DependInfo.cmake"
+  "/root/repo/build2/src/hw/CMakeFiles/cllm_hw.dir/DependInfo.cmake"
+  "/root/repo/build2/src/tee/CMakeFiles/cllm_tee.dir/DependInfo.cmake"
+  "/root/repo/build2/src/mem/CMakeFiles/cllm_mem.dir/DependInfo.cmake"
+  "/root/repo/build2/src/crypto/CMakeFiles/cllm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build2/src/obs/CMakeFiles/cllm_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cllm_llm.dir/collective.cc.o"
+  "CMakeFiles/cllm_llm.dir/collective.cc.o.d"
+  "CMakeFiles/cllm_llm.dir/framework.cc.o"
+  "CMakeFiles/cllm_llm.dir/framework.cc.o.d"
+  "CMakeFiles/cllm_llm.dir/kernels.cc.o"
+  "CMakeFiles/cllm_llm.dir/kernels.cc.o.d"
+  "CMakeFiles/cllm_llm.dir/model_config.cc.o"
+  "CMakeFiles/cllm_llm.dir/model_config.cc.o.d"
+  "CMakeFiles/cllm_llm.dir/ops.cc.o"
+  "CMakeFiles/cllm_llm.dir/ops.cc.o.d"
+  "CMakeFiles/cllm_llm.dir/perf_cluster.cc.o"
+  "CMakeFiles/cllm_llm.dir/perf_cluster.cc.o.d"
+  "CMakeFiles/cllm_llm.dir/perf_cpu.cc.o"
+  "CMakeFiles/cllm_llm.dir/perf_cpu.cc.o.d"
+  "CMakeFiles/cllm_llm.dir/perf_gpu.cc.o"
+  "CMakeFiles/cllm_llm.dir/perf_gpu.cc.o.d"
+  "CMakeFiles/cllm_llm.dir/runtime.cc.o"
+  "CMakeFiles/cllm_llm.dir/runtime.cc.o.d"
+  "CMakeFiles/cllm_llm.dir/tensor.cc.o"
+  "CMakeFiles/cllm_llm.dir/tensor.cc.o.d"
+  "CMakeFiles/cllm_llm.dir/tokenizer.cc.o"
+  "CMakeFiles/cllm_llm.dir/tokenizer.cc.o.d"
+  "libcllm_llm.a"
+  "libcllm_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cllm_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache_sim.cc" "src/mem/CMakeFiles/cllm_mem.dir/cache_sim.cc.o" "gcc" "src/mem/CMakeFiles/cllm_mem.dir/cache_sim.cc.o.d"
+  "/root/repo/src/mem/epc.cc" "src/mem/CMakeFiles/cllm_mem.dir/epc.cc.o" "gcc" "src/mem/CMakeFiles/cllm_mem.dir/epc.cc.o.d"
+  "/root/repo/src/mem/kv_paged.cc" "src/mem/CMakeFiles/cllm_mem.dir/kv_paged.cc.o" "gcc" "src/mem/CMakeFiles/cllm_mem.dir/kv_paged.cc.o.d"
+  "/root/repo/src/mem/mee_tree.cc" "src/mem/CMakeFiles/cllm_mem.dir/mee_tree.cc.o" "gcc" "src/mem/CMakeFiles/cllm_mem.dir/mee_tree.cc.o.d"
+  "/root/repo/src/mem/numa.cc" "src/mem/CMakeFiles/cllm_mem.dir/numa.cc.o" "gcc" "src/mem/CMakeFiles/cllm_mem.dir/numa.cc.o.d"
+  "/root/repo/src/mem/phys_mem.cc" "src/mem/CMakeFiles/cllm_mem.dir/phys_mem.cc.o" "gcc" "src/mem/CMakeFiles/cllm_mem.dir/phys_mem.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/mem/CMakeFiles/cllm_mem.dir/tlb.cc.o" "gcc" "src/mem/CMakeFiles/cllm_mem.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/obs/CMakeFiles/cllm_obs.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/cllm_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/crypto/CMakeFiles/cllm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build2/src/par/CMakeFiles/cllm_par.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

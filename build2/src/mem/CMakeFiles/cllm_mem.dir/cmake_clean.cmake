@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cllm_mem.dir/cache_sim.cc.o"
+  "CMakeFiles/cllm_mem.dir/cache_sim.cc.o.d"
+  "CMakeFiles/cllm_mem.dir/epc.cc.o"
+  "CMakeFiles/cllm_mem.dir/epc.cc.o.d"
+  "CMakeFiles/cllm_mem.dir/kv_paged.cc.o"
+  "CMakeFiles/cllm_mem.dir/kv_paged.cc.o.d"
+  "CMakeFiles/cllm_mem.dir/mee_tree.cc.o"
+  "CMakeFiles/cllm_mem.dir/mee_tree.cc.o.d"
+  "CMakeFiles/cllm_mem.dir/numa.cc.o"
+  "CMakeFiles/cllm_mem.dir/numa.cc.o.d"
+  "CMakeFiles/cllm_mem.dir/phys_mem.cc.o"
+  "CMakeFiles/cllm_mem.dir/phys_mem.cc.o.d"
+  "CMakeFiles/cllm_mem.dir/tlb.cc.o"
+  "CMakeFiles/cllm_mem.dir/tlb.cc.o.d"
+  "libcllm_mem.a"
+  "libcllm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cllm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cllm_obs.dir/chrome_export.cc.o"
+  "CMakeFiles/cllm_obs.dir/chrome_export.cc.o.d"
+  "CMakeFiles/cllm_obs.dir/metrics.cc.o"
+  "CMakeFiles/cllm_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/cllm_obs.dir/trace.cc.o"
+  "CMakeFiles/cllm_obs.dir/trace.cc.o.d"
+  "libcllm_obs.a"
+  "libcllm_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cllm_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cllm_par.dir/pool.cc.o"
+  "CMakeFiles/cllm_par.dir/pool.cc.o.d"
+  "libcllm_par.a"
+  "libcllm_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cllm_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rag/analyzer.cc" "src/rag/CMakeFiles/cllm_rag.dir/analyzer.cc.o" "gcc" "src/rag/CMakeFiles/cllm_rag.dir/analyzer.cc.o.d"
+  "/root/repo/src/rag/beir.cc" "src/rag/CMakeFiles/cllm_rag.dir/beir.cc.o" "gcc" "src/rag/CMakeFiles/cllm_rag.dir/beir.cc.o.d"
+  "/root/repo/src/rag/dense.cc" "src/rag/CMakeFiles/cllm_rag.dir/dense.cc.o" "gcc" "src/rag/CMakeFiles/cllm_rag.dir/dense.cc.o.d"
+  "/root/repo/src/rag/elastic_lite.cc" "src/rag/CMakeFiles/cllm_rag.dir/elastic_lite.cc.o" "gcc" "src/rag/CMakeFiles/cllm_rag.dir/elastic_lite.cc.o.d"
+  "/root/repo/src/rag/rag_pipeline.cc" "src/rag/CMakeFiles/cllm_rag.dir/rag_pipeline.cc.o" "gcc" "src/rag/CMakeFiles/cllm_rag.dir/rag_pipeline.cc.o.d"
+  "/root/repo/src/rag/reranker.cc" "src/rag/CMakeFiles/cllm_rag.dir/reranker.cc.o" "gcc" "src/rag/CMakeFiles/cllm_rag.dir/reranker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/util/CMakeFiles/cllm_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/par/CMakeFiles/cllm_par.dir/DependInfo.cmake"
+  "/root/repo/build2/src/llm/CMakeFiles/cllm_llm.dir/DependInfo.cmake"
+  "/root/repo/build2/src/tee/CMakeFiles/cllm_tee.dir/DependInfo.cmake"
+  "/root/repo/build2/src/hw/CMakeFiles/cllm_hw.dir/DependInfo.cmake"
+  "/root/repo/build2/src/mem/CMakeFiles/cllm_mem.dir/DependInfo.cmake"
+  "/root/repo/build2/src/crypto/CMakeFiles/cllm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build2/src/obs/CMakeFiles/cllm_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

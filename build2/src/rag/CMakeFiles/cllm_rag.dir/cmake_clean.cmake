@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cllm_rag.dir/analyzer.cc.o"
+  "CMakeFiles/cllm_rag.dir/analyzer.cc.o.d"
+  "CMakeFiles/cllm_rag.dir/beir.cc.o"
+  "CMakeFiles/cllm_rag.dir/beir.cc.o.d"
+  "CMakeFiles/cllm_rag.dir/dense.cc.o"
+  "CMakeFiles/cllm_rag.dir/dense.cc.o.d"
+  "CMakeFiles/cllm_rag.dir/elastic_lite.cc.o"
+  "CMakeFiles/cllm_rag.dir/elastic_lite.cc.o.d"
+  "CMakeFiles/cllm_rag.dir/rag_pipeline.cc.o"
+  "CMakeFiles/cllm_rag.dir/rag_pipeline.cc.o.d"
+  "CMakeFiles/cllm_rag.dir/reranker.cc.o"
+  "CMakeFiles/cllm_rag.dir/reranker.cc.o.d"
+  "libcllm_rag.a"
+  "libcllm_rag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cllm_rag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

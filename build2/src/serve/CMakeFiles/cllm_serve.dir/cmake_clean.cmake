@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cllm_serve.dir/engine.cc.o"
+  "CMakeFiles/cllm_serve.dir/engine.cc.o.d"
+  "CMakeFiles/cllm_serve.dir/prefix_cache.cc.o"
+  "CMakeFiles/cllm_serve.dir/prefix_cache.cc.o.d"
+  "CMakeFiles/cllm_serve.dir/serving.cc.o"
+  "CMakeFiles/cllm_serve.dir/serving.cc.o.d"
+  "libcllm_serve.a"
+  "libcllm_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cllm_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cllm_tee.dir/attest.cc.o"
+  "CMakeFiles/cllm_tee.dir/attest.cc.o.d"
+  "CMakeFiles/cllm_tee.dir/backend.cc.o"
+  "CMakeFiles/cllm_tee.dir/backend.cc.o.d"
+  "CMakeFiles/cllm_tee.dir/fs_shield.cc.o"
+  "CMakeFiles/cllm_tee.dir/fs_shield.cc.o.d"
+  "CMakeFiles/cllm_tee.dir/manifest.cc.o"
+  "CMakeFiles/cllm_tee.dir/manifest.cc.o.d"
+  "CMakeFiles/cllm_tee.dir/session.cc.o"
+  "CMakeFiles/cllm_tee.dir/session.cc.o.d"
+  "libcllm_tee.a"
+  "libcllm_tee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cllm_tee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

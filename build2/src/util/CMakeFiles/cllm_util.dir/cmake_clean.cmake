@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cllm_util.dir/config.cc.o"
+  "CMakeFiles/cllm_util.dir/config.cc.o.d"
+  "CMakeFiles/cllm_util.dir/json.cc.o"
+  "CMakeFiles/cllm_util.dir/json.cc.o.d"
+  "CMakeFiles/cllm_util.dir/logging.cc.o"
+  "CMakeFiles/cllm_util.dir/logging.cc.o.d"
+  "CMakeFiles/cllm_util.dir/rng.cc.o"
+  "CMakeFiles/cllm_util.dir/rng.cc.o.d"
+  "CMakeFiles/cllm_util.dir/stats.cc.o"
+  "CMakeFiles/cllm_util.dir/stats.cc.o.d"
+  "CMakeFiles/cllm_util.dir/table.cc.o"
+  "CMakeFiles/cllm_util.dir/table.cc.o.d"
+  "libcllm_util.a"
+  "libcllm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cllm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attest.dir/test_attest.cc.o"
+  "CMakeFiles/test_attest.dir/test_attest.cc.o.d"
+  "test_attest"
+  "test_attest.pdb"
+  "test_attest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

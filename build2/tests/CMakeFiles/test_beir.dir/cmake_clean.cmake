@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_beir.dir/test_beir.cc.o"
+  "CMakeFiles/test_beir.dir/test_beir.cc.o.d"
+  "test_beir"
+  "test_beir.pdb"
+  "test_beir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_beir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chunked_prefill.dir/test_chunked_prefill.cc.o"
+  "CMakeFiles/test_chunked_prefill.dir/test_chunked_prefill.cc.o.d"
+  "test_chunked_prefill"
+  "test_chunked_prefill.pdb"
+  "test_chunked_prefill[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chunked_prefill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_json.dir/test_config_json.cc.o"
+  "CMakeFiles/test_config_json.dir/test_config_json.cc.o.d"
+  "test_config_json"
+  "test_config_json.pdb"
+  "test_config_json[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

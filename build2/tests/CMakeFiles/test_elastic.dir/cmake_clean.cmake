@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elastic.dir/test_elastic.cc.o"
+  "CMakeFiles/test_elastic.dir/test_elastic.cc.o.d"
+  "test_elastic"
+  "test_elastic.pdb"
+  "test_elastic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

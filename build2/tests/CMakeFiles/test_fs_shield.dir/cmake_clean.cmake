@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fs_shield.dir/test_fs_shield.cc.o"
+  "CMakeFiles/test_fs_shield.dir/test_fs_shield.cc.o.d"
+  "test_fs_shield"
+  "test_fs_shield.pdb"
+  "test_fs_shield[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fs_shield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_golden_figures.dir/test_golden_figures.cc.o"
+  "CMakeFiles/test_golden_figures.dir/test_golden_figures.cc.o.d"
+  "test_golden_figures"
+  "test_golden_figures.pdb"
+  "test_golden_figures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_golden_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kv_paged.dir/test_kv_paged.cc.o"
+  "CMakeFiles/test_kv_paged.dir/test_kv_paged.cc.o.d"
+  "test_kv_paged"
+  "test_kv_paged.pdb"
+  "test_kv_paged[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kv_paged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_manifest.dir/test_manifest.cc.o"
+  "CMakeFiles/test_manifest.dir/test_manifest.cc.o.d"
+  "test_manifest"
+  "test_manifest.pdb"
+  "test_manifest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_manifest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

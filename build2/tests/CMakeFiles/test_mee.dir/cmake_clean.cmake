@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mee.dir/test_mee.cc.o"
+  "CMakeFiles/test_mee.dir/test_mee.cc.o.d"
+  "test_mee"
+  "test_mee.pdb"
+  "test_mee[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

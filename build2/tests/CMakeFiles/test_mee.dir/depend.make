@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mee.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numa.dir/test_numa.cc.o"
+  "CMakeFiles/test_numa.dir/test_numa.cc.o.d"
+  "test_numa"
+  "test_numa.pdb"
+  "test_numa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_cpu.dir/test_perf_cpu.cc.o"
+  "CMakeFiles/test_perf_cpu.dir/test_perf_cpu.cc.o.d"
+  "test_perf_cpu"
+  "test_perf_cpu.pdb"
+  "test_perf_cpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefix_cache.dir/test_prefix_cache.cc.o"
+  "CMakeFiles/test_prefix_cache.dir/test_prefix_cache.cc.o.d"
+  "test_prefix_cache"
+  "test_prefix_cache.pdb"
+  "test_prefix_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefix_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rag_pipeline.dir/test_rag_pipeline.cc.o"
+  "CMakeFiles/test_rag_pipeline.dir/test_rag_pipeline.cc.o.d"
+  "test_rag_pipeline"
+  "test_rag_pipeline.pdb"
+  "test_rag_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rag_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reranker.dir/test_reranker.cc.o"
+  "CMakeFiles/test_reranker.dir/test_reranker.cc.o.d"
+  "test_reranker"
+  "test_reranker.pdb"
+  "test_reranker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reranker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

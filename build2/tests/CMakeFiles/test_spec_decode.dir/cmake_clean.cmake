@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec_decode.dir/test_spec_decode.cc.o"
+  "CMakeFiles/test_spec_decode.dir/test_spec_decode.cc.o.d"
+  "test_spec_decode"
+  "test_spec_decode.pdb"
+  "test_spec_decode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tee_backend.dir/test_tee_backend.cc.o"
+  "CMakeFiles/test_tee_backend.dir/test_tee_backend.cc.o.d"
+  "test_tee_backend"
+  "test_tee_backend.pdb"
+  "test_tee_backend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tee_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
